@@ -1,0 +1,157 @@
+//! B4-style TE: max-min fair progressive filling (Jain et al., SIGCOMM '13).
+//!
+//! B4 hands out bandwidth in rounds of "fair share": every unfrozen demand
+//! grows its allocation proportionally to its demanded rate until either it
+//! is fully served or every tunnel it can use hits a saturated link. This
+//! implementation is the classic water-filling loop over the shared tunnel
+//! set, stepping the fair-share fraction in 1 % increments of each demand
+//! (B4's actual implementation also quantizes fair shares).
+
+use crate::traits::TeAlgorithm;
+use bate_core::{Allocation, BaDemand, TeContext};
+use bate_lp::SolveError;
+use bate_routing::TunnelId;
+
+#[derive(Debug, Default, Clone, Copy)]
+pub struct B4;
+
+impl B4 {
+    pub fn new() -> B4 {
+        B4
+    }
+}
+
+/// Fraction of each demand handed out per filling round.
+const STEP: f64 = 0.01;
+
+impl TeAlgorithm for B4 {
+    fn name(&self) -> &'static str {
+        "B4"
+    }
+
+    fn allocate(&self, ctx: &TeContext, demands: &[BaDemand]) -> Result<Allocation, SolveError> {
+        let mut residual: Vec<f64> = ctx.topo.links().map(|(_, l)| l.capacity).collect();
+        let mut alloc = Allocation::new();
+        // Per (demand, local pair): fraction served so far.
+        let mut served: Vec<Vec<f64>> = demands
+            .iter()
+            .map(|d| vec![0.0; d.bandwidth.len()])
+            .collect();
+        let mut frozen: Vec<Vec<bool>> = demands
+            .iter()
+            .map(|d| vec![false; d.bandwidth.len()])
+            .collect();
+
+        loop {
+            let mut progressed = false;
+            for (di, demand) in demands.iter().enumerate() {
+                for (ki, &(pair, b)) in demand.bandwidth.iter().enumerate() {
+                    if frozen[di][ki] {
+                        continue;
+                    }
+                    if served[di][ki] >= 1.0 - 1e-9 {
+                        frozen[di][ki] = true;
+                        continue;
+                    }
+                    let want = (STEP * b).min((1.0 - served[di][ki]) * b);
+                    // Place the increment on the tunnel with the most
+                    // residual headroom (B4 splits via multipath groups;
+                    // per-round best-tunnel placement converges to the same
+                    // water level).
+                    let tunnels = ctx.tunnels.tunnels(pair);
+                    let mut best: Option<(usize, f64)> = None;
+                    for (ti, path) in tunnels.iter().enumerate() {
+                        let cap = path
+                            .links
+                            .iter()
+                            .map(|l| residual[l.index()])
+                            .fold(f64::INFINITY, f64::min);
+                        if cap > 1e-9 && best.map_or(true, |(_, c)| cap > c) {
+                            best = Some((ti, cap));
+                        }
+                    }
+                    match best {
+                        Some((ti, cap)) => {
+                            let f = want.min(cap);
+                            let t = TunnelId { pair, tunnel: ti };
+                            alloc.add(demand.id, t, f);
+                            for &l in &ctx.tunnels.path(t).links {
+                                residual[l.index()] -= f;
+                            }
+                            served[di][ki] += f / b;
+                            progressed = true;
+                        }
+                        None => frozen[di][ki] = true, // bottlenecked
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        Ok(alloc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bate_core::DemandId;
+    use bate_net::{topologies, ScenarioSet};
+    use bate_routing::{RoutingScheme, TunnelSet};
+
+    fn ctx_toy() -> (bate_net::Topology, TunnelSet, ScenarioSet) {
+        let topo = topologies::toy4();
+        let tunnels = TunnelSet::compute(&topo, RoutingScheme::Ksp(2));
+        let scenarios = ScenarioSet::enumerate(&topo, 1);
+        (topo, tunnels, scenarios)
+    }
+
+    #[test]
+    fn b4_serves_feasible_demands_fully() {
+        let (topo, tunnels, scenarios) = ctx_toy();
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+        let d = BaDemand::single(1, pair, 5000.0, 0.9);
+        let alloc = B4.allocate(&ctx, &[d.clone()]).unwrap();
+        let total: f64 = alloc.flows_of(d.id).map(|(_, f)| f).sum();
+        assert!((total - 5000.0).abs() < 1.0, "{total}");
+        assert!(alloc.respects_capacity(&ctx, 1e-6));
+    }
+
+    #[test]
+    fn b4_is_max_min_fair_under_contention() {
+        let (topo, tunnels, scenarios) = ctx_toy();
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+        // Two equal demands of 15 Gbps share a 20 Gbps cut: fair share is
+        // 10 Gbps each (2/3 of demand), not 15/5.
+        let d1 = BaDemand::single(1, pair, 15_000.0, 0.9);
+        let d2 = BaDemand::single(2, pair, 15_000.0, 0.9);
+        let alloc = B4.allocate(&ctx, &[d1, d2]).unwrap();
+        let t1: f64 = alloc.flows_of(DemandId(1)).map(|(_, f)| f).sum();
+        let t2: f64 = alloc.flows_of(DemandId(2)).map(|(_, f)| f).sum();
+        assert!((t1 - t2).abs() < 300.0, "unfair split: {t1} vs {t2}");
+        assert!((t1 + t2 - 20_000.0).abs() < 10.0, "cut not saturated");
+        assert!(alloc.respects_capacity(&ctx, 1e-6));
+    }
+
+    #[test]
+    fn b4_proportional_to_demand_size() {
+        let (topo, tunnels, scenarios) = ctx_toy();
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+        // 20 Gbps cut, demands 30 G and 10 G: proportional filling gives
+        // each the same *fraction* until freeze: 30G·x + 10G·x = 20G at
+        // x = 0.5 → 15 G and 5 G.
+        let d1 = BaDemand::single(1, pair, 30_000.0, 0.9);
+        let d2 = BaDemand::single(2, pair, 10_000.0, 0.9);
+        let alloc = B4.allocate(&ctx, &[d1, d2]).unwrap();
+        let t1: f64 = alloc.flows_of(DemandId(1)).map(|(_, f)| f).sum();
+        let t2: f64 = alloc.flows_of(DemandId(2)).map(|(_, f)| f).sum();
+        assert!((t1 / 30_000.0 - t2 / 10_000.0).abs() < 0.05, "{t1} {t2}");
+    }
+}

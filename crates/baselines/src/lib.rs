@@ -1,0 +1,46 @@
+//! # bate-baselines — the TE schemes BATE is evaluated against (§5)
+//!
+//! Every baseline implements [`TeAlgorithm`]: given the shared
+//! [`bate_core::TeContext`] and the admitted demands, produce a tunnel
+//! allocation. None of them understands *per-demand* availability targets —
+//! that is exactly the gap BATE fills — but each captures its paper's
+//! allocation philosophy:
+//!
+//! * [`ffc::Ffc`] — Forward Fault Correction (SIGCOMM '14): the allocation
+//!   must survive any `l` concurrent link failures; conservative, wastes
+//!   bandwidth on unlikely failures (Fig. 2(b)).
+//! * [`teavar::Teavar`] — TEAVAR (SIGCOMM '19): minimizes the β-CVaR of
+//!   bandwidth loss over probabilistic scenarios; one global β for all
+//!   users (Fig. 2(c)).
+//! * [`swan::Swan`] — SWAN (SIGCOMM '13): maximize total throughput (§5.2
+//!   "we let SWAN maximize the total throughput of all users").
+//! * [`smore::Smore`] — SMORE (NSDI '18): load-balanced rate adaptation —
+//!   maximize throughput while minimizing the worst link utilization.
+//! * [`b4::B4`] — B4 (SIGCOMM '13): max-min fair progressive filling.
+
+pub mod b4;
+pub mod ffc;
+pub mod smore;
+pub mod swan;
+pub mod teavar;
+pub mod traits;
+
+pub use b4::B4;
+pub use ffc::Ffc;
+pub use smore::Smore;
+pub use swan::Swan;
+pub use teavar::Teavar;
+pub use traits::TeAlgorithm;
+
+/// All five baselines with the paper's evaluation settings: FFC with
+/// `l = 1` (§5.2 "at most one link failure in FFC") and TEAVAR at
+/// β = 99.9 % ("the maximum value in the user demands").
+pub fn paper_baselines() -> Vec<Box<dyn TeAlgorithm>> {
+    vec![
+        Box::new(Teavar::new(0.999)),
+        Box::new(Swan::new()),
+        Box::new(Smore::new()),
+        Box::new(B4::new()),
+        Box::new(Ffc::new(1)),
+    ]
+}

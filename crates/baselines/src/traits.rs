@@ -1,0 +1,53 @@
+//! The common interface all TE algorithms (BATE and baselines) expose to
+//! the simulator and benchmark harness.
+
+use bate_core::{Allocation, BaDemand, TeContext};
+use bate_lp::SolveError;
+
+/// A traffic-engineering algorithm: allocate tunnel bandwidth for a set of
+/// admitted demands.
+pub trait TeAlgorithm: Send + Sync {
+    /// Display name used in figures ("BATE", "TEAVAR", ...).
+    fn name(&self) -> &'static str;
+
+    /// Compute an allocation. Baselines are best-effort: they always return
+    /// an allocation (possibly leaving demands short); only BATE's
+    /// scheduler reports infeasibility, because only BATE gives hard
+    /// guarantees.
+    fn allocate(&self, ctx: &TeContext, demands: &[BaDemand]) -> Result<Allocation, SolveError>;
+}
+
+/// BATE's scheduler wrapped as a [`TeAlgorithm`] so the evaluation can
+/// sweep all schemes uniformly.
+pub struct Bate;
+
+impl TeAlgorithm for Bate {
+    fn name(&self) -> &'static str {
+        "BATE"
+    }
+
+    fn allocate(&self, ctx: &TeContext, demands: &[BaDemand]) -> Result<Allocation, SolveError> {
+        bate_core::scheduling::schedule_hardened(ctx, demands).map(|r| r.allocation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bate_net::{topologies, ScenarioSet};
+    use bate_routing::{RoutingScheme, TunnelSet};
+
+    #[test]
+    fn bate_as_te_algorithm() {
+        let topo = topologies::toy4();
+        let tunnels = TunnelSet::compute(&topo, RoutingScheme::Ksp(2));
+        let scenarios = ScenarioSet::enumerate(&topo, 2);
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+        let d = BaDemand::single(1, pair, 1000.0, 0.9);
+        let alloc = Bate.allocate(&ctx, &[d.clone()]).unwrap();
+        assert!(alloc.meets_target(&ctx, &d));
+        assert_eq!(Bate.name(), "BATE");
+    }
+}

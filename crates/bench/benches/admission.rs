@@ -1,0 +1,58 @@
+//! Admission-control latency: the paper's 30× headline (Fig. 12(c)).
+//!
+//! Benchmarks the three admission strategies deciding one arriving demand
+//! against a pool of already-admitted demands.
+
+use bate_bench::experiments::common::{demand_snapshot, Env};
+use bate_core::admission::{self, optimal::optimal_feasible};
+use bate_core::{Allocation, AvailabilityClass, BaDemand};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn setup() -> (Env, Vec<BaDemand>, Allocation, BaDemand) {
+    let env = Env::testbed();
+    let ctx = env.ctx();
+    let targets = AvailabilityClass::testbed_targets();
+    let pool = demand_snapshot(&env, 10, (60.0, 250.0), &targets, 5);
+    // Admit the pool through BATE's own pipeline so the state is realistic.
+    let mut admitted = Vec::new();
+    let mut current = Allocation::new();
+    for d in &pool {
+        if let admission::AdmissionOutcome::Admitted { allocation, .. } =
+            admission::admit(&ctx, &admitted, &current, d)
+        {
+            for (t, f) in allocation.flows_of(d.id) {
+                current.set(d.id, t, f);
+            }
+            admitted.push(d.clone());
+        }
+    }
+    let newcomer = BaDemand::single(9999, admitted[0].bandwidth[0].0, 120.0, 0.99);
+    (env, admitted, current, newcomer)
+}
+
+fn bench_admission(c: &mut Criterion) {
+    let (env, admitted, current, newcomer) = setup();
+    let ctx = env.ctx();
+    let mut group = c.benchmark_group("admission");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function(BenchmarkId::new("strategy", "fixed"), |b| {
+        b.iter(|| admission::fixed::fixed_admission(&ctx, &current, &newcomer))
+    });
+    group.bench_function(BenchmarkId::new("strategy", "bate"), |b| {
+        b.iter(|| admission::admit(&ctx, &admitted, &current, &newcomer))
+    });
+    group.bench_function(BenchmarkId::new("strategy", "optimal"), |b| {
+        b.iter(|| {
+            let mut all = admitted.clone();
+            all.push(newcomer.clone());
+            optimal_feasible(&ctx, &all).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_admission);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Scheduling cost vs pruning depth (Fig. 17) and scenario-enumeration
+//! cost, on the four Table-4 topologies.
+
+use bate_bench::experiments::common::{demand_snapshot, Env};
+use bate_core::scheduling::schedule;
+use bate_core::{AvailabilityClass, TeContext};
+use bate_net::{topologies, ScenarioSet};
+use bate_routing::RoutingScheme;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_pruned_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling_pruned");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let targets = AvailabilityClass::simulation_targets();
+
+    for topo in [topologies::b4(), topologies::fiti()] {
+        let name = topo.name().to_string();
+        let env = Env::new(topo, RoutingScheme::default_ksp4(), 1);
+        let demands = demand_snapshot(&env, 8, (60.0, 250.0), &targets, 3);
+        for y in 1..=3usize {
+            let scenarios = ScenarioSet::enumerate(&env.topo, y);
+            let ctx = TeContext::new(&env.topo, &env.tunnels, &scenarios);
+            group.bench_function(BenchmarkId::new(&name, y), |b| {
+                b.iter(|| schedule(&ctx, &demands))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_scenario_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_enumeration");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for topo in topologies::simulation_topologies() {
+        let name = topo.name().to_string();
+        for y in [1usize, 2, 3] {
+            group.bench_function(BenchmarkId::new(&name, y), |b| {
+                b.iter(|| ScenarioSet::enumerate(&topo, y).len())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruned_scheduling, bench_scenario_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Failure recovery: greedy (Algorithm 2) vs the exact MILP — the 50×
+//! speedup of Fig. 21 — plus backup-plan precomputation (§3.4).
+
+use bate_bench::experiments::common::{demand_snapshot, Env};
+use bate_core::recovery::backup::BackupPlan;
+use bate_core::recovery::greedy::greedy_recovery;
+use bate_core::recovery::milp::optimal_recovery;
+use bate_core::AvailabilityClass;
+use bate_net::Scenario;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_recovery(c: &mut Criterion) {
+    let env = Env::testbed();
+    let ctx = env.ctx();
+    let targets = AvailabilityClass::testbed_targets();
+    let n = |s: &str| env.topo.find_node(s).unwrap();
+    let l4 = env.topo.find_link(n("DC4"), n("DC5")).unwrap();
+    let scenario = Scenario::with_failures(&env.topo, &[env.topo.link(l4).group]);
+
+    let mut group = c.benchmark_group("recovery");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for demand_count in [5usize, 10, 16] {
+        let demands = demand_snapshot(&env, demand_count, (40.0, 150.0), &targets, 11);
+        group.bench_function(BenchmarkId::new("greedy", demand_count), |b| {
+            b.iter(|| greedy_recovery(&ctx, &demands, &scenario))
+        });
+        group.bench_function(BenchmarkId::new("optimal_milp", demand_count), |b| {
+            b.iter(|| optimal_recovery(&ctx, &demands, &scenario))
+        });
+    }
+
+    let demands = demand_snapshot(&env, 8, (40.0, 150.0), &targets, 11);
+    group.bench_function("backup_plan_all_single_failures", |b| {
+        b.iter(|| BackupPlan::compute(&ctx, &demands))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Offline-routing cost: tunnel computation per scheme per topology
+//! (the controller's Offline Routing module, §4).
+
+use bate_net::topologies;
+use bate_routing::{RoutingScheme, TunnelSet};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_tunnels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tunnel_computation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for topo in [topologies::testbed6(), topologies::b4(), topologies::ibm()] {
+        let name = topo.name().to_string();
+        for scheme in [
+            RoutingScheme::Ksp(4),
+            RoutingScheme::EdgeDisjoint(4),
+            RoutingScheme::Oblivious(4),
+        ] {
+            group.bench_function(BenchmarkId::new(scheme.name(), &name), |b| {
+                b.iter(|| TunnelSet::compute(&topo, scheme).total_tunnels())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tunnels);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! End-to-end simulator throughput: one simulated testbed minute under
+//! each recovery policy (supports the Fig. 7/11/20 harnesses).
+
+use bate_baselines::traits::Bate;
+use bate_bench::experiments::common::Env;
+use bate_sim::workload::{generate, WorkloadConfig};
+use bate_sim::{AdmissionStrategy, RecoveryPolicy, SimConfig, Simulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_sim(c: &mut Criterion) {
+    let env = Env::testbed();
+    let pairs = env.demand_pairs(6, 77);
+    let wl = WorkloadConfig::testbed(pairs, 77);
+    let horizon = 5.0 * 60.0;
+    let workload = generate(&wl, &env.tunnels, horizon);
+
+    let mut group = c.benchmark_group("simulation_5min");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, recovery) in [
+        ("next_round", RecoveryPolicy::NextRound),
+        ("greedy", RecoveryPolicy::Greedy),
+        ("backup", RecoveryPolicy::Backup),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::testbed(horizon, 77);
+                cfg.admission = AdmissionStrategy::Bate;
+                cfg.recovery = recovery;
+                let te = Bate;
+                Simulation {
+                    ctx: env.ctx(),
+                    te: &te,
+                    config: cfg,
+                    workload: &workload,
+                }
+                .run()
+                .admitted
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Per-round allocation cost of every TE algorithm (BATE + 5 baselines).
+
+use bate_baselines::{paper_baselines, traits::Bate, TeAlgorithm};
+use bate_bench::experiments::common::{demand_snapshot, Env};
+use bate_core::AvailabilityClass;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_te(c: &mut Criterion) {
+    let env = Env::testbed();
+    let ctx = env.ctx();
+    let targets = AvailabilityClass::simulation_targets();
+    let demands = demand_snapshot(&env, 10, (60.0, 250.0), &targets, 9);
+
+    let mut algos: Vec<Box<dyn TeAlgorithm>> = vec![Box::new(Bate)];
+    algos.extend(paper_baselines());
+
+    let mut group = c.benchmark_group("te_allocate");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for algo in &algos {
+        group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
+            b.iter(|| algo.allocate(&ctx, &demands))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_te);
+criterion_main!(benches);

@@ -1,0 +1,188 @@
+//! E8 (Fig. 10), E9 (Fig. 11), E18 (Fig. 20): failure-process experiments.
+
+use super::common::{mean, Env};
+use bate_baselines::{traits::Bate, Ffc, TeAlgorithm, Teavar};
+use bate_sim::workload::{generate, WorkloadConfig};
+use bate_sim::{AdmissionStrategy, RecoveryPolicy, SimConfig, Simulation};
+
+/// Fig. 10: how often each testbed link failed across repeated runs.
+pub fn fig10(runs: usize, run_secs: f64) -> Vec<(String, usize)> {
+    let env = Env::testbed();
+    let pairs = env.demand_pairs(3, 41);
+    let mut counts = vec![0usize; env.topo.num_groups()];
+    for seed in 0..runs as u64 {
+        let mut wl = WorkloadConfig::testbed(pairs.clone(), seed);
+                // The paper's testbed spreads 2/min over a full mesh; the
+                // reproduction's 6 pairs get the same pressure via more,
+                // fatter demands.
+                wl.arrivals_per_min = 6.0;
+                wl.bandwidth = bate_sim::workload::BandwidthModel::Uniform {
+                    lo: 10.0 * 5.0,
+                    hi: 50.0 * 5.0,
+                };
+        let workload = generate(&wl, &env.tunnels, run_secs);
+        let cfg = SimConfig::testbed(run_secs, seed);
+        let te = Bate;
+        let rep = Simulation {
+            ctx: env.ctx(),
+            te: &te,
+            config: cfg,
+            workload: &workload,
+        }
+        .run();
+        for (i, c) in rep.failure_counts.iter().enumerate() {
+            counts[i] += c;
+        }
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (format!("L{}", i + 1), c))
+        .collect()
+}
+
+/// Fig. 11: per-run data-loss ratios for BATE / TEAVAR / FFC (CDF input).
+pub fn fig11(runs: usize, run_min: f64) -> Vec<(&'static str, Vec<f64>)> {
+    let env = Env::testbed();
+    let pairs = env.demand_pairs(6, 42);
+    let bate = Bate;
+    let teavar = Teavar::new(0.999);
+    let ffc = Ffc::new(1);
+    let setups: [(&dyn TeAlgorithm, AdmissionStrategy, RecoveryPolicy); 3] = [
+        (&bate, AdmissionStrategy::Bate, RecoveryPolicy::Backup),
+        (
+            &teavar,
+            AdmissionStrategy::AcceptAll,
+            RecoveryPolicy::NextRound,
+        ),
+        (
+            &ffc,
+            AdmissionStrategy::AcceptAll,
+            RecoveryPolicy::NextRound,
+        ),
+    ];
+    setups
+        .iter()
+        .map(|(te, admission, recovery)| {
+            let losses: Vec<f64> = (0..runs as u64)
+                .map(|seed| {
+                    let mut wl = WorkloadConfig::testbed(pairs.clone(), seed);
+                // The paper's testbed spreads 2/min over a full mesh; the
+                // reproduction's 6 pairs get the same pressure via more,
+                // fatter demands.
+                wl.arrivals_per_min = 6.0;
+                wl.bandwidth = bate_sim::workload::BandwidthModel::Uniform {
+                    lo: 10.0 * 5.0,
+                    hi: 50.0 * 5.0,
+                };
+                    let horizon = run_min * 60.0;
+                    let workload = generate(&wl, &env.tunnels, horizon);
+                    let mut cfg = SimConfig::testbed(horizon, seed);
+                    cfg.admission = *admission;
+                    cfg.recovery = *recovery;
+                    Simulation {
+                        ctx: env.ctx(),
+                        te: *te,
+                        config: cfg,
+                        workload: &workload,
+                    }
+                    .run()
+                    .data_loss_ratio
+                })
+                .collect();
+            (te.name(), losses)
+        })
+        .collect()
+}
+
+/// Fig. 20 (Appendix E): satisfaction vs link repair time.
+pub struct Fig20Row {
+    pub failure_secs: f64,
+    pub bate: f64,
+    pub teavar: f64,
+    pub ffc: f64,
+}
+
+pub fn fig20(repair_times: &[f64], horizon_min: f64, seeds: &[u64]) -> Vec<Fig20Row> {
+    let env = Env::testbed();
+    let pairs = env.demand_pairs(6, 43);
+    let bate = Bate;
+    let teavar = Teavar::new(0.999);
+    let ffc = Ffc::new(1);
+    repair_times
+        .iter()
+        .map(|&rt| {
+            let mut sat = [Vec::new(), Vec::new(), Vec::new()];
+            for &seed in seeds {
+                let mut wl = WorkloadConfig::testbed(pairs.clone(), seed);
+                // The paper's testbed spreads 2/min over a full mesh; the
+                // reproduction's 6 pairs get the same pressure via more,
+                // fatter demands.
+                wl.arrivals_per_min = 6.0;
+                wl.bandwidth = bate_sim::workload::BandwidthModel::Uniform {
+                    lo: 10.0 * 5.0,
+                    hi: 50.0 * 5.0,
+                };
+                let horizon = horizon_min * 60.0;
+                let workload = generate(&wl, &env.tunnels, horizon);
+                let setups: [(&dyn TeAlgorithm, AdmissionStrategy, RecoveryPolicy); 3] = [
+                    (&bate, AdmissionStrategy::Bate, RecoveryPolicy::Backup),
+                    (&teavar, AdmissionStrategy::Fixed, RecoveryPolicy::NextRound),
+                    (&ffc, AdmissionStrategy::Fixed, RecoveryPolicy::NextRound),
+                ];
+                for (i, (te, admission, recovery)) in setups.iter().enumerate() {
+                    let mut cfg = SimConfig::testbed(horizon, seed);
+                    cfg.repair_time_secs = rt;
+                    cfg.admission = *admission;
+                    cfg.recovery = *recovery;
+                    let rep = Simulation {
+                        ctx: env.ctx(),
+                        te: *te,
+                        config: cfg,
+                        workload: &workload,
+                    }
+                    .run();
+                    sat[i].push(rep.satisfaction_fraction());
+                }
+            }
+            Fig20Row {
+                failure_secs: rt,
+                bate: mean(&sat[0]),
+                teavar: mean(&sat[1]),
+                ffc: mean(&sat[2]),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_l4_fails_most() {
+        // L4 fails 1 % per second — two orders of magnitude above the
+        // rest; over enough simulated time it must dominate (Fig. 10).
+        let counts = fig10(3, 200.0);
+        assert_eq!(counts.len(), 8);
+        let l4 = counts[3].1;
+        let others: usize = counts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 3)
+            .map(|(_, c)| c.1)
+            .sum();
+        assert!(l4 > others, "L4 {l4} vs others {others}");
+    }
+
+    #[test]
+    fn fig11_loss_ratios_bounded() {
+        let series = fig11(2, 5.0);
+        assert_eq!(series.len(), 3);
+        for (name, losses) in &series {
+            for l in losses {
+                assert!((0.0..=1.0).contains(l), "{name}: {l}");
+            }
+        }
+    }
+}

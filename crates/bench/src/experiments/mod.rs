@@ -1,0 +1,10 @@
+//! Experiment implementations, one module per figure group.
+
+pub mod ablations;
+pub mod admission_exp;
+pub mod common;
+pub mod failures_exp;
+pub mod motivating;
+pub mod profit;
+pub mod pruning_exp;
+pub mod satisfaction;

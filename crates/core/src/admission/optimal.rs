@@ -1,0 +1,294 @@
+//! The optimal admission baseline — the 0-1 MILP of Appendix A.
+//!
+//! The paper proves this problem NP-hard (reduction from all-or-nothing
+//! multicommodity flow) and uses it, solved exactly, as the "OPT" baseline
+//! that BATE's greedy admission is compared against (Fig. 7(a), Fig. 12).
+//!
+//! Two model simplifications that preserve the optimum:
+//!
+//! * Scenarios are collapsed per demand ([`crate::profile`]), making the
+//!   binary count `Σ_d (#states of d)` instead of `|D| · |Z|`.
+//! * The big-M upper linkages (Eq. 14's `R < M q + 1 - q` and Eq. 16's
+//!   `s < β(1-a) + a`) only force indicators *down* when ratios fall short;
+//!   under maximization of `Σ a_d` the solver never *wants* an indicator at
+//!   0 when it could be 1, so the lower linkages (`R ≥ q`-style) suffice
+//!   and the model needs no M constant at all.
+
+use crate::allocation::Allocation;
+use crate::demand::BaDemand;
+use crate::profile::DemandProfile;
+use crate::TeContext;
+use bate_lp::{milp, Problem, Relation, Sense, SolveError, VarId};
+use bate_routing::TunnelId;
+
+/// Result of the optimal admission MILP.
+#[derive(Debug, Clone)]
+pub struct OptimalAdmission {
+    /// Which demands (by position in the input slice) were satisfiable.
+    pub accepted: Vec<bool>,
+    /// An allocation witnessing the accepted set.
+    pub allocation: Allocation,
+}
+
+/// Exact feasibility: can *every* demand in `demands` be satisfied
+/// simultaneously? This is the optimal admission decision for one arriving
+/// demand (admitted demands are committed, so the newcomer is accepted iff
+/// all of them remain satisfiable together).
+///
+/// Two exact fast paths keep this tractable online:
+///
+/// 1. If the scheduling LP (the `B ∈ [0,1]` relaxation) is infeasible, the
+///    MILP is too — reject without branching.
+/// 2. If Algorithm 1's witness allocation verifiably meets every target
+///    against the scenario set, the MILP is feasible — accept without
+///    branching.
+///
+/// Only the gray zone between them runs branch-and-bound.
+pub fn optimal_feasible(ctx: &TeContext, demands: &[BaDemand]) -> Result<bool, SolveError> {
+    // Fast reject: the continuous relaxation can't even cover everyone.
+    match crate::scheduling::schedule(ctx, demands) {
+        Err(SolveError::Infeasible) => return Ok(false),
+        Err(e) => return Err(e),
+        Ok(res) => {
+            // Fast accept: the LP allocation itself may already be a hard
+            // witness (B variables at extreme points often are).
+            if demands.iter().all(|d| res.allocation.meets_target(ctx, d)) {
+                return Ok(true);
+            }
+        }
+    }
+    // Fast accept via the Algorithm-1 witness.
+    if let Some(witness) = crate::admission::greedy::conjecture_with_allocation(ctx, demands) {
+        if demands.iter().all(|d| witness.meets_target(ctx, d)) {
+            return Ok(true);
+        }
+    }
+    // Fast accept via sequential constructive placement: hard-place each
+    // demand (highest β first) on the residual left by the previous ones;
+    // success is a feasibility certificate.
+    {
+        let mut order: Vec<&BaDemand> = demands.iter().collect();
+        order.sort_by(|a, b| {
+            b.beta
+                .partial_cmp(&a.beta)
+                .unwrap()
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        let mut acc = Allocation::new();
+        let mut all_placed = true;
+        for d in order {
+            let residual = acc.residual_capacities(ctx);
+            match crate::scheduling::place_single_hard(ctx, d, &residual) {
+                Some(placed) => acc.adopt_demand(d.id, &placed),
+                None => {
+                    all_placed = false;
+                    break;
+                }
+            }
+        }
+        if all_placed {
+            return Ok(true);
+        }
+    }
+    match solve_admission(ctx, demands, true) {
+        Ok(res) => Ok(res.accepted.iter().all(|&a| a)),
+        Err(SolveError::Infeasible) => Ok(false),
+        // A blown node budget means we could not *prove* feasibility;
+        // treat as a (conservative) rejection rather than an error so long
+        // online runs keep going.
+        Err(SolveError::NodeLimit) => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// The full Appendix-A objective: maximize the number of accepted demands.
+pub fn maximize_admissions(
+    ctx: &TeContext,
+    demands: &[BaDemand],
+) -> Result<OptimalAdmission, SolveError> {
+    solve_admission(ctx, demands, false)
+}
+
+fn solve_admission(
+    ctx: &TeContext,
+    demands: &[BaDemand],
+    force_all: bool,
+) -> Result<OptimalAdmission, SolveError> {
+    let mut p = Problem::new(Sense::Maximize);
+
+    // Flow variables per demand / local pair / tunnel.
+    let mut f_vars: Vec<Vec<Vec<VarId>>> = Vec::with_capacity(demands.len());
+    for demand in demands {
+        let mut per = Vec::new();
+        for &(pair, _) in &demand.bandwidth {
+            let vars: Vec<VarId> = (0..ctx.tunnels.tunnels(pair).len())
+                .map(|t| p.add_var(&format!("f[{}][{pair}][{t}]", demand.id.0)))
+                .collect();
+            if vars.is_empty() {
+                return Err(SolveError::BadModel(format!(
+                    "demand {} requests a pair with no tunnels",
+                    demand.id.0
+                )));
+            }
+            per.push(vars);
+        }
+        f_vars.push(per);
+    }
+
+    // Per demand: q[state] binaries (Eq. 14 lower linkage), acceptance a_d.
+    let mut a_vars: Vec<Option<VarId>> = Vec::with_capacity(demands.len());
+    for (di, demand) in demands.iter().enumerate() {
+        let profile = DemandProfile::collapse(ctx, demand);
+        let q_vars: Vec<VarId> = (0..profile.len())
+            .map(|s| p.add_binary_var(&format!("q[{}][{s}]", demand.id.0)))
+            .collect();
+
+        for (si, state) in profile.states.iter().enumerate() {
+            for (ki, &(_, b)) in demand.bandwidth.iter().enumerate() {
+                // Σ_t f v >= b q  (qualified scenarios deliver in full)
+                let mut terms: Vec<(VarId, f64)> = vec![(q_vars[si], -b)];
+                for (ti, &fv) in f_vars[di][ki].iter().enumerate() {
+                    if state.avail[ki][ti] {
+                        terms.push((fv, 1.0));
+                    }
+                }
+                p.add_constraint(&terms, Relation::Ge, 0.0);
+            }
+        }
+
+        // Achieved availability s_d = Σ q p (Eq. 15), linked to acceptance.
+        let s_terms: Vec<(VarId, f64)> = q_vars
+            .iter()
+            .zip(&profile.states)
+            .map(|(&q, st)| (q, st.probability))
+            .collect();
+        if force_all {
+            p.add_constraint(&s_terms, Relation::Ge, demand.beta);
+            a_vars.push(None);
+        } else {
+            let a = p.add_binary_var(&format!("a[{}]", demand.id.0));
+            p.set_objective(a, 1.0);
+            // s_d >= β a_d (Eq. 16 lower linkage).
+            let mut terms = s_terms;
+            terms.push((a, -demand.beta));
+            p.add_constraint(&terms, Relation::Ge, 0.0);
+            a_vars.push(Some(a));
+        }
+    }
+
+    // Capacity (Eq. 18).
+    let mut per_link: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); ctx.topo.num_links()];
+    for (di, demand) in demands.iter().enumerate() {
+        for (ki, &(pair, _)) in demand.bandwidth.iter().enumerate() {
+            for (ti, &fv) in f_vars[di][ki].iter().enumerate() {
+                for &l in &ctx.tunnels.path(TunnelId { pair, tunnel: ti }).links {
+                    per_link[l.index()].push((fv, 1.0));
+                }
+            }
+        }
+    }
+    for (li, terms) in per_link.iter().enumerate() {
+        if !terms.is_empty() {
+            p.add_constraint(
+                terms,
+                Relation::Le,
+                ctx.topo.link(bate_net::LinkId(li)).capacity,
+            );
+        }
+    }
+
+    // Each node costs a dense-simplex solve; the fast paths above mean the
+    // MILP only sees genuinely ambiguous instances, where a moderate budget
+    // almost always suffices (NodeLimit is treated as a rejection by
+    // `optimal_feasible`).
+    let cfg = milp::BnbConfig {
+        max_nodes: 50,
+        gap: 1e-6,
+    };
+    let sol = milp::solve(&p, cfg)?;
+
+    let mut allocation = Allocation::new();
+    for (di, demand) in demands.iter().enumerate() {
+        for (ki, &(pair, _)) in demand.bandwidth.iter().enumerate() {
+            for (ti, &fv) in f_vars[di][ki].iter().enumerate() {
+                let f = sol[fv];
+                if f > 1e-9 {
+                    allocation.set(demand.id, TunnelId { pair, tunnel: ti }, f);
+                }
+            }
+        }
+    }
+    let accepted = a_vars
+        .iter()
+        .map(|a| match a {
+            Some(v) => sol.int_value(*v) == 1,
+            None => true,
+        })
+        .collect();
+    Ok(OptimalAdmission {
+        accepted,
+        allocation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bate_net::{topologies, ScenarioSet};
+    use bate_routing::{RoutingScheme, TunnelSet};
+
+    fn ctx_toy() -> (bate_net::Topology, TunnelSet, ScenarioSet) {
+        let topo = topologies::toy4();
+        let tunnels = TunnelSet::compute(&topo, RoutingScheme::Ksp(2));
+        let scenarios = ScenarioSet::enumerate(&topo, topo.num_groups());
+        (topo, tunnels, scenarios)
+    }
+
+    #[test]
+    fn motivating_example_is_feasible_optimally() {
+        let (topo, tunnels, scenarios) = ctx_toy();
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+        let demands = vec![
+            BaDemand::single(1, pair, 6000.0, 0.99),
+            BaDemand::single(2, pair, 12_000.0, 0.90),
+        ];
+        assert!(optimal_feasible(&ctx, &demands).unwrap());
+    }
+
+    #[test]
+    fn overload_is_rejected_and_maximization_picks_a_subset() {
+        let (topo, tunnels, scenarios) = ctx_toy();
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+        // Three 9 Gbps demands cannot all fit through a 20 Gbps cut.
+        let demands: Vec<BaDemand> = (0..3)
+            .map(|i| BaDemand::single(i, pair, 9000.0, 0.5))
+            .collect();
+        assert!(!optimal_feasible(&ctx, &demands).unwrap());
+        let res = maximize_admissions(&ctx, &demands).unwrap();
+        let count = res.accepted.iter().filter(|&&a| a).count();
+        assert_eq!(count, 2, "exactly two 9 Gbps demands fit");
+    }
+
+    #[test]
+    fn optimal_beats_or_matches_greedy_conjecture() {
+        // The greedy conjecture has no false positives, so anything it
+        // admits the optimal check must also admit.
+        let topo = topologies::testbed6();
+        let tunnels = TunnelSet::compute(&topo, RoutingScheme::Ksp(3));
+        let scenarios = ScenarioSet::enumerate(&topo, topo.num_groups());
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC3")).unwrap();
+        let demands = vec![
+            BaDemand::single(1, pair, 500.0, 0.99),
+            BaDemand::single(2, pair, 400.0, 0.95),
+        ];
+        if crate::admission::greedy::conjecture(&ctx, &demands) {
+            assert!(optimal_feasible(&ctx, &demands).unwrap());
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Admission bookkeeping shared by the controller and the simulator:
+//! which pipeline step admitted each demand and how long decisions took —
+//! the raw data behind Fig. 12(c)/(d).
+
+use crate::admission::AdmitPath;
+use std::time::Duration;
+
+/// One admission decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decision {
+    Admitted(AdmitPath),
+    Rejected,
+}
+
+/// Running tallies over a stream of decisions.
+#[derive(Debug, Clone, Default)]
+pub struct AdmissionStats {
+    pub arrived: usize,
+    pub admitted_fixed: usize,
+    pub admitted_conjecture: usize,
+    pub rejected: usize,
+    total_latency: Duration,
+    max_latency: Duration,
+}
+
+impl AdmissionStats {
+    pub fn new() -> AdmissionStats {
+        AdmissionStats::default()
+    }
+
+    /// Record one decision with its measured latency.
+    pub fn record(&mut self, decision: Decision, latency: Duration) {
+        self.arrived += 1;
+        match decision {
+            Decision::Admitted(AdmitPath::Fixed) => self.admitted_fixed += 1,
+            Decision::Admitted(AdmitPath::Conjecture) => self.admitted_conjecture += 1,
+            Decision::Rejected => self.rejected += 1,
+        }
+        self.total_latency += latency;
+        self.max_latency = self.max_latency.max(latency);
+    }
+
+    pub fn admitted(&self) -> usize {
+        self.admitted_fixed + self.admitted_conjecture
+    }
+
+    /// Fraction of arrivals rejected.
+    pub fn rejection_ratio(&self) -> f64 {
+        if self.arrived == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / self.arrived as f64
+        }
+    }
+
+    /// Share of admissions that needed the Algorithm-1 conjecture (step 2)
+    /// rather than the cheap fixed check — how often rescheduling headroom
+    /// actually mattered.
+    pub fn conjecture_share(&self) -> f64 {
+        let a = self.admitted();
+        if a == 0 {
+            0.0
+        } else {
+            self.admitted_conjecture as f64 / a as f64
+        }
+    }
+
+    pub fn mean_latency(&self) -> Duration {
+        if self.arrived == 0 {
+            Duration::ZERO
+        } else {
+            self.total_latency / self.arrived as u32
+        }
+    }
+
+    pub fn max_latency(&self) -> Duration {
+        self.max_latency
+    }
+
+    /// Merge another tally into this one (per-worker stats aggregation).
+    pub fn merge(&mut self, other: &AdmissionStats) {
+        self.arrived += other.arrived;
+        self.admitted_fixed += other.admitted_fixed;
+        self.admitted_conjecture += other.admitted_conjecture;
+        self.rejected += other.rejected;
+        self.total_latency += other.total_latency;
+        self.max_latency = self.max_latency.max(other.max_latency);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_and_ratios() {
+        let mut s = AdmissionStats::new();
+        s.record(Decision::Admitted(AdmitPath::Fixed), Duration::from_millis(2));
+        s.record(
+            Decision::Admitted(AdmitPath::Conjecture),
+            Duration::from_millis(6),
+        );
+        s.record(Decision::Rejected, Duration::from_millis(4));
+        assert_eq!(s.arrived, 3);
+        assert_eq!(s.admitted(), 2);
+        assert!((s.rejection_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.conjecture_share() - 0.5).abs() < 1e-12);
+        assert_eq!(s.mean_latency(), Duration::from_millis(4));
+        assert_eq!(s.max_latency(), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = AdmissionStats::new();
+        a.record(Decision::Rejected, Duration::from_millis(1));
+        let mut b = AdmissionStats::new();
+        b.record(Decision::Admitted(AdmitPath::Fixed), Duration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.arrived, 2);
+        assert_eq!(a.admitted(), 1);
+        assert_eq!(a.max_latency(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = AdmissionStats::new();
+        assert_eq!(s.rejection_ratio(), 0.0);
+        assert_eq!(s.conjecture_share(), 0.0);
+        assert_eq!(s.mean_latency(), Duration::ZERO);
+    }
+}

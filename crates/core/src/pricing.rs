@@ -1,0 +1,172 @@
+//! Pricing and SLA-refund model (§3.4, §5).
+//!
+//! The paper borrows the refund idea from public cloud SLAs: a demand is
+//! charged `g_d` (unit price per Mbps in the evaluation) and, when its BA
+//! target is violated, a fraction `μ_d` of `g_d` is refunded. The refund
+//! ratios are "randomly chosen from 10 Azure cloud services" (§5.2) / "3
+//! cloud services" on the testbed (§5.1). This module encodes tiered
+//! service-credit schedules in the style those SLA pages publish
+//! (10 % / 25 % / 100 % credits at decreasing uptime thresholds).
+
+/// One tiered SLA refund schedule.
+#[derive(Debug, Clone)]
+pub struct SlaSchedule {
+    /// Service name as cited in the paper.
+    pub name: &'static str,
+    /// Promised monthly uptime (fraction).
+    pub target: f64,
+    /// `(uptime threshold, refund fraction)` tiers: achieving *less* than a
+    /// threshold earns at least that refund. Sorted by decreasing threshold.
+    pub tiers: Vec<(f64, f64)>,
+}
+
+impl SlaSchedule {
+    /// Refund fraction owed for an achieved availability.
+    ///
+    /// Zero when the target is met; otherwise the refund of the deepest
+    /// violated tier (tiers are cumulative in severity, as in the Azure
+    /// credit tables).
+    pub fn refund_fraction(&self, achieved: f64) -> f64 {
+        if achieved >= self.target {
+            return 0.0;
+        }
+        let mut refund = 0.0;
+        for &(threshold, r) in &self.tiers {
+            if achieved < threshold {
+                refund = r;
+            }
+        }
+        refund
+    }
+
+    /// The refund fraction for a bare violation (just below target) — the
+    /// single `μ_d` used by the recovery MILP.
+    pub fn violation_ratio(&self) -> f64 {
+        self.tiers.first().map(|&(_, r)| r).unwrap_or(0.0)
+    }
+}
+
+fn schedule(name: &'static str, target: f64, tiers: &[(f64, f64)]) -> SlaSchedule {
+    SlaSchedule {
+        name,
+        target,
+        tiers: tiers.to_vec(),
+    }
+}
+
+/// The 10 Azure services the simulations draw refund ratios from
+/// (§5.2, footnote 8).
+pub fn azure_services() -> Vec<SlaSchedule> {
+    vec![
+        schedule(
+            "API Management",
+            0.9995,
+            &[(0.9995, 0.10), (0.99, 0.25), (0.95, 1.00)],
+        ),
+        schedule("App Configuration", 0.999, &[(0.999, 0.10), (0.99, 0.25)]),
+        schedule(
+            "Application Gateway",
+            0.9995,
+            &[(0.9995, 0.10), (0.99, 0.25)],
+        ),
+        schedule(
+            "Application Insights",
+            0.999,
+            &[(0.999, 0.10), (0.99, 0.25)],
+        ),
+        schedule("Automation", 0.999, &[(0.999, 0.10), (0.99, 0.25)]),
+        schedule(
+            "Virtual Machines",
+            0.9999,
+            &[(0.9999, 0.10), (0.99, 0.25), (0.95, 1.00)],
+        ),
+        schedule(
+            "BareMetal Infrastructure",
+            0.999,
+            &[(0.999, 0.10), (0.99, 0.25)],
+        ),
+        schedule(
+            "Azure Cache for Redis",
+            0.999,
+            &[(0.999, 0.10), (0.99, 0.25), (0.95, 1.00)],
+        ),
+        schedule(
+            "Content Delivery Network",
+            0.999,
+            &[(0.999, 0.10), (0.99, 0.25)],
+        ),
+        schedule(
+            "Storage Accounts",
+            0.999,
+            &[(0.999, 0.10), (0.99, 0.25), (0.95, 1.00)],
+        ),
+    ]
+}
+
+/// The 3 services the testbed evaluation draws from (§5.1): Redis, CDN, VMs.
+pub fn testbed_services() -> Vec<SlaSchedule> {
+    azure_services()
+        .into_iter()
+        .filter(|s| {
+            matches!(
+                s.name,
+                "Azure Cache for Redis" | "Content Delivery Network" | "Virtual Machines"
+            )
+        })
+        .collect()
+}
+
+/// Profit retained from a demand: full price when no violation, otherwise
+/// price minus the tiered refund.
+pub fn profit(price: f64, schedule: &SlaSchedule, achieved: f64) -> f64 {
+    price * (1.0 - schedule.refund_fraction(achieved))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_azure_services() {
+        let s = azure_services();
+        assert_eq!(s.len(), 10);
+        for svc in &s {
+            assert!(!svc.tiers.is_empty());
+            // Tiers sorted by decreasing threshold.
+            for w in svc.tiers.windows(2) {
+                assert!(w[0].0 > w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn testbed_pool_is_three_services() {
+        let s = testbed_services();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn vm_schedule_tiers() {
+        let vms = azure_services()
+            .into_iter()
+            .find(|s| s.name == "Virtual Machines")
+            .unwrap();
+        assert_eq!(vms.refund_fraction(1.0), 0.0);
+        assert_eq!(vms.refund_fraction(0.9999), 0.0);
+        assert_eq!(vms.refund_fraction(0.9995), 0.10);
+        assert_eq!(vms.refund_fraction(0.98), 0.25);
+        assert_eq!(vms.refund_fraction(0.90), 1.00);
+        assert_eq!(vms.violation_ratio(), 0.10);
+    }
+
+    #[test]
+    fn profit_accounting() {
+        let vms = azure_services()
+            .into_iter()
+            .find(|s| s.name == "Virtual Machines")
+            .unwrap();
+        assert_eq!(profit(100.0, &vms, 1.0), 100.0);
+        assert_eq!(profit(100.0, &vms, 0.995), 90.0);
+        assert_eq!(profit(100.0, &vms, 0.5), 0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Per-demand scenario collapsing.
+//!
+//! The scheduling LP (Eq. 7) has one `B_d^z` variable per demand and
+//! scenario, which explodes even with pruning (B4 at `y = 2` already yields
+//! 742 scenarios). But the LP only observes a scenario through the tunnel
+//! availabilities `v_t^z` of *that demand's* tunnels: two scenarios that
+//! leave the same subset of a demand's tunnels alive are interchangeable,
+//! so their probabilities can be summed into a single collapsed **state**.
+//! A demand with 4 tunnels has at most 16 distinct states regardless of the
+//! scenario count, which is what keeps the LPs small. The collapse is exact
+//! — it changes nothing about the optimum, only the model size.
+
+use crate::demand::BaDemand;
+use crate::TeContext;
+use bate_net::LinkSet;
+use std::collections::HashMap;
+
+/// One collapsed failure state as seen by a single demand.
+#[derive(Debug, Clone)]
+pub struct ProfileState {
+    /// `avail[i][j]`: is tunnel `j` of the demand's `i`-th pair up?
+    /// Pairs are indexed in the order they appear in `demand.bandwidth`.
+    pub avail: Vec<Vec<bool>>,
+    /// Total probability of all scenarios collapsing to this state.
+    pub probability: f64,
+}
+
+impl ProfileState {
+    /// True if every tunnel of every pair is up.
+    pub fn all_up(&self) -> bool {
+        self.avail.iter().all(|pair| pair.iter().all(|&b| b))
+    }
+}
+
+/// The collapsed scenario profile of one demand.
+#[derive(Debug, Clone)]
+pub struct DemandProfile {
+    /// Distinct states, first-seen order (the all-up state of scenario 0 is
+    /// always index 0).
+    pub states: Vec<ProfileState>,
+}
+
+impl DemandProfile {
+    /// Collapse the context's scenario set against one demand.
+    pub fn collapse(ctx: &TeContext, demand: &BaDemand) -> DemandProfile {
+        // Pre-compute the fate groups of each tunnel of each requested pair.
+        let groups_per_tunnel: Vec<Vec<LinkSet>> = demand
+            .bandwidth
+            .iter()
+            .map(|&(pair, _)| {
+                ctx.tunnels
+                    .tunnels(pair)
+                    .iter()
+                    .map(|path| {
+                        let mut set = LinkSet::new(ctx.topo.num_groups());
+                        for g in path.groups(ctx.topo) {
+                            set.insert(g.index());
+                        }
+                        set
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut index: HashMap<Vec<bool>, usize> = HashMap::new();
+        let mut states: Vec<ProfileState> = Vec::new();
+
+        for scenario in ctx.scenarios.iter() {
+            // Flattened availability mask over all (pair, tunnel).
+            let mut mask = Vec::new();
+            let mut avail = Vec::with_capacity(groups_per_tunnel.len());
+            for per_pair in &groups_per_tunnel {
+                let v: Vec<bool> = per_pair
+                    .iter()
+                    .map(|groups| !groups.intersects(&scenario.failed))
+                    .collect();
+                mask.extend_from_slice(&v);
+                avail.push(v);
+            }
+            match index.get(&mask) {
+                Some(&i) => states[i].probability += scenario.probability,
+                None => {
+                    index.insert(mask, states.len());
+                    states.push(ProfileState {
+                        avail,
+                        probability: scenario.probability,
+                    });
+                }
+            }
+        }
+        DemandProfile { states }
+    }
+
+    /// Number of collapsed states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Total covered probability (equals the scenario set's coverage).
+    pub fn covered_probability(&self) -> f64 {
+        self.states.iter().map(|s| s.probability).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bate_net::{topologies, ScenarioSet};
+    use bate_routing::{RoutingScheme, TunnelSet};
+
+    #[test]
+    fn collapse_is_probability_preserving() {
+        let topo = topologies::testbed6();
+        let tunnels = TunnelSet::compute(&topo, RoutingScheme::default_ksp4());
+        let scenarios = ScenarioSet::enumerate(&topo, 2);
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC3")).unwrap();
+        let d = BaDemand::single(1, pair, 100.0, 0.99);
+        let profile = DemandProfile::collapse(&ctx, &d);
+        assert!((profile.covered_probability() - scenarios.covered_probability()).abs() < 1e-12);
+        // Collapsing must shrink the 37-scenario set dramatically: a pair
+        // with 4 tunnels has at most 16 states.
+        assert!(profile.len() <= 16, "{} states", profile.len());
+        assert!(profile.len() < scenarios.len());
+        assert!(profile.states[0].all_up());
+    }
+
+    #[test]
+    fn states_are_distinct() {
+        let topo = topologies::toy4();
+        let tunnels = TunnelSet::compute(&topo, RoutingScheme::Ksp(2));
+        let scenarios = ScenarioSet::enumerate(&topo, topo.num_groups());
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+        let d = BaDemand::single(1, pair, 100.0, 0.99);
+        let profile = DemandProfile::collapse(&ctx, &d);
+        let mut seen = std::collections::HashSet::new();
+        for s in &profile.states {
+            let key: Vec<bool> = s.avail.iter().flatten().copied().collect();
+            assert!(seen.insert(key), "duplicate state");
+            assert!(s.probability > 0.0);
+        }
+        // 2 tunnels -> at most 4 states.
+        assert!(profile.len() <= 4);
+    }
+
+    #[test]
+    fn multi_pair_demand_profiles_pairs_in_order() {
+        let topo = topologies::testbed6();
+        let tunnels = TunnelSet::compute(&topo, RoutingScheme::Ksp(2));
+        let scenarios = ScenarioSet::enumerate(&topo, 1);
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let p1 = tunnels.pair_index(n("DC1"), n("DC3")).unwrap();
+        let p2 = tunnels.pair_index(n("DC2"), n("DC6")).unwrap();
+        let d = BaDemand {
+            id: crate::DemandId(9),
+            bandwidth: vec![(p1, 10.0), (p2, 20.0)],
+            beta: 0.9,
+            price: 30.0,
+            refund_ratio: 0.1,
+        };
+        let profile = DemandProfile::collapse(&ctx, &d);
+        for s in &profile.states {
+            assert_eq!(s.avail.len(), 2);
+            assert_eq!(s.avail[0].len(), tunnels.tunnels(p1).len());
+            assert_eq!(s.avail[1].len(), tunnels.tunnels(p2).len());
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Failure recovery (§3.4): reroute around actual failures while minimizing
+//! revenue loss from SLA refunds.
+//!
+//! * [`milp`] — the exact profit-maximizing MILP (Eq. 8–12), NP-hard by
+//!   reduction from all-or-nothing multicommodity flow (Appendix C).
+//! * [`greedy`] — Algorithm 2, the 2-approximation used online
+//!   (Appendix D), ~50× faster than brute force (Fig. 21).
+//! * [`backup`] — proactive precomputation of backup allocations for every
+//!   single-fate-group failure so the brokers can switch instantly.
+
+pub mod backup;
+pub mod greedy;
+pub mod milp;
+
+use crate::allocation::Allocation;
+use crate::demand::{BaDemand, DemandId};
+
+/// Result of a recovery computation for one failure scenario.
+#[derive(Debug, Clone)]
+pub struct RecoveryOutcome {
+    /// Post-failure allocation over surviving tunnels.
+    pub allocation: Allocation,
+    /// Demands whose full bandwidth survives (they keep full profit).
+    pub satisfied: Vec<DemandId>,
+    /// Total profit after refunds: `Σ_{satisfied} g_d + Σ_{violated}
+    /// (1-μ_d) g_d`.
+    pub profit: f64,
+}
+
+impl RecoveryOutcome {
+    /// Profit accounting shared by both solvers.
+    pub(crate) fn compute_profit(demands: &[BaDemand], satisfied: &[DemandId]) -> f64 {
+        demands
+            .iter()
+            .map(|d| {
+                if satisfied.contains(&d.id) {
+                    d.price
+                } else {
+                    (1.0 - d.refund_ratio) * d.price
+                }
+            })
+            .sum()
+    }
+
+    /// The profit had no failure occurred (every demand satisfied).
+    pub fn baseline_profit(demands: &[BaDemand]) -> f64 {
+        demands.iter().map(|d| d.price).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::BaDemand;
+
+    #[test]
+    fn profit_accounting() {
+        let demands = vec![
+            BaDemand::single(1, 0, 100.0, 0.9).with_refund(0.25),
+            BaDemand::single(2, 0, 200.0, 0.9).with_refund(0.10),
+        ];
+        let profit = RecoveryOutcome::compute_profit(&demands, &[DemandId(1)]);
+        // d1 full (100) + d2 refunded 10% (180).
+        assert!((profit - 280.0).abs() < 1e-12);
+        assert!((RecoveryOutcome::baseline_profit(&demands) - 300.0).abs() < 1e-12);
+    }
+}

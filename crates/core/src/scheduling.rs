@@ -1,0 +1,433 @@
+//! BA traffic scheduling — the periodic LP of §3.3 (Eq. 1–7).
+//!
+//! For the admitted demands, find tunnel allocations `{f_d^t}` that
+//! guarantee every availability target while using the least total
+//! bandwidth:
+//!
+//! ```text
+//! minimize   Σ f_d^t
+//! subject to Σ_t f_d^t           >= b_d^k                  (Eq. 1)
+//!            B_d^z <= (Σ_t f_d^t v_t^z) / b_d^k  ∀k        (Eq. 2–3)
+//!            Σ_z B_d^z p_z       >= β_d                    (Eq. 4)
+//!            f >= 0, capacity                              (Eq. 5–6)
+//! ```
+//!
+//! `B_d^z` is clamped to `[0, 1]` so one over-provisioned scenario cannot
+//! pay for a missing one. Scenarios are collapsed per demand
+//! ([`crate::profile`]), which is exact and keeps the LP size independent
+//! of the scenario count. The pruned residual mass never contributes to
+//! Eq. 4, so a feasible schedule guarantees *at least* `β_d` even if every
+//! pruned scenario fails the demand.
+
+use crate::allocation::Allocation;
+use crate::demand::BaDemand;
+use crate::profile::DemandProfile;
+use crate::TeContext;
+use bate_lp::{Problem, Relation, Sense, SolveError, VarId};
+use bate_routing::TunnelId;
+
+/// Result of a scheduling round.
+#[derive(Debug, Clone)]
+pub struct ScheduleResult {
+    pub allocation: Allocation,
+    /// The LP objective: total allocated bandwidth.
+    pub total_bandwidth: f64,
+    /// Shadow price per directed link: the marginal reduction in total
+    /// allocated bandwidth per extra unit of that link's capacity (from
+    /// the LP duals). Zero for uncongested links; reset to zeros by
+    /// [`harden`] (the repaired allocation is no longer an LP vertex).
+    pub link_prices: Vec<f64>,
+}
+
+/// Schedule all demands on the full link capacities.
+pub fn schedule(ctx: &TeContext, demands: &[BaDemand]) -> Result<ScheduleResult, SolveError> {
+    let caps: Vec<f64> = ctx.topo.links().map(|(_, l)| l.capacity).collect();
+    schedule_with_capacities(ctx, demands, &caps)
+}
+
+/// [`schedule`] followed by a hardening pass.
+///
+/// The LP guarantees the *relaxed* availability of Eq. 4; when its optimum
+/// splits a demand's flow, the hard (all-or-nothing) availability can fall
+/// below β. Hardening walks the violating demands (highest β first), lifts
+/// each one out of the allocation, and re-places it alone on the residual
+/// capacity — the single-demand LP concentrates flow on reliable tunnels
+/// and its result is verified against the hard criterion before adoption.
+/// Demands that cannot be repaired keep their LP flows (still
+/// relaxed-guaranteed).
+pub fn schedule_hardened(
+    ctx: &TeContext,
+    demands: &[BaDemand],
+) -> Result<ScheduleResult, SolveError> {
+    let mut result = schedule(ctx, demands)?;
+    harden(ctx, demands, &mut result);
+    Ok(result)
+}
+
+/// Place a single demand with a **hard** availability guarantee on the
+/// given residual capacities.
+///
+/// Step 1 solves the single-demand LP and verifies its allocation against
+/// the hard criterion. When the LP vertex falls short (the minimum-
+/// bandwidth objective avoids paying for protection), step 2 falls back to
+/// n+1-style replication: carry the full rate on each of the `k` most
+/// available tunnels of every pair, growing `k` until the joint hard
+/// availability reaches β or tunnels run out. Returns `None` when no hard
+/// placement exists within the residual capacity.
+pub fn place_single_hard(
+    ctx: &TeContext,
+    demand: &BaDemand,
+    capacities: &[f64],
+) -> Option<Allocation> {
+    if let Ok(res) = schedule_with_capacities(ctx, std::slice::from_ref(demand), capacities) {
+        if res.allocation.meets_target(ctx, demand) {
+            return Some(res.allocation);
+        }
+    }
+    // Replication fallback: k copies on the k most-available tunnels.
+    let max_tunnels = demand
+        .bandwidth
+        .iter()
+        .map(|&(pair, _)| ctx.tunnels.tunnels(pair).len())
+        .max()
+        .unwrap_or(0);
+    for k in 1..=max_tunnels {
+        let mut alloc = Allocation::new();
+        let mut residual = capacities.to_vec();
+        let mut feasible = true;
+        for &(pair, b) in &demand.bandwidth {
+            let tunnels = ctx.tunnels.tunnels(pair);
+            let mut order: Vec<usize> = (0..tunnels.len()).collect();
+            order.sort_by(|&a, &c| {
+                tunnels[c]
+                    .availability(ctx.topo)
+                    .partial_cmp(&tunnels[a].availability(ctx.topo))
+                    .unwrap()
+                    .then(a.cmp(&c))
+            });
+            let mut placed = 0usize;
+            for &t in &order {
+                if placed == k.min(tunnels.len()) {
+                    break;
+                }
+                let cap = tunnels[t]
+                    .links
+                    .iter()
+                    .map(|l| residual[l.index()])
+                    .fold(f64::INFINITY, f64::min);
+                if cap + 1e-9 < b {
+                    continue; // this tunnel can't carry a full copy
+                }
+                alloc.set(demand.id, TunnelId { pair, tunnel: t }, b);
+                for &l in &tunnels[t].links {
+                    residual[l.index()] -= b;
+                }
+                placed += 1;
+            }
+            if placed == 0 {
+                feasible = false;
+                break;
+            }
+        }
+        if feasible && alloc.meets_target(ctx, demand) {
+            return Some(alloc);
+        }
+    }
+    None
+}
+
+/// In-place hardening pass (see [`schedule_hardened`]). Returns how many
+/// demands still violate their hard target afterwards.
+pub fn harden(ctx: &TeContext, demands: &[BaDemand], result: &mut ScheduleResult) -> usize {
+    let mut order: Vec<&BaDemand> = demands.iter().collect();
+    order.sort_by(|a, b| {
+        b.beta
+            .partial_cmp(&a.beta)
+            .unwrap()
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    let mut violations = 0;
+    for demand in order {
+        if result.allocation.meets_target(ctx, demand) {
+            continue;
+        }
+        // Lift the demand out and re-place it alone (LP first, protection
+        // replication as the fallback).
+        let mut without = result.allocation.clone();
+        without.remove_demand(demand.id);
+        let residual = without.residual_capacities(ctx);
+        match place_single_hard(ctx, demand, &residual) {
+            Some(single) => {
+                without.adopt_demand(demand.id, &single);
+                result.allocation = without;
+            }
+            None => violations += 1,
+        }
+    }
+    result.total_bandwidth = result.allocation.total_allocated();
+    // The repaired allocation is no longer the LP vertex the duals priced.
+    result.link_prices = vec![0.0; ctx.topo.num_links()];
+    violations
+}
+
+/// Schedule all demands against explicit per-link capacities (used by the
+/// fixed admission check, which schedules a newcomer on residual capacity).
+pub fn schedule_with_capacities(
+    ctx: &TeContext,
+    demands: &[BaDemand],
+    capacities: &[f64],
+) -> Result<ScheduleResult, SolveError> {
+    assert_eq!(capacities.len(), ctx.topo.num_links());
+    let mut p = Problem::new(Sense::Minimize);
+
+    // f[d][local pair][tunnel]
+    let mut f_vars: Vec<Vec<Vec<VarId>>> = Vec::with_capacity(demands.len());
+    for demand in demands {
+        let mut per_demand = Vec::with_capacity(demand.bandwidth.len());
+        for &(pair, _) in &demand.bandwidth {
+            let tunnels = ctx.tunnels.tunnels(pair);
+            let vars: Vec<VarId> = (0..tunnels.len())
+                .map(|t| {
+                    let v = p.add_var(&format!("f[{}][{pair}][{t}]", demand.id.0));
+                    p.set_objective(v, 1.0);
+                    v
+                })
+                .collect();
+            per_demand.push(vars);
+        }
+        f_vars.push(per_demand);
+    }
+
+    for (di, demand) in demands.iter().enumerate() {
+        // Eq. 1: demand coverage in the no-failure case.
+        for (ki, &(_, b)) in demand.bandwidth.iter().enumerate() {
+            let terms: Vec<(VarId, f64)> = f_vars[di][ki].iter().map(|&v| (v, 1.0)).collect();
+            if terms.is_empty() {
+                return Err(SolveError::BadModel(format!(
+                    "demand {} requests a pair with no tunnels",
+                    demand.id.0
+                )));
+            }
+            p.add_constraint(&terms, Relation::Ge, b);
+        }
+
+        // Eq. 2–4 over collapsed states.
+        let profile = DemandProfile::collapse(ctx, demand);
+        let b_vars: Vec<VarId> = (0..profile.len())
+            .map(|s| p.add_bounded_var(&format!("B[{}][{s}]", demand.id.0), 1.0))
+            .collect();
+        for (si, state) in profile.states.iter().enumerate() {
+            for (ki, &(_, b)) in demand.bandwidth.iter().enumerate() {
+                // b * B_d^s - Σ_t f v <= 0
+                let mut terms: Vec<(VarId, f64)> = vec![(b_vars[si], b)];
+                for (ti, &fv) in f_vars[di][ki].iter().enumerate() {
+                    if state.avail[ki][ti] {
+                        terms.push((fv, -1.0));
+                    }
+                }
+                p.add_constraint(&terms, Relation::Le, 0.0);
+            }
+        }
+        let avail_terms: Vec<(VarId, f64)> = b_vars
+            .iter()
+            .zip(&profile.states)
+            .map(|(&v, s)| (v, s.probability))
+            .collect();
+        p.add_constraint(&avail_terms, Relation::Ge, demand.beta);
+    }
+
+    // Eq. 6: link capacity.
+    let mut per_link_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); ctx.topo.num_links()];
+    for (di, demand) in demands.iter().enumerate() {
+        for (ki, &(pair, _)) in demand.bandwidth.iter().enumerate() {
+            for (ti, &fv) in f_vars[di][ki].iter().enumerate() {
+                let path = ctx.tunnels.path(TunnelId { pair, tunnel: ti });
+                for &l in &path.links {
+                    per_link_terms[l.index()].push((fv, 1.0));
+                }
+            }
+        }
+    }
+    let mut capacity_row: Vec<Option<usize>> = vec![None; ctx.topo.num_links()];
+    for (li, terms) in per_link_terms.iter().enumerate() {
+        if !terms.is_empty() {
+            capacity_row[li] = Some(p.add_constraint(terms, Relation::Le, capacities[li]));
+        }
+    }
+
+    let sol = p.solve()?;
+
+    // Link shadow prices from the LP duals. For this minimization the dual
+    // of a Le capacity row is ≤ 0 (more capacity can only reduce the total
+    // bandwidth needed); report the magnitude as the link's price.
+    let link_prices: Vec<f64> = match &sol.duals {
+        Some(duals) => capacity_row
+            .iter()
+            .map(|row| row.map(|r| duals[r].abs()).unwrap_or(0.0))
+            .collect(),
+        None => vec![0.0; ctx.topo.num_links()],
+    };
+
+    let mut allocation = Allocation::new();
+    for (di, demand) in demands.iter().enumerate() {
+        for (ki, &(pair, _)) in demand.bandwidth.iter().enumerate() {
+            for (ti, &fv) in f_vars[di][ki].iter().enumerate() {
+                let f = sol[fv];
+                if f > 1e-9 {
+                    allocation.set(demand.id, TunnelId { pair, tunnel: ti }, f);
+                }
+            }
+        }
+    }
+    Ok(ScheduleResult {
+        total_bandwidth: sol.objective,
+        allocation,
+        link_prices,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::BaDemand;
+    use bate_net::{topologies, ScenarioSet};
+    use bate_routing::{RoutingScheme, TunnelSet};
+
+    fn ctx_toy4(max_failures: usize) -> (bate_net::Topology, TunnelSet, ScenarioSet) {
+        let topo = topologies::toy4();
+        let tunnels = TunnelSet::compute(&topo, RoutingScheme::Ksp(2));
+        let scenarios = ScenarioSet::enumerate(&topo, max_failures);
+        (topo, tunnels, scenarios)
+    }
+
+    /// The motivating example (Fig. 2(d)): user1 6 Gbps @ 99 % must go on
+    /// the reliable DC1→DC3→DC4 path; user2 12 Gbps @ 90 % can use both.
+    #[test]
+    fn motivating_example_allocation() {
+        let (topo, tunnels, scenarios) = ctx_toy4(4);
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+        let user1 = BaDemand::single(1, pair, 6000.0, 0.99);
+        let user2 = BaDemand::single(2, pair, 12_000.0, 0.90);
+
+        let res = schedule(&ctx, &[user1.clone(), user2.clone()]).unwrap();
+        let a = &res.allocation;
+        assert!(a.respects_capacity(&ctx, 1e-6));
+        // Both demands' hard availability targets are met.
+        assert!(a.meets_target(&ctx, &user1), "user1 availability not met");
+        assert!(a.meets_target(&ctx, &user2), "user2 availability not met");
+
+        // user1 must avoid the risky DC1→DC2→DC4 path: the flow it carries
+        // on the risky tunnel cannot be essential. Check user1 survives the
+        // DC1-DC2 failure.
+        let g = topo.link(topo.find_link(n("DC1"), n("DC2")).unwrap()).group;
+        let sc = bate_net::Scenario::with_failures(&topo, &[g]);
+        assert!(
+            a.delivered(&ctx, user1.id, pair, &sc) >= 6000.0 * 0.999,
+            "user1 must survive the 4% link failing"
+        );
+    }
+
+    #[test]
+    fn infeasible_when_capacity_exceeded() {
+        let (topo, tunnels, scenarios) = ctx_toy4(2);
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+        // 30 Gbps through a 20 Gbps cut.
+        let d = BaDemand::single(1, pair, 30_000.0, 0.5);
+        assert_eq!(schedule(&ctx, &[d]).unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn infeasible_when_availability_unreachable() {
+        let (topo, tunnels, scenarios) = ctx_toy4(4);
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+        // 15 Gbps needs both paths, but the combined availability of
+        // "both paths up" is below 0.9999.
+        let d = BaDemand::single(1, pair, 15_000.0, 0.9999);
+        assert_eq!(schedule(&ctx, &[d]).unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn scheduling_minimizes_bandwidth() {
+        let (topo, tunnels, scenarios) = ctx_toy4(2);
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+        // A lax target is satisfiable with exactly the demanded bandwidth.
+        let d = BaDemand::single(1, pair, 1000.0, 0.5);
+        let res = schedule(&ctx, &[d]).unwrap();
+        assert!((res.total_bandwidth - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn high_availability_costs_more_bandwidth() {
+        let (topo, tunnels, scenarios) = ctx_toy4(4);
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+        let lax = schedule(&ctx, &[BaDemand::single(1, pair, 5000.0, 0.5)])
+            .unwrap()
+            .total_bandwidth;
+        let strict = schedule(&ctx, &[BaDemand::single(1, pair, 5000.0, 0.9999)])
+            .unwrap()
+            .total_bandwidth;
+        assert!(
+            strict > lax,
+            "99.99% target should need protection bandwidth ({strict} vs {lax})"
+        );
+    }
+
+    #[test]
+    fn residual_capacity_scheduling() {
+        let (topo, tunnels, scenarios) = ctx_toy4(2);
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+        let d = BaDemand::single(1, pair, 8000.0, 0.5);
+        // Leave only 4 Gbps on every link: the 8 Gbps demand splits, but if
+        // we zero one path's capacity it becomes infeasible at 0.9 target.
+        let caps: Vec<f64> = ctx.topo.links().map(|_| 4000.0).collect();
+        let res = schedule_with_capacities(&ctx, &[d.clone()], &caps).unwrap();
+        assert!(res.allocation.respects_capacity_with(&ctx, &caps));
+    }
+
+    #[test]
+    fn pruned_schedule_never_underestimates_needed_bandwidth() {
+        // Fig. 16's premise: pruning trades bandwidth for speed — the
+        // pruned schedule allocates at least as much as the full one.
+        let topo = topologies::toy4();
+        let tunnels = TunnelSet::compute(&topo, RoutingScheme::Ksp(2));
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+        let d = BaDemand::single(1, pair, 5000.0, 0.99);
+        let mut totals = Vec::new();
+        for y in 1..=4 {
+            let scenarios = ScenarioSet::enumerate(&topo, y);
+            let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+            totals.push(schedule(&ctx, &[d.clone()]).unwrap().total_bandwidth);
+        }
+        for w in totals.windows(2) {
+            assert!(
+                w[0] >= w[1] - 1e-6,
+                "deeper pruning must not cost more: {totals:?}"
+            );
+        }
+    }
+}
+
+impl Allocation {
+    /// Capacity check against explicit capacities (test helper used by the
+    /// residual-capacity scheduling path).
+    pub fn respects_capacity_with(&self, ctx: &TeContext, capacities: &[f64]) -> bool {
+        let loads = self.link_loads(ctx);
+        loads
+            .iter()
+            .zip(capacities)
+            .all(|(load, cap)| *load <= cap + 1e-6)
+    }
+}

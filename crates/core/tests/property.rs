@@ -1,0 +1,169 @@
+//! Property-based validation of the BATE core invariants on the testbed
+//! topology: Theorem 1, scheduling guarantees, pruning monotonicity, and
+//! recovery bounds.
+
+use bate_core::admission::greedy::{best_effort_allocation, conjecture_with_allocation};
+use bate_core::recovery::greedy::greedy_recovery;
+use bate_core::scheduling::{schedule, schedule_hardened};
+use bate_core::{Allocation, BaDemand, DemandId, TeContext};
+use bate_net::{topologies, GroupId, Scenario, ScenarioSet};
+use bate_routing::{RoutingScheme, TunnelSet};
+use proptest::prelude::*;
+
+fn demand_strategy(num_pairs: usize, max: usize) -> impl Strategy<Value = Vec<BaDemand>> {
+    prop::collection::vec(
+        (
+            0usize..num_pairs,
+            50.0f64..600.0,
+            prop::sample::select(vec![0.0, 0.9, 0.95, 0.99, 0.999]),
+            10.0f64..500.0,
+            0.0f64..1.0,
+        ),
+        1..=max,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (pair, bw, beta, price, refund))| BaDemand {
+                id: DemandId(i as u64 + 1),
+                bandwidth: vec![(pair, bw)],
+                beta,
+                price,
+                refund_ratio: refund,
+            })
+            .collect()
+    })
+}
+
+fn testbed() -> (bate_net::Topology, TunnelSet, ScenarioSet) {
+    let topo = topologies::testbed6();
+    let tunnels = TunnelSet::compute(&topo, RoutingScheme::default_ksp4());
+    let scenarios = ScenarioSet::enumerate(&topo, topo.num_groups());
+    (topo, tunnels, scenarios)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 1: a conjectured *yes* always has a feasible schedule whose
+    /// allocation meets every availability target.
+    #[test]
+    fn theorem1_holds(demands in demand_strategy(30, 5)) {
+        let (topo, tunnels, scenarios) = testbed();
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        if conjecture_with_allocation(&ctx, &demands).is_some() {
+            let res = schedule_hardened(&ctx, &demands);
+            prop_assert!(res.is_ok(), "conjecture admitted an unschedulable set");
+            let alloc = res.unwrap().allocation;
+            prop_assert!(alloc.respects_capacity(&ctx, 1e-6));
+            for d in &demands {
+                prop_assert!(alloc.meets_target(&ctx, d), "target missed: {d:?}");
+            }
+        }
+    }
+
+    /// Whenever scheduling succeeds, the result is capacity-feasible,
+    /// allocates at least the demanded bandwidth, and guarantees every
+    /// demand's *relaxed* availability (Eq. 4 — the criterion the paper's
+    /// LP actually enforces). The hardened variant additionally repairs
+    /// hard-availability violations without breaking anything else.
+    #[test]
+    fn scheduling_postconditions(demands in demand_strategy(30, 5)) {
+        let (topo, tunnels, scenarios) = testbed();
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        if let Ok(res) = schedule(&ctx, &demands) {
+            prop_assert!(res.allocation.respects_capacity(&ctx, 1e-6));
+            let demanded: f64 = demands.iter().map(|d| d.total_bandwidth()).sum();
+            prop_assert!(res.total_bandwidth >= demanded - 1e-6);
+            for d in &demands {
+                let relaxed = res.allocation.relaxed_availability(&ctx, d);
+                prop_assert!(relaxed >= d.beta - 1e-6,
+                    "relaxed availability {relaxed} < {}", d.beta);
+            }
+            // Hardening preserves capacity feasibility and the relaxed
+            // guarantee, and never *worsens* hard satisfaction.
+            let before: usize = demands
+                .iter()
+                .filter(|d| res.allocation.meets_target(&ctx, d))
+                .count();
+            let hard = schedule_hardened(&ctx, &demands).unwrap();
+            prop_assert!(hard.allocation.respects_capacity(&ctx, 1e-6));
+            let after: usize = demands
+                .iter()
+                .filter(|d| hard.allocation.meets_target(&ctx, d))
+                .count();
+            prop_assert!(after >= before, "hardening lost guarantees: {after} < {before}");
+        }
+    }
+
+    /// Recovery invariants for an arbitrary single failure: no flow on dead
+    /// links, capacity respected, profit within [refund floor, baseline],
+    /// and satisfied demands really are fully delivered.
+    #[test]
+    fn recovery_invariants(demands in demand_strategy(30, 6), g in 0usize..8) {
+        let (topo, tunnels, scenarios) = testbed();
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let scenario = Scenario::with_failures(&topo, &[GroupId(g % topo.num_groups())]);
+        let out = greedy_recovery(&ctx, &demands, &scenario);
+
+        let loads = out.allocation.link_loads(&ctx);
+        for (l, _) in topo.links() {
+            if !scenario.link_up(&topo, l) {
+                prop_assert_eq!(loads[l.index()], 0.0);
+            }
+        }
+        prop_assert!(out.allocation.respects_capacity(&ctx, 1e-6));
+
+        let baseline: f64 = demands.iter().map(|d| d.price).sum();
+        let floor: f64 = demands.iter().map(|d| (1.0 - d.refund_ratio) * d.price).sum();
+        prop_assert!(out.profit <= baseline + 1e-9);
+        prop_assert!(out.profit >= floor - 1e-9);
+
+        for id in &out.satisfied {
+            let d = demands.iter().find(|d| d.id == *id).unwrap();
+            prop_assert!(out.allocation.satisfied_under(&ctx, d, &scenario));
+        }
+    }
+
+    /// Best-effort allocation never exceeds residual capacity or the
+    /// demand itself.
+    #[test]
+    fn best_effort_is_bounded(demands in demand_strategy(30, 4)) {
+        let (topo, tunnels, scenarios) = testbed();
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let mut current = Allocation::new();
+        for d in &demands {
+            let extra = best_effort_allocation(&ctx, &current, d);
+            let got: f64 = extra.flows_of(d.id).map(|(_, f)| f).sum();
+            prop_assert!(got <= d.total_bandwidth() + 1e-9);
+            for (t, f) in extra.flows_of(d.id) {
+                current.set(d.id, t, f);
+            }
+            prop_assert!(current.respects_capacity(&ctx, 1e-6));
+        }
+    }
+
+    /// Achieved availability is monotone in the scenario-set depth and
+    /// always within [0, 1].
+    #[test]
+    fn availability_monotone_in_depth(demands in demand_strategy(30, 3)) {
+        let topo = topologies::testbed6();
+        let tunnels = TunnelSet::compute(&topo, RoutingScheme::default_ksp4());
+        let deep = ScenarioSet::enumerate(&topo, 4);
+        let ctx_deep = TeContext::new(&topo, &tunnels, &deep);
+        if let Ok(res) = schedule(&ctx_deep, &demands) {
+            let mut prev = vec![0.0f64; demands.len()];
+            for y in 1..=4 {
+                let set = ScenarioSet::enumerate(&topo, y);
+                let ctx = TeContext::new(&topo, &tunnels, &set);
+                for (i, d) in demands.iter().enumerate() {
+                    let a = res.allocation.achieved_availability(&ctx, d);
+                    prop_assert!((0.0..=1.0 + 1e-12).contains(&a));
+                    prop_assert!(a >= prev[i] - 1e-12, "availability must grow with depth");
+                    prev[i] = a;
+                }
+            }
+        }
+    }
+}

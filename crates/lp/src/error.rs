@@ -1,0 +1,35 @@
+//! Error types reported by the LP and MILP solvers.
+
+use std::fmt;
+
+/// Reasons a solve can fail to produce an optimal solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The constraint set admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The simplex iteration limit was exceeded (possible cycling or an
+    /// ill-conditioned model).
+    IterationLimit,
+    /// The branch-and-bound node limit was exceeded before proving
+    /// optimality.
+    NodeLimit,
+    /// A model-construction error, e.g. a constraint referencing a variable
+    /// from a different problem.
+    BadModel(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "problem is infeasible"),
+            SolveError::Unbounded => write!(f, "problem is unbounded"),
+            SolveError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            SolveError::NodeLimit => write!(f, "branch-and-bound node limit exceeded"),
+            SolveError::BadModel(msg) => write!(f, "bad model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}

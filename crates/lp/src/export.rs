@@ -1,0 +1,155 @@
+//! Model export in the CPLEX LP text format.
+//!
+//! Useful for debugging BATE's optimization models and for cross-checking
+//! against external solvers: `problem.to_lp_format()` produces a file any
+//! of Gurobi/CPLEX/HiGHS/glpsol can read.
+
+use crate::problem::{Problem, Relation, Sense, VarKind};
+use std::fmt::Write as _;
+
+/// Sanitize a variable name into LP-format-safe identifiers.
+fn sanitize(name: &str, index: usize) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if out.is_empty() || out.chars().next().unwrap().is_ascii_digit() {
+        out = format!("x{index}_{out}");
+    }
+    out
+}
+
+fn write_terms(buf: &mut String, terms: &[(usize, f64)], names: &[String]) {
+    let mut first = true;
+    for &(j, c) in terms {
+        if c == 0.0 {
+            continue;
+        }
+        if first {
+            if c < 0.0 {
+                let _ = write!(buf, "- ");
+            }
+            first = false;
+        } else if c < 0.0 {
+            let _ = write!(buf, " - ");
+        } else {
+            let _ = write!(buf, " + ");
+        }
+        let a = c.abs();
+        if (a - 1.0).abs() < 1e-15 {
+            let _ = write!(buf, "{}", names[j]);
+        } else {
+            let _ = write!(buf, "{a} {}", names[j]);
+        }
+    }
+    if first {
+        let _ = write!(buf, "0");
+    }
+}
+
+impl Problem {
+    /// Render the model in CPLEX LP format.
+    pub fn to_lp_format(&self) -> String {
+        let names: Vec<String> = self
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| sanitize(&v.name, i))
+            .collect();
+
+        let mut out = String::new();
+        out.push_str(match self.sense {
+            Sense::Minimize => "Minimize\n obj: ",
+            Sense::Maximize => "Maximize\n obj: ",
+        });
+        let obj_terms: Vec<(usize, f64)> = self
+            .objective
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0.0)
+            .map(|(j, &c)| (j, c))
+            .collect();
+        write_terms(&mut out, &obj_terms, &names);
+        out.push_str("\nSubject To\n");
+        for (i, c) in self.constraints.iter().enumerate() {
+            let _ = write!(out, " c{i}: ");
+            write_terms(&mut out, &c.terms, &names);
+            let op = match c.relation {
+                Relation::Le => "<=",
+                Relation::Ge => ">=",
+                Relation::Eq => "=",
+            };
+            let _ = writeln!(out, " {op} {}", c.rhs);
+        }
+        out.push_str("Bounds\n");
+        for (j, v) in self.vars.iter().enumerate() {
+            if v.upper.is_finite() {
+                let _ = writeln!(out, " 0 <= {} <= {}", names[j], v.upper);
+            } else {
+                let _ = writeln!(out, " 0 <= {}", names[j]);
+            }
+        }
+        let integers: Vec<&String> = self
+            .vars
+            .iter()
+            .zip(&names)
+            .filter(|(v, _)| v.kind == VarKind::Integer)
+            .map(|(_, n)| n)
+            .collect();
+        if !integers.is_empty() {
+            out.push_str("General\n");
+            for n in integers {
+                let _ = writeln!(out, " {n}");
+            }
+        }
+        out.push_str("End\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Problem, Relation, Sense};
+
+    #[test]
+    fn renders_a_small_model() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x");
+        let y = p.add_bounded_var("f[1][2]", 5.0);
+        let z = p.add_binary_var("q");
+        p.set_objective(x, 3.0);
+        p.set_objective(y, -2.0);
+        p.set_objective(z, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+        p.add_constraint(&[(x, -1.0), (z, 2.5)], Relation::Ge, -1.0);
+        p.add_constraint(&[(y, 1.0)], Relation::Eq, 2.0);
+        let text = p.to_lp_format();
+        assert!(text.starts_with("Maximize"));
+        assert!(text.contains("3 x - 2 f_1__2_ + q"));
+        assert!(text.contains("c0: x + f_1__2_ <= 4"));
+        assert!(text.contains("c1: - x + 2.5 q >= -1"));
+        assert!(text.contains("c2: f_1__2_ = 2"));
+        assert!(text.contains("0 <= f_1__2_ <= 5"));
+        assert!(text.contains("General\n q"));
+        assert!(text.ends_with("End\n"));
+    }
+
+    #[test]
+    fn empty_objective_renders_zero() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x");
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 1.0);
+        let text = p.to_lp_format();
+        assert!(text.contains("obj: 0"));
+    }
+
+    #[test]
+    fn numeric_leading_names_are_fixed() {
+        let mut p = Problem::new(Sense::Minimize);
+        let v = p.add_var("1bad");
+        p.set_objective(v, 1.0);
+        let text = p.to_lp_format();
+        assert!(!text.contains(" 1bad"), "{text}");
+        assert!(text.contains("x0_1bad"));
+    }
+}

@@ -1,0 +1,53 @@
+//! # bate-lp — linear and mixed-integer programming for BATE
+//!
+//! A self-contained LP/MILP solver used by every optimization model in the
+//! BATE traffic-engineering framework (admission control, traffic scheduling,
+//! failure recovery, and the baseline TE algorithms).
+//!
+//! The paper solves its models with Gurobi; the Rust ecosystem has no
+//! comparable offline solver, so this crate implements:
+//!
+//! * a **dense two-phase primal simplex** method with Dantzig pricing and a
+//!   Bland's-rule fallback for anti-cycling ([`simplex`]), and
+//! * a **branch-and-bound** MILP solver layered on top of it ([`milp`]),
+//!   supporting binary and general integer variables.
+//!
+//! Both are exact methods, so optimization results match what the paper's
+//! solver would produce (up to numerical tolerance); only absolute solve
+//! times differ.
+//!
+//! ## Example
+//!
+//! ```
+//! use bate_lp::{Problem, Sense, Relation};
+//!
+//! // maximize 3x + 2y  s.t.  x + y <= 4,  x + 3y <= 6,  x,y >= 0
+//! let mut p = Problem::new(Sense::Maximize);
+//! let x = p.add_var("x");
+//! let y = p.add_var("y");
+//! p.set_objective(x, 3.0);
+//! p.set_objective(y, 2.0);
+//! p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+//! p.add_constraint(&[(x, 1.0), (y, 3.0)], Relation::Le, 6.0);
+//! let sol = p.solve().unwrap();
+//! assert!((sol.objective - 12.0).abs() < 1e-6);
+//! assert!((sol[x] - 4.0).abs() < 1e-6);
+//! ```
+
+pub mod error;
+pub mod export;
+pub mod milp;
+pub mod problem;
+pub mod simplex;
+pub mod solution;
+
+pub use error::SolveError;
+pub use problem::{Problem, Relation, Sense, VarId, VarKind};
+pub use solution::Solution;
+
+/// Default numerical tolerance used across the solver for feasibility and
+/// optimality tests.
+pub const EPS: f64 = 1e-9;
+
+/// Tolerance used when deciding whether a relaxation value is integral.
+pub const INT_EPS: f64 = 1e-6;

@@ -1,0 +1,283 @@
+//! Network failure scenarios and their pruned enumeration (§3.1, §3.3).
+//!
+//! A scenario `z` assigns up/down to every fate group; its probability is
+//! `p_z = Π_i (z_i (1-x_i) + (1-z_i) x_i)` under the paper's independence
+//! assumption. Enumerating all `2^|E|` scenarios is intractable, so BATE
+//! prunes: scenarios with at most `y` concurrent failures are enumerated
+//! exactly (layers 0..=y of the lattice in Fig. 3) and every deeper scenario
+//! is aggregated into one **residual** scenario whose probability is the
+//! complement. The residual is treated as *never qualified*, which makes the
+//! pruned availability estimate a lower bound on the true availability — the
+//! scheduler can only over-provision, never silently under-provision.
+
+use crate::graph::{GroupId, LinkId, Topology};
+use crate::linkset::LinkSet;
+
+/// One enumerated failure scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Fate groups that are down in this scenario.
+    pub failed: LinkSet,
+    /// `p_z`.
+    pub probability: f64,
+}
+
+impl Scenario {
+    /// The no-failure scenario for `topo`.
+    pub fn all_up(topo: &Topology) -> Scenario {
+        Scenario {
+            failed: LinkSet::new(topo.num_groups()),
+            probability: topo.all_up_probability(),
+        }
+    }
+
+    /// Scenario with exactly the given fate groups failed, probability
+    /// computed from the topology's per-group failure probabilities.
+    pub fn with_failures(topo: &Topology, groups: &[GroupId]) -> Scenario {
+        let mut failed = LinkSet::new(topo.num_groups());
+        for g in groups {
+            failed.insert(g.index());
+        }
+        let probability = scenario_probability(topo, &failed);
+        Scenario {
+            failed,
+            probability,
+        }
+    }
+
+    /// Is the fate group up in this scenario?
+    pub fn group_up(&self, g: GroupId) -> bool {
+        !self.failed.contains(g.index())
+    }
+
+    /// Is the directed link up in this scenario?
+    pub fn link_up(&self, topo: &Topology, l: LinkId) -> bool {
+        self.group_up(topo.link(l).group)
+    }
+
+    /// Number of concurrent failures.
+    pub fn num_failures(&self) -> usize {
+        self.failed.count()
+    }
+}
+
+/// Exact probability of a scenario given which fate groups failed.
+pub fn scenario_probability(topo: &Topology, failed: &LinkSet) -> f64 {
+    topo.groups()
+        .map(|(g, def)| {
+            if failed.contains(g.index()) {
+                def.failure_prob
+            } else {
+                1.0 - def.failure_prob
+            }
+        })
+        .product()
+}
+
+/// The pruned scenario set of §3.3.
+#[derive(Debug, Clone)]
+pub struct ScenarioSet {
+    /// Enumerated scenarios, ordered by increasing failure count; index 0 is
+    /// always the all-up scenario.
+    pub scenarios: Vec<Scenario>,
+    /// Total probability of all pruned (deeper) scenarios, treated as
+    /// unqualified.
+    pub residual_probability: f64,
+    /// The pruning depth `y` used.
+    pub max_failures: usize,
+}
+
+impl ScenarioSet {
+    /// Enumerate all scenarios with at most `max_failures` concurrent
+    /// fate-group failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the enumeration would exceed 20 million scenarios — that is
+    /// beyond anything the scheduler can use and indicates a mis-chosen
+    /// pruning depth.
+    pub fn enumerate(topo: &Topology, max_failures: usize) -> ScenarioSet {
+        let n = topo.num_groups();
+        let expected = count_scenarios(n, max_failures);
+        assert!(
+            expected <= 20_000_000,
+            "pruning depth {max_failures} on {n} fate groups yields {expected} scenarios"
+        );
+
+        let probs: Vec<f64> = topo.groups().map(|(_, g)| g.failure_prob).collect();
+        let all_up_p: f64 = probs.iter().map(|p| 1.0 - p).product();
+
+        let mut scenarios = Vec::with_capacity(expected);
+        scenarios.push(Scenario {
+            failed: LinkSet::new(n),
+            probability: all_up_p,
+        });
+
+        // Enumerate combinations layer by layer. Each failed group i swaps a
+        // factor (1-x_i) for x_i, i.e. multiplies by x_i / (1-x_i).
+        let ratio: Vec<f64> = probs.iter().map(|&p| p / (1.0 - p)).collect();
+        let mut combo: Vec<usize> = Vec::new();
+        enumerate_combos(
+            n,
+            max_failures,
+            0,
+            all_up_p,
+            &ratio,
+            &mut combo,
+            &mut scenarios,
+        );
+
+        let enumerated: f64 = scenarios.iter().map(|s| s.probability).sum();
+        let residual_probability = (1.0 - enumerated).max(0.0);
+        ScenarioSet {
+            scenarios,
+            residual_probability,
+            max_failures,
+        }
+    }
+
+    /// Total probability mass of the enumerated scenarios.
+    pub fn covered_probability(&self) -> f64 {
+        1.0 - self.residual_probability
+    }
+
+    /// Number of enumerated scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Iterate `(scenario, probability)`.
+    pub fn iter(&self) -> impl Iterator<Item = &Scenario> {
+        self.scenarios.iter()
+    }
+}
+
+fn enumerate_combos(
+    n: usize,
+    depth_left: usize,
+    start: usize,
+    prob: f64,
+    ratio: &[f64],
+    combo: &mut Vec<usize>,
+    out: &mut Vec<Scenario>,
+) {
+    if depth_left == 0 {
+        return;
+    }
+    for i in start..n {
+        combo.push(i);
+        let p = prob * ratio[i];
+        let mut failed = LinkSet::new(n);
+        for &g in combo.iter() {
+            failed.insert(g);
+        }
+        out.push(Scenario {
+            failed,
+            probability: p,
+        });
+        enumerate_combos(n, depth_left - 1, i + 1, p, ratio, combo, out);
+        combo.pop();
+    }
+}
+
+/// Number of scenarios with at most `y` of `n` failures: `Σ_{k<=y} C(n, k)`.
+pub fn count_scenarios(n: usize, y: usize) -> usize {
+    let mut total = 0usize;
+    let mut c = 1usize; // C(n, 0)
+    for k in 0..=y.min(n) {
+        total = total.saturating_add(c);
+        // C(n, k+1) = C(n, k) * (n - k) / (k + 1)
+        c = c.saturating_mul(n - k) / (k + 1);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topologies;
+
+    #[test]
+    fn paper_example_probability() {
+        // §3.1: availabilities 96%, 99.9999%, 99.9%, 99.9999% and scenario
+        // z = {1,1,0,1} (e3 down) has p ≈ 0.000959998.
+        let mut t = Topology::new("paper");
+        let a = t.add_node("DC1");
+        let b = t.add_node("DC2");
+        let c = t.add_node("DC3");
+        let d = t.add_node("DC4");
+        t.add_link(a, b, 10.0, 0.04);
+        let _e2 = t.add_link(b, d, 10.0, 0.000001);
+        let e3 = t.add_link(a, c, 10.0, 0.001);
+        t.add_link(c, d, 10.0, 0.000001);
+        let s = Scenario::with_failures(&t, &[t.link(e3).group]);
+        assert!(
+            (s.probability - 0.000959998).abs() < 1e-8,
+            "{}",
+            s.probability
+        );
+    }
+
+    #[test]
+    fn count_scenarios_formula() {
+        assert_eq!(count_scenarios(4, 0), 1);
+        assert_eq!(count_scenarios(4, 1), 5);
+        assert_eq!(count_scenarios(4, 2), 11);
+        assert_eq!(count_scenarios(4, 4), 16);
+        assert_eq!(count_scenarios(38, 2), 1 + 38 + 703);
+    }
+
+    #[test]
+    fn enumeration_matches_count_and_orders_all_up_first() {
+        let t = topologies::toy4();
+        for y in 0..=4 {
+            let set = ScenarioSet::enumerate(&t, y);
+            assert_eq!(set.len(), count_scenarios(t.num_groups(), y));
+            assert!(set.scenarios[0].failed.is_empty());
+        }
+    }
+
+    #[test]
+    fn full_enumeration_probabilities_sum_to_one() {
+        let t = topologies::toy4();
+        let set = ScenarioSet::enumerate(&t, t.num_groups());
+        let total: f64 = set.scenarios.iter().map(|s| s.probability).sum();
+        assert!((total - 1.0).abs() < 1e-12, "{total}");
+        assert!(set.residual_probability < 1e-12);
+    }
+
+    #[test]
+    fn pruning_residual_is_complement() {
+        let t = topologies::testbed6();
+        let set = ScenarioSet::enumerate(&t, 2);
+        let total: f64 = set.scenarios.iter().map(|s| s.probability).sum();
+        assert!((total + set.residual_probability - 1.0).abs() < 1e-12);
+        assert!(set.residual_probability > 0.0);
+        // Deeper pruning covers more probability.
+        let set3 = ScenarioSet::enumerate(&t, 3);
+        assert!(set3.covered_probability() >= set.covered_probability());
+    }
+
+    #[test]
+    fn scenario_respects_fate_groups() {
+        let mut t = Topology::new("t");
+        let a = t.add_node("A");
+        let b = t.add_node("B");
+        let (f, r) = t.add_duplex_link(a, b, 1.0, 0.1);
+        let s = Scenario::with_failures(&t, &[t.link(f).group]);
+        assert!(!s.link_up(&t, f));
+        assert!(!s.link_up(&t, r)); // shared fate: reverse is down too
+        assert_eq!(s.num_failures(), 1);
+    }
+
+    #[test]
+    fn max_failures_beyond_groups_is_full_enumeration() {
+        let t = topologies::toy4();
+        let set = ScenarioSet::enumerate(&t, 100);
+        assert_eq!(set.len(), 16);
+    }
+}

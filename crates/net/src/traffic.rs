@@ -1,0 +1,148 @@
+//! Synthetic traffic matrices (gravity model).
+//!
+//! The paper draws each demand's bandwidth "randomly from the traffic
+//! matrices (we have collected 200 matrices for each topology) with a proper
+//! scale-down factor" (§5.2). Those matrices are not public, so we generate
+//! gravity-model matrices: each node gets a log-normal weight `w_i`, and the
+//! flow from `s` to `d` is proportional to `w_s · w_d`. This reproduces the
+//! skew of real inter-DC matrices (a few hot pairs, a long tail), which is
+//! the property the evaluation actually depends on.
+
+use crate::distributions::lognormal;
+use crate::graph::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A single traffic matrix: a demand rate for every ordered node pair.
+#[derive(Debug, Clone)]
+pub struct TrafficMatrix {
+    n: usize,
+    /// Row-major `n x n`; the diagonal is zero.
+    demands: Vec<f64>,
+}
+
+impl TrafficMatrix {
+    /// Demand rate from `s` to `d` (zero on the diagonal).
+    pub fn demand(&self, s: NodeId, d: NodeId) -> f64 {
+        self.demands[s.index() * self.n + d.index()]
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Sum over all pairs.
+    pub fn total(&self) -> f64 {
+        self.demands.iter().sum()
+    }
+
+    /// Multiply every entry by `factor` (the paper's scale-down factor is a
+    /// division by 5, i.e. `scale(1.0 / 5.0)`).
+    pub fn scale(&self, factor: f64) -> TrafficMatrix {
+        TrafficMatrix {
+            n: self.n,
+            demands: self.demands.iter().map(|d| d * factor).collect(),
+        }
+    }
+
+    /// Iterate non-zero `(src, dst, rate)` entries.
+    pub fn entries(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        (0..self.n).flat_map(move |s| {
+            (0..self.n).filter_map(move |d| {
+                let v = self.demands[s * self.n + d];
+                if v > 0.0 {
+                    Some((NodeId(s), NodeId(d), v))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}
+
+/// Generate `count` gravity-model matrices for `topo`, each with total
+/// demand `mean_total` (in the same units as link capacities).
+///
+/// Matrices differ between indices (diurnal-like variation is modeled by
+/// re-sampling weights), but the whole set is deterministic in `seed`.
+pub fn generate_matrices(
+    topo: &Topology,
+    count: usize,
+    mean_total: f64,
+    seed: u64,
+) -> Vec<TrafficMatrix> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = topo.num_nodes();
+    (0..count)
+        .map(|_| {
+            let weights: Vec<f64> = (0..n).map(|_| lognormal(&mut rng, 0.0, 1.0)).collect();
+            let mut demands = vec![0.0f64; n * n];
+            let mut sum = 0.0;
+            for s in 0..n {
+                for d in 0..n {
+                    if s != d {
+                        let v = weights[s] * weights[d];
+                        demands[s * n + d] = v;
+                        sum += v;
+                    }
+                }
+            }
+            if sum > 0.0 {
+                for v in &mut demands {
+                    *v *= mean_total / sum;
+                }
+            }
+            TrafficMatrix { n, demands }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topologies;
+
+    #[test]
+    fn gravity_matrix_shape() {
+        let t = topologies::b4();
+        let ms = generate_matrices(&t, 5, 10_000.0, 1);
+        assert_eq!(ms.len(), 5);
+        for m in &ms {
+            assert_eq!(m.num_nodes(), 12);
+            assert!((m.total() - 10_000.0).abs() < 1e-6);
+            for s in t.nodes() {
+                assert_eq!(m.demand(s, s), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn matrices_vary_but_are_seeded() {
+        let t = topologies::toy4();
+        let a = generate_matrices(&t, 2, 100.0, 7);
+        let b = generate_matrices(&t, 2, 100.0, 7);
+        let n0 = t.nodes().next().unwrap();
+        let n1 = t.nodes().nth(1).unwrap();
+        assert_eq!(a[0].demand(n0, n1), b[0].demand(n0, n1));
+        assert_ne!(a[0].demand(n0, n1), a[1].demand(n0, n1));
+    }
+
+    #[test]
+    fn scaling() {
+        let t = topologies::toy4();
+        let m = &generate_matrices(&t, 1, 500.0, 3)[0];
+        let half = m.scale(0.5);
+        assert!((half.total() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entries_iterates_off_diagonal() {
+        let t = topologies::toy4();
+        let m = &generate_matrices(&t, 1, 500.0, 3)[0];
+        let entries: Vec<_> = m.entries().collect();
+        assert_eq!(entries.len(), 12); // 4*3 ordered pairs
+        let sum: f64 = entries.iter().map(|(_, _, v)| v).sum();
+        assert!((sum - 500.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,294 @@
+//! Dijkstra shortest path and Yen's k-shortest loopless paths.
+//!
+//! Link weight is hop count with a tiny inverse-capacity tiebreak, which
+//! prefers fat links among equally short paths — the behaviour you want when
+//! the tunnels will carry bulk bandwidth.
+
+use crate::path::Path;
+use bate_net::{LinkId, NodeId, Topology};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Weight of a link for path selection.
+fn link_weight(topo: &Topology, l: LinkId) -> f64 {
+    1.0 + 1e-6 / topo.link(l).capacity.max(1e-9)
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on dist; ties on node index for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra from `src` to `dst`, avoiding `banned_links` and `banned_nodes`.
+///
+/// Returns the shortest path or `None` if `dst` is unreachable.
+pub fn shortest_path_avoiding(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    banned_links: &HashSet<LinkId>,
+    banned_nodes: &HashSet<NodeId>,
+) -> Option<Path> {
+    if src == dst || banned_nodes.contains(&src) || banned_nodes.contains(&dst) {
+        return None;
+    }
+    let n = topo.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<LinkId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.index()] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: src.index(),
+    });
+
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        if u == dst.index() {
+            break;
+        }
+        for &l in topo.out_links(NodeId(u)) {
+            if banned_links.contains(&l) {
+                continue;
+            }
+            let v = topo.link(l).dst;
+            if banned_nodes.contains(&v) {
+                continue;
+            }
+            let nd = d + link_weight(topo, l);
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                prev[v.index()] = Some(l);
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: v.index(),
+                });
+            }
+        }
+    }
+
+    if dist[dst.index()].is_infinite() {
+        return None;
+    }
+    let mut links = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let l = prev[cur.index()]?;
+        links.push(l);
+        cur = topo.link(l).src;
+    }
+    links.reverse();
+    Some(Path { links })
+}
+
+/// Plain shortest path.
+pub fn shortest_path(topo: &Topology, src: NodeId, dst: NodeId) -> Option<Path> {
+    shortest_path_avoiding(topo, src, dst, &HashSet::new(), &HashSet::new())
+}
+
+fn path_weight(topo: &Topology, p: &Path) -> f64 {
+    p.links.iter().map(|&l| link_weight(topo, l)).sum()
+}
+
+/// Yen's algorithm: up to `k` shortest loopless paths from `src` to `dst`,
+/// in non-decreasing weight order.
+pub fn k_shortest_paths(topo: &Topology, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
+    let mut result: Vec<Path> = Vec::new();
+    let Some(first) = shortest_path(topo, src, dst) else {
+        return result;
+    };
+    result.push(first);
+
+    // Candidate pool: (weight, path); paths deduplicated.
+    let mut candidates: Vec<(f64, Path)> = Vec::new();
+    let mut seen: HashSet<Vec<LinkId>> = HashSet::new();
+    seen.insert(result[0].links.clone());
+
+    while result.len() < k {
+        let last = result.last().unwrap().clone();
+        let last_nodes = last.nodes(topo);
+
+        for i in 0..last.links.len() {
+            // Spur node is node i of the previous path; root path is its
+            // prefix up to (not including) the spur link.
+            let spur_node = last_nodes[i];
+            let root_links = &last.links[..i];
+
+            // Ban links that would recreate any already-found path sharing
+            // this root.
+            let mut banned_links: HashSet<LinkId> = HashSet::new();
+            for p in result.iter().map(|p| &p.links) {
+                if p.len() > i && p[..i] == *root_links {
+                    banned_links.insert(p[i]);
+                }
+            }
+            // Ban the root path's interior nodes to keep paths loopless.
+            let banned_nodes: HashSet<NodeId> = last_nodes[..i].iter().copied().collect();
+
+            if let Some(spur) =
+                shortest_path_avoiding(topo, spur_node, dst, &banned_links, &banned_nodes)
+            {
+                let mut links = root_links.to_vec();
+                links.extend(spur.links);
+                if seen.insert(links.clone()) {
+                    let p = Path { links };
+                    let w = path_weight(topo, &p);
+                    candidates.push((w, p));
+                }
+            }
+        }
+
+        if candidates.is_empty() {
+            break;
+        }
+        // Pop the lightest candidate (stable tiebreak on link ids).
+        let best = candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(Ordering::Equal)
+                    .then_with(|| a.1.links.cmp(&b.1.links))
+            })
+            .map(|(i, _)| i)
+            .unwrap();
+        let (_, path) = candidates.swap_remove(best);
+        result.push(path);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bate_net::topologies;
+
+    #[test]
+    fn shortest_path_on_toy4() {
+        let t = topologies::toy4();
+        let n = |s: &str| t.find_node(s).unwrap();
+        let p = shortest_path(&t, n("DC1"), n("DC4")).unwrap();
+        assert_eq!(p.len(), 2); // both 2-hop options tie; either is fine
+        assert_eq!(p.src(&t), n("DC1"));
+        assert_eq!(p.dst(&t), n("DC4"));
+    }
+
+    #[test]
+    fn ksp_finds_both_toy4_paths() {
+        let t = topologies::toy4();
+        let n = |s: &str| t.find_node(s).unwrap();
+        let ps = k_shortest_paths(&t, n("DC1"), n("DC4"), 4);
+        // Only 2 simple 2-hop paths exist; longer detours through duplex
+        // reverse links are loopless too, but the two 2-hop ones come first.
+        assert!(ps.len() >= 2);
+        assert_eq!(ps[0].len(), 2);
+        assert_eq!(ps[1].len(), 2);
+        assert_ne!(ps[0], ps[1]);
+        for p in &ps {
+            assert!(p.is_simple(&t), "{}", p.format(&t));
+            assert_eq!(p.src(&t), n("DC1"));
+            assert_eq!(p.dst(&t), n("DC4"));
+        }
+    }
+
+    #[test]
+    fn ksp_orders_by_length() {
+        let t = topologies::testbed6();
+        let n = |s: &str| t.find_node(s).unwrap();
+        let ps = k_shortest_paths(&t, n("DC1"), n("DC3"), 4);
+        assert_eq!(ps.len(), 4);
+        for w in ps.windows(2) {
+            assert!(w[0].len() <= w[1].len());
+        }
+    }
+
+    #[test]
+    fn ksp_paths_are_distinct_and_simple() {
+        let t = topologies::b4();
+        let nodes: Vec<_> = t.nodes().collect();
+        let ps = k_shortest_paths(&t, nodes[0], nodes[7], 6);
+        let mut seen = std::collections::HashSet::new();
+        for p in &ps {
+            assert!(p.is_simple(&t));
+            assert!(seen.insert(p.links.clone()), "duplicate path");
+        }
+    }
+
+    #[test]
+    fn unreachable_returns_empty() {
+        let mut t = bate_net::Topology::new("t");
+        let a = t.add_node("A");
+        let b = t.add_node("B");
+        let c = t.add_node("C");
+        t.add_link(a, b, 1.0, 0.0);
+        assert!(shortest_path(&t, a, c).is_none());
+        assert!(k_shortest_paths(&t, a, c, 3).is_empty());
+        assert!(shortest_path(&t, a, a).is_none());
+    }
+
+    #[test]
+    fn ksp_matches_bruteforce_enumeration() {
+        // Brute-force all simple paths on the testbed and compare the top-k
+        // hop counts.
+        let t = topologies::testbed6();
+        let n = |s: &str| t.find_node(s).unwrap();
+        let (src, dst) = (n("DC1"), n("DC5"));
+
+        fn dfs(
+            t: &bate_net::Topology,
+            cur: bate_net::NodeId,
+            dst: bate_net::NodeId,
+            visited: &mut Vec<bate_net::NodeId>,
+            links: &mut Vec<bate_net::LinkId>,
+            out: &mut Vec<usize>,
+        ) {
+            if cur == dst {
+                out.push(links.len());
+                return;
+            }
+            for &l in t.out_links(cur) {
+                let next = t.link(l).dst;
+                if !visited.contains(&next) {
+                    visited.push(next);
+                    links.push(l);
+                    dfs(t, next, dst, visited, links, out);
+                    links.pop();
+                    visited.pop();
+                }
+            }
+        }
+
+        let mut all = Vec::new();
+        dfs(&t, src, dst, &mut vec![src], &mut Vec::new(), &mut all);
+        all.sort_unstable();
+
+        let k = 6;
+        let ps = k_shortest_paths(&t, src, dst, k);
+        assert_eq!(ps.len(), k.min(all.len()));
+        for (p, expected) in ps.iter().zip(all.iter()) {
+            assert_eq!(p.len(), *expected);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # bate-routing — tunnel computation for BATE
+//!
+//! BATE (like SWAN, FFC and TEAVAR) forwards traffic over pre-computed
+//! tunnels (§3.1). The Offline Routing module of the controller computes a
+//! tunnel set `T_k` for every source-destination pair `k` using one of three
+//! schemes the paper evaluates (Fig. 18):
+//!
+//! * [`ksp`] — Yen's k-shortest loopless paths (the paper's default, KSP-4),
+//! * [`disjoint`] — edge-disjoint paths (greedy shortest-path peeling over
+//!   fate groups, so the paths share no physical link),
+//! * [`oblivious`] — diverse low-stretch paths via iterative link-penalty
+//!   re-weighting, approximating the oblivious/semi-oblivious path sets of
+//!   SMORE (Räcke trees are overkill at inter-DC scale; what the evaluation
+//!   needs is path diversity with bounded stretch, which penalty-based
+//!   selection provides).
+//!
+//! [`tunnel::TunnelSet`] bundles the per-pair tunnel lists together with the
+//! `u_t^e` (link membership) and `v_t^z` (availability under a scenario)
+//! queries used by every optimization model.
+
+pub mod disjoint;
+pub mod ksp;
+pub mod oblivious;
+pub mod path;
+pub mod tunnel;
+
+pub use path::Path;
+pub use tunnel::{RoutingScheme, TunnelId, TunnelSet};

@@ -1,0 +1,127 @@
+//! The link failure/repair process.
+//!
+//! The testbed (§5.1) rolls a die every second per link: fail with
+//! probability `x_i`, then repair after `repair_time` seconds (3 s default;
+//! Fig. 20 sweeps 0.5–4 s). Event-driven equivalent: the gap between
+//! repairs and the next failure is geometric with success probability
+//! `x_i`, which we sample directly so long simulations never tick through
+//! quiet seconds.
+
+use bate_net::{GroupId, LinkSet, Scenario, Topology};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Tracks which fate groups are down and samples failure gaps.
+pub struct FailureProcess {
+    /// Per-group failure probability per second.
+    probs: Vec<f64>,
+    /// Currently failed groups.
+    down: LinkSet,
+    /// How long a failure lasts, seconds.
+    pub repair_time: f64,
+}
+
+impl FailureProcess {
+    pub fn new(topo: &Topology, repair_time: f64) -> FailureProcess {
+        FailureProcess {
+            probs: topo.groups().map(|(_, g)| g.failure_prob).collect(),
+            down: LinkSet::new(topo.num_groups()),
+            repair_time,
+        }
+    }
+
+    /// Sample the number of seconds from now until `group` next fails
+    /// (geometric with parameter `x_i`, ≥ 1 second).
+    pub fn sample_gap(&self, rng: &mut StdRng, group: GroupId) -> f64 {
+        let x = self.probs[group.index()];
+        if x <= 0.0 {
+            return f64::INFINITY;
+        }
+        // Geometric via inverse CDF: ceil(ln(1-u) / ln(1-x)).
+        let u: f64 = rng.gen_range(0.0f64..1.0);
+        ((1.0 - u).ln() / (1.0 - x).ln()).ceil().max(1.0)
+    }
+
+    /// Mark a group failed. Returns false if it was already down (the new
+    /// failure is absorbed).
+    pub fn fail(&mut self, group: GroupId) -> bool {
+        if self.down.contains(group.index()) {
+            return false;
+        }
+        self.down.insert(group.index());
+        true
+    }
+
+    /// Mark a group repaired.
+    pub fn repair(&mut self, group: GroupId) {
+        self.down.remove(group.index());
+    }
+
+    /// Is anything failed right now?
+    pub fn any_down(&self) -> bool {
+        !self.down.is_empty()
+    }
+
+    /// Currently failed groups.
+    pub fn failed_groups(&self) -> Vec<GroupId> {
+        self.down.iter().map(GroupId).collect()
+    }
+
+    /// The current network state as a [`Scenario`] (probability field set
+    /// to the analytic probability of this exact state).
+    pub fn current_scenario(&self, topo: &Topology) -> Scenario {
+        Scenario {
+            failed: self.down.clone(),
+            probability: bate_net::scenario::scenario_probability(topo, &self.down),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bate_net::topologies;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gap_distribution_matches_probability() {
+        let topo = topologies::testbed6();
+        let fp = FailureProcess::new(&topo, 3.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        // L4 (DC4-DC5) fails 1% per second: mean gap ≈ 100 s.
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let l4 = topo.find_link(n("DC4"), n("DC5")).unwrap();
+        let g = topo.link(l4).group;
+        let trials = 20_000;
+        let mean: f64 =
+            (0..trials).map(|_| fp.sample_gap(&mut rng, g)).sum::<f64>() / trials as f64;
+        assert!((mean - 100.0).abs() < 5.0, "mean gap {mean}");
+    }
+
+    #[test]
+    fn fail_repair_cycle() {
+        let topo = topologies::toy4();
+        let mut fp = FailureProcess::new(&topo, 3.0);
+        let g = GroupId(0);
+        assert!(!fp.any_down());
+        assert!(fp.fail(g));
+        assert!(!fp.fail(g), "double failure absorbed");
+        assert!(fp.any_down());
+        assert_eq!(fp.failed_groups(), vec![g]);
+        let sc = fp.current_scenario(&topo);
+        assert_eq!(sc.num_failures(), 1);
+        fp.repair(g);
+        assert!(!fp.any_down());
+    }
+
+    #[test]
+    fn zero_probability_never_fails() {
+        let mut topo = bate_net::Topology::new("t");
+        let a = topo.add_node("A");
+        let b = topo.add_node("B");
+        topo.add_duplex_link(a, b, 1.0, 0.0);
+        let fp = FailureProcess::new(&topo, 3.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(fp.sample_gap(&mut rng, GroupId(0)).is_infinite());
+    }
+}

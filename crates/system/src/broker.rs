@@ -1,0 +1,157 @@
+//! The per-DC broker (§4): receives allocations, programs the bandwidth
+//! enforcer, reports link events to the controller.
+
+use crate::enforcer::Enforcer;
+use crate::proto::{FlowEntry, Message};
+use crate::wire::{read_frame, write_frame, WireError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A connected broker. Disconnects when dropped.
+pub struct Broker {
+    writer: Arc<Mutex<TcpStream>>,
+    enforcer: Arc<Enforcer>,
+    installed: Arc<Mutex<HashMap<u64, Vec<FlowEntry>>>>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl Broker {
+    /// Connect to the controller and register as the broker for `dc`.
+    pub fn connect(addr: SocketAddr, dc: &str) -> io::Result<Broker> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut reg = stream.try_clone()?;
+        write_frame(&mut reg, &Message::RegisterBroker { dc: dc.to_string() })
+            .map_err(|e| io::Error::other(e.to_string()))?;
+
+        let enforcer = Arc::new(Enforcer::new());
+        let installed: Arc<Mutex<HashMap<u64, Vec<FlowEntry>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let writer = Arc::new(Mutex::new(stream.try_clone()?));
+
+        let e2 = Arc::clone(&enforcer);
+        let i2 = Arc::clone(&installed);
+        let w2 = Arc::clone(&writer);
+        let mut read_stream = stream;
+        let reader = std::thread::spawn(move || loop {
+            let msg: Message = match read_frame(&mut read_stream) {
+                Ok(m) => m,
+                Err(WireError::Closed) => return,
+                Err(_) => return,
+            };
+            match msg {
+                Message::InstallAllocation { demand, entries } => {
+                    // Replace the demand's enforcement entries wholesale:
+                    // the controller always sends the complete set.
+                    e2.remove_demand(demand);
+                    for entry in &entries {
+                        e2.install(demand, entry.pair, entry.tunnel, entry.rate);
+                    }
+                    i2.lock().insert(demand, entries);
+                }
+                Message::RemoveAllocation { demand } => {
+                    e2.remove_demand(demand);
+                    i2.lock().remove(&demand);
+                }
+                Message::Ping { token } => {
+                    let mut w = w2.lock();
+                    if write_frame(&mut *w, &Message::Pong { token }).is_err() {
+                        return;
+                    }
+                }
+                _ => {}
+            }
+        });
+
+        Ok(Broker {
+            writer,
+            enforcer,
+            installed,
+            reader: Some(reader),
+        })
+    }
+
+    /// Report a fate-group state change to the controller (the Network
+    /// Agent "tracks the network topology, reports any change or failure").
+    pub fn report_link(&self, group: u32, up: bool) -> io::Result<()> {
+        let mut w = self.writer.lock();
+        write_frame(&mut *w, &Message::LinkReport { group, up })
+            .map_err(|e| io::Error::other(e.to_string()))
+    }
+
+    /// Report measured delivery statistics for a demand.
+    pub fn report_stats(&self, demand: u64, delivered: f64) -> io::Result<()> {
+        let mut w = self.writer.lock();
+        write_frame(&mut *w, &Message::StatsReport { demand, delivered })
+            .map_err(|e| io::Error::other(e.to_string()))
+    }
+
+    /// The local bandwidth enforcer.
+    pub fn enforcer(&self) -> &Enforcer {
+        &self.enforcer
+    }
+
+    /// Total installed rate for a demand (0 until an install arrives).
+    pub fn installed_rate(&self, demand: u64) -> f64 {
+        self.installed
+            .lock()
+            .get(&demand)
+            .map(|es| es.iter().map(|e| e.rate).sum())
+            .unwrap_or(0.0)
+    }
+
+    /// The installed flow entries for a demand.
+    pub fn entries(&self, demand: u64) -> Vec<FlowEntry> {
+        self.installed
+            .lock()
+            .get(&demand)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Poll until an allocation for `demand` arrives (test/demo helper).
+    pub fn wait_for_demand(&self, demand: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if self.installed.lock().contains_key(&demand) {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        false
+    }
+
+    /// Poll until the installed rate of `demand` satisfies `pred`.
+    pub fn wait_for_rate(
+        &self,
+        demand: u64,
+        timeout: Duration,
+        pred: impl Fn(f64) -> bool,
+    ) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if pred(self.installed_rate(demand)) {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        false
+    }
+}
+
+impl Drop for Broker {
+    fn drop(&mut self) {
+        // Closing the write half unblocks the reader thread.
+        if let Ok(stream) = self.writer.lock().try_clone() {
+            stream.shutdown(std::net::Shutdown::Both).ok();
+        }
+        if let Some(r) = self.reader.take() {
+            r.join().ok();
+        }
+    }
+}

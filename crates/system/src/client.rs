@@ -1,0 +1,94 @@
+//! The user-facing client: submit and withdraw BA demands.
+
+use crate::proto::Message;
+use crate::wire::{read_frame, write_frame};
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+
+/// A blocking client connection to the controller.
+pub struct Client {
+    stream: TcpStream,
+    next_token: u64,
+}
+
+/// A demand submission.
+#[derive(Debug, Clone)]
+pub struct DemandRequest {
+    pub id: u64,
+    pub src: String,
+    pub dst: String,
+    /// Mbps.
+    pub bandwidth: f64,
+    /// Availability target in [0, 1].
+    pub beta: f64,
+    pub price: f64,
+    pub refund_ratio: f64,
+}
+
+impl DemandRequest {
+    /// A demand priced at one unit per Mbps with no refund clause.
+    pub fn new(id: u64, src: &str, dst: &str, bandwidth: f64, beta: f64) -> DemandRequest {
+        DemandRequest {
+            id,
+            src: src.to_string(),
+            dst: dst.to_string(),
+            bandwidth,
+            beta,
+            price: bandwidth,
+            refund_ratio: 0.0,
+        }
+    }
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            next_token: 0,
+        })
+    }
+
+    /// Submit a demand; returns whether it was admitted.
+    pub fn submit(&mut self, req: &DemandRequest) -> io::Result<bool> {
+        write_frame(
+            &mut self.stream,
+            &Message::SubmitDemand {
+                id: req.id,
+                src: req.src.clone(),
+                dst: req.dst.clone(),
+                bandwidth: req.bandwidth,
+                beta: req.beta,
+                price: req.price,
+                refund_ratio: req.refund_ratio,
+            },
+        )
+        .map_err(|e| io::Error::other(e.to_string()))?;
+        match read_frame::<Message>(&mut self.stream) {
+            Ok(Message::AdmissionReply { id, admitted }) if id == req.id => Ok(admitted),
+            Ok(other) => Err(io::Error::other(format!("unexpected reply: {other:?}"))),
+            Err(e) => Err(io::Error::other(e.to_string())),
+        }
+    }
+
+    /// Withdraw a demand (fire-and-forget, like the paper's FCFS teardown).
+    pub fn withdraw(&mut self, id: u64) -> io::Result<()> {
+        write_frame(&mut self.stream, &Message::WithdrawDemand { id })
+            .map_err(|e| io::Error::other(e.to_string()))
+    }
+
+    /// Round-trip liveness probe; returns the measured RTT.
+    pub fn ping(&mut self) -> io::Result<std::time::Duration> {
+        self.next_token += 1;
+        let token = self.next_token;
+        let start = std::time::Instant::now();
+        write_frame(&mut self.stream, &Message::Ping { token })
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        match read_frame::<Message>(&mut self.stream) {
+            Ok(Message::Pong { token: t }) if t == token => Ok(start.elapsed()),
+            Ok(other) => Err(io::Error::other(format!("unexpected reply: {other:?}"))),
+            Err(e) => Err(io::Error::other(e.to_string())),
+        }
+    }
+}

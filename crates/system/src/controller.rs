@@ -1,0 +1,392 @@
+//! The central controller (§4): admission control, scheduling, failure
+//! recovery, and broker coordination behind a TCP listener.
+
+use crate::proto::{FlowEntry, Message};
+use crate::wire::{read_frame, write_frame, WireError};
+use bate_core::admission::{self, AdmissionOutcome};
+use bate_core::recovery::greedy::greedy_recovery;
+use bate_core::scheduling::schedule_hardened as schedule;
+use bate_core::{Allocation, BaDemand, DemandId, TeContext};
+use bate_net::{GroupId, LinkSet, Scenario, ScenarioSet, Topology};
+use bate_routing::{RoutingScheme, TunnelSet};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Controller parameters.
+pub struct ControllerConfig {
+    pub topo: Topology,
+    pub routing: RoutingScheme,
+    /// Scenario pruning depth `y` for the scheduling LP.
+    pub max_failures: usize,
+    /// Period of the Online Scheduler's automatic rescheduling rounds
+    /// (§3.3 suggests minutes in production; `None` disables the thread —
+    /// rounds then only happen via [`Controller::run_schedule_round`]).
+    pub schedule_interval: Option<Duration>,
+}
+
+impl ControllerConfig {
+    /// A controller with manual scheduling rounds (what tests and demos
+    /// want — deterministic timing).
+    pub fn manual(topo: Topology, routing: RoutingScheme, max_failures: usize) -> Self {
+        ControllerConfig {
+            topo,
+            routing,
+            max_failures,
+            schedule_interval: None,
+        }
+    }
+}
+
+struct Shared {
+    topo: Topology,
+    tunnels: TunnelSet,
+    scenarios: ScenarioSet,
+    state: Mutex<CtrlState>,
+    shutdown: AtomicBool,
+}
+
+struct CtrlState {
+    demands: Vec<BaDemand>,
+    allocation: Allocation,
+    failed: LinkSet,
+    brokers: HashMap<String, Arc<Mutex<TcpStream>>>,
+}
+
+impl Shared {
+    fn ctx(&self) -> TeContext<'_> {
+        TeContext::new(&self.topo, &self.tunnels, &self.scenarios)
+    }
+}
+
+/// A running controller. Shuts down when dropped.
+pub struct Controller {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    scheduler_thread: Option<JoinHandle<()>>,
+}
+
+impl Controller {
+    /// Bind to an ephemeral localhost port and start serving.
+    pub fn start(config: ControllerConfig) -> io::Result<Controller> {
+        let tunnels = TunnelSet::compute(&config.topo, config.routing);
+        let scenarios = ScenarioSet::enumerate(&config.topo, config.max_failures);
+        let failed = LinkSet::new(config.topo.num_groups());
+        let shared = Arc::new(Shared {
+            topo: config.topo,
+            tunnels,
+            scenarios,
+            state: Mutex::new(CtrlState {
+                demands: Vec::new(),
+                allocation: Allocation::new(),
+                failed,
+                brokers: HashMap::new(),
+            }),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || {
+            while !accept_shared.shutdown.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nodelay(true).ok();
+                        let conn_shared = Arc::clone(&accept_shared);
+                        std::thread::spawn(move || {
+                            connection_loop(conn_shared, stream);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        // The Online Scheduler thread (§4): periodic rescheduling rounds.
+        let scheduler_thread = config.schedule_interval.map(|interval| {
+            let sched_shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                // Wake frequently so shutdown stays responsive even with
+                // long intervals.
+                let tick = Duration::from_millis(20).min(interval);
+                let mut elapsed = Duration::ZERO;
+                while !sched_shared.shutdown.load(Ordering::Relaxed) {
+                    std::thread::sleep(tick);
+                    elapsed += tick;
+                    if elapsed >= interval {
+                        elapsed = Duration::ZERO;
+                        schedule_round(&sched_shared);
+                    }
+                }
+            })
+        });
+
+        Ok(Controller {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            scheduler_thread,
+        })
+    }
+
+    /// Address clients and brokers connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of currently admitted demands.
+    pub fn admitted_count(&self) -> usize {
+        self.shared.state.lock().demands.len()
+    }
+
+    /// Number of registered brokers.
+    pub fn broker_count(&self) -> usize {
+        self.shared.state.lock().brokers.len()
+    }
+
+    /// Total rate currently allocated to a demand.
+    pub fn allocated_rate(&self, id: u64) -> f64 {
+        let state = self.shared.state.lock();
+        state
+            .allocation
+            .flows_of(DemandId(id))
+            .map(|(_, f)| f)
+            .sum()
+    }
+
+    /// Run a scheduling round now (the Online Scheduler also does this
+    /// periodically when `schedule_interval` is set).
+    pub fn run_schedule_round(&self) {
+        schedule_round(&self.shared);
+    }
+}
+
+/// One Online Scheduler round: re-optimize every admitted demand and push
+/// the fresh allocations to the brokers. Skipped while a failure is in
+/// effect (the recovery allocation stays authoritative until repair).
+fn schedule_round(shared: &Arc<Shared>) {
+    let ctx = shared.ctx();
+    let mut state = shared.state.lock();
+    if state.demands.is_empty() || !state.failed.is_empty() {
+        return;
+    }
+    if let Ok(res) = schedule(&ctx, &state.demands) {
+        state.allocation = res.allocation;
+        push_all_allocations(&ctx, &mut state);
+    }
+}
+
+impl Drop for Controller {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            t.join().ok();
+        }
+        if let Some(t) = self.scheduler_thread.take() {
+            t.join().ok();
+        }
+    }
+}
+
+fn connection_loop(shared: Arc<Shared>, mut stream: TcpStream) {
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let msg: Message = match read_frame(&mut stream) {
+            Ok(m) => m,
+            Err(WireError::Closed) => return,
+            Err(_) => return,
+        };
+        match msg {
+            Message::SubmitDemand {
+                id,
+                src,
+                dst,
+                bandwidth,
+                beta,
+                price,
+                refund_ratio,
+            } => {
+                let admitted = handle_submit(
+                    &shared,
+                    id,
+                    &src,
+                    &dst,
+                    bandwidth,
+                    beta,
+                    price,
+                    refund_ratio,
+                );
+                if write_frame(&mut stream, &Message::AdmissionReply { id, admitted }).is_err() {
+                    return;
+                }
+            }
+            Message::WithdrawDemand { id } => {
+                let ctx = shared.ctx();
+                let mut state = shared.state.lock();
+                state.demands.retain(|d| d.id.0 != id);
+                state.allocation.remove_demand(DemandId(id));
+                broadcast(&mut state, &Message::RemoveAllocation { demand: id });
+                let _ = ctx;
+            }
+            Message::RegisterBroker { dc } => {
+                if let Ok(clone) = stream.try_clone() {
+                    let mut state = shared.state.lock();
+                    state.brokers.insert(dc, Arc::new(Mutex::new(clone)));
+                }
+            }
+            Message::LinkReport { group, up } => {
+                handle_link_report(&shared, group as usize, up);
+            }
+            Message::Ping { token } => {
+                if write_frame(&mut stream, &Message::Pong { token }).is_err() {
+                    return;
+                }
+            }
+            // Stats are accepted and currently only acknowledged by
+            // silence; a production controller would aggregate them.
+            Message::StatsReport { .. } => {}
+            // Messages a controller never receives.
+            Message::AdmissionReply { .. }
+            | Message::InstallAllocation { .. }
+            | Message::RemoveAllocation { .. }
+            | Message::Pong { .. } => {}
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_submit(
+    shared: &Arc<Shared>,
+    id: u64,
+    src: &str,
+    dst: &str,
+    bandwidth: f64,
+    beta: f64,
+    price: f64,
+    refund_ratio: f64,
+) -> bool {
+    let (Some(s), Some(d)) = (shared.topo.find_node(src), shared.topo.find_node(dst)) else {
+        return false;
+    };
+    let Some(pair) = shared.tunnels.pair_index(s, d) else {
+        return false;
+    };
+    if bandwidth <= 0.0 || !(0.0..=1.0).contains(&beta) {
+        return false;
+    }
+    let demand = BaDemand {
+        id: DemandId(id),
+        bandwidth: vec![(pair, bandwidth)],
+        beta,
+        price,
+        refund_ratio: refund_ratio.clamp(0.0, 1.0),
+    };
+
+    let ctx = shared.ctx();
+    let mut state = shared.state.lock();
+    if state.demands.iter().any(|d| d.id.0 == id) {
+        return false; // duplicate id
+    }
+    match admission::admit(&ctx, &state.demands, &state.allocation, &demand) {
+        AdmissionOutcome::Admitted { allocation, .. } => {
+            for (t, f) in allocation.flows_of(demand.id) {
+                state.allocation.set(demand.id, t, f);
+            }
+            state.demands.push(demand.clone());
+            push_demand_allocation(&ctx, &mut state, demand.id);
+            true
+        }
+        AdmissionOutcome::Rejected => false,
+    }
+}
+
+fn handle_link_report(shared: &Arc<Shared>, group: usize, up: bool) {
+    let ctx = shared.ctx();
+    let mut state = shared.state.lock();
+    if group >= shared.topo.num_groups() {
+        return;
+    }
+    if up {
+        state.failed.remove(group);
+    } else {
+        state.failed.insert(group);
+    }
+    if state.demands.is_empty() {
+        return;
+    }
+    if state.failed.is_empty() {
+        // Everything healthy again: go back to a guaranteed schedule.
+        if let Ok(res) = schedule(&ctx, &state.demands) {
+            state.allocation = res.allocation;
+        }
+    } else {
+        // Failure in effect: reroute with Algorithm 2.
+        let scenario = Scenario {
+            failed: state.failed.clone(),
+            probability: 0.0,
+        };
+        let out = greedy_recovery(&ctx, &state.demands, &scenario);
+        state.allocation = out.allocation;
+    }
+    push_all_allocations(&ctx, &mut state);
+}
+
+/// Send one demand's current allocation to every broker.
+fn push_demand_allocation(ctx: &TeContext, state: &mut CtrlState, id: DemandId) {
+    let entries: Vec<FlowEntry> = state
+        .allocation
+        .flows_of(id)
+        .map(|(t, f)| FlowEntry {
+            pair: t.pair as u32,
+            tunnel: t.tunnel as u32,
+            rate: f,
+        })
+        .collect();
+    let _ = ctx;
+    broadcast(
+        state,
+        &Message::InstallAllocation {
+            demand: id.0,
+            entries,
+        },
+    );
+}
+
+fn push_all_allocations(ctx: &TeContext, state: &mut CtrlState) {
+    let ids: Vec<DemandId> = state.demands.iter().map(|d| d.id).collect();
+    for id in ids {
+        push_demand_allocation(ctx, state, id);
+    }
+}
+
+fn broadcast(state: &mut CtrlState, msg: &Message) {
+    let mut dead: Vec<String> = Vec::new();
+    for (dc, stream) in &state.brokers {
+        let mut s = stream.lock();
+        if write_frame(&mut *s, msg).is_err() {
+            dead.push(dc.clone());
+        }
+    }
+    for dc in dead {
+        state.brokers.remove(&dc);
+    }
+}
+
+/// Convenience: the failed fate groups a scenario encodes (used by demos).
+pub fn failed_groups_of(scenario: &Scenario) -> Vec<GroupId> {
+    scenario.failed.iter().map(GroupId).collect()
+}

@@ -1,0 +1,283 @@
+//! The controller ⇄ broker ⇄ client message vocabulary.
+
+use crate::wire::{Decode, Encode, WireError};
+use bytes::{Bytes, BytesMut};
+
+/// One tunnel's share of a demand's allocation, as pushed to brokers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowEntry {
+    /// s-d pair index in the controller's tunnel set.
+    pub pair: u32,
+    /// Tunnel index within the pair.
+    pub tunnel: u32,
+    /// Rate limit in Mbps.
+    pub rate: f64,
+}
+
+impl Encode for FlowEntry {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.pair.encode(buf);
+        self.tunnel.encode(buf);
+        self.rate.encode(buf);
+    }
+}
+
+impl Decode for FlowEntry {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(FlowEntry {
+            pair: u32::decode(buf)?,
+            tunnel: u32::decode(buf)?,
+            rate: f64::decode(buf)?,
+        })
+    }
+}
+
+/// Protocol messages. One enum for all parties keeps the codec simple; each
+/// role only sends/handles its own subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// client → controller: request admission of a single-pair BA demand.
+    SubmitDemand {
+        id: u64,
+        src: String,
+        dst: String,
+        bandwidth: f64,
+        /// Availability target in [0, 1].
+        beta: f64,
+        price: f64,
+        refund_ratio: f64,
+    },
+    /// client → controller: demand lifetime ended.
+    WithdrawDemand {
+        id: u64,
+    },
+    /// controller → client.
+    AdmissionReply {
+        id: u64,
+        admitted: bool,
+    },
+    /// broker → controller: identify as the broker for a DC.
+    RegisterBroker {
+        dc: String,
+    },
+    /// controller → broker: install/replace a demand's flow entries.
+    InstallAllocation {
+        demand: u64,
+        entries: Vec<FlowEntry>,
+    },
+    /// controller → broker: remove a demand.
+    RemoveAllocation {
+        demand: u64,
+    },
+    /// broker → controller: a fate group changed state.
+    LinkReport {
+        group: u32,
+        up: bool,
+    },
+    /// broker → controller: measured delivery for a demand (statistics).
+    StatsReport {
+        demand: u64,
+        delivered: f64,
+    },
+    /// Liveness probe (either direction).
+    Ping {
+        token: u64,
+    },
+    Pong {
+        token: u64,
+    },
+}
+
+// Message tags.
+const T_SUBMIT: u8 = 1;
+const T_WITHDRAW: u8 = 2;
+const T_ADMISSION: u8 = 3;
+const T_REGISTER: u8 = 4;
+const T_INSTALL: u8 = 5;
+const T_REMOVE: u8 = 6;
+const T_LINK: u8 = 7;
+const T_STATS: u8 = 8;
+const T_PING: u8 = 9;
+const T_PONG: u8 = 10;
+
+impl Encode for Message {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Message::SubmitDemand {
+                id,
+                src,
+                dst,
+                bandwidth,
+                beta,
+                price,
+                refund_ratio,
+            } => {
+                T_SUBMIT.encode(buf);
+                id.encode(buf);
+                src.encode(buf);
+                dst.encode(buf);
+                bandwidth.encode(buf);
+                beta.encode(buf);
+                price.encode(buf);
+                refund_ratio.encode(buf);
+            }
+            Message::WithdrawDemand { id } => {
+                T_WITHDRAW.encode(buf);
+                id.encode(buf);
+            }
+            Message::AdmissionReply { id, admitted } => {
+                T_ADMISSION.encode(buf);
+                id.encode(buf);
+                admitted.encode(buf);
+            }
+            Message::RegisterBroker { dc } => {
+                T_REGISTER.encode(buf);
+                dc.encode(buf);
+            }
+            Message::InstallAllocation { demand, entries } => {
+                T_INSTALL.encode(buf);
+                demand.encode(buf);
+                entries.encode(buf);
+            }
+            Message::RemoveAllocation { demand } => {
+                T_REMOVE.encode(buf);
+                demand.encode(buf);
+            }
+            Message::LinkReport { group, up } => {
+                T_LINK.encode(buf);
+                group.encode(buf);
+                up.encode(buf);
+            }
+            Message::StatsReport { demand, delivered } => {
+                T_STATS.encode(buf);
+                demand.encode(buf);
+                delivered.encode(buf);
+            }
+            Message::Ping { token } => {
+                T_PING.encode(buf);
+                token.encode(buf);
+            }
+            Message::Pong { token } => {
+                T_PONG.encode(buf);
+                token.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for Message {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let tag = u8::decode(buf)?;
+        Ok(match tag {
+            T_SUBMIT => Message::SubmitDemand {
+                id: u64::decode(buf)?,
+                src: String::decode(buf)?,
+                dst: String::decode(buf)?,
+                bandwidth: f64::decode(buf)?,
+                beta: f64::decode(buf)?,
+                price: f64::decode(buf)?,
+                refund_ratio: f64::decode(buf)?,
+            },
+            T_WITHDRAW => Message::WithdrawDemand {
+                id: u64::decode(buf)?,
+            },
+            T_ADMISSION => Message::AdmissionReply {
+                id: u64::decode(buf)?,
+                admitted: bool::decode(buf)?,
+            },
+            T_REGISTER => Message::RegisterBroker {
+                dc: String::decode(buf)?,
+            },
+            T_INSTALL => Message::InstallAllocation {
+                demand: u64::decode(buf)?,
+                entries: Vec::<FlowEntry>::decode(buf)?,
+            },
+            T_REMOVE => Message::RemoveAllocation {
+                demand: u64::decode(buf)?,
+            },
+            T_LINK => Message::LinkReport {
+                group: u32::decode(buf)?,
+                up: bool::decode(buf)?,
+            },
+            T_STATS => Message::StatsReport {
+                demand: u64::decode(buf)?,
+                delivered: f64::decode(buf)?,
+            },
+            T_PING => Message::Ping {
+                token: u64::decode(buf)?,
+            },
+            T_PONG => Message::Pong {
+                token: u64::decode(buf)?,
+            },
+            other => return Err(WireError::Malformed(format!("unknown tag {other}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let mut buf = BytesMut::new();
+        msg.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let back = Message::decode(&mut bytes).unwrap();
+        assert_eq!(msg, back);
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        roundtrip(Message::SubmitDemand {
+            id: 42,
+            src: "DC1".into(),
+            dst: "DC4".into(),
+            bandwidth: 25.5,
+            beta: 0.999,
+            price: 25.5,
+            refund_ratio: 0.1,
+        });
+        roundtrip(Message::WithdrawDemand { id: 42 });
+        roundtrip(Message::AdmissionReply {
+            id: 42,
+            admitted: true,
+        });
+        roundtrip(Message::RegisterBroker { dc: "DC3".into() });
+        roundtrip(Message::InstallAllocation {
+            demand: 7,
+            entries: vec![
+                FlowEntry {
+                    pair: 1,
+                    tunnel: 0,
+                    rate: 100.0,
+                },
+                FlowEntry {
+                    pair: 1,
+                    tunnel: 2,
+                    rate: 55.5,
+                },
+            ],
+        });
+        roundtrip(Message::RemoveAllocation { demand: 7 });
+        roundtrip(Message::LinkReport {
+            group: 3,
+            up: false,
+        });
+        roundtrip(Message::StatsReport {
+            demand: 7,
+            delivered: 98.6,
+        });
+        roundtrip(Message::Ping { token: 1 });
+        roundtrip(Message::Pong { token: 1 });
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let mut bytes = Bytes::from_static(&[99]);
+        assert!(matches!(
+            Message::decode(&mut bytes),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

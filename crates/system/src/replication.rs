@@ -1,0 +1,511 @@
+//! Controller replication: master election by single-decree Paxos (§4).
+//!
+//! "Controller failures can be remedied by using multiple replications,
+//! where the master controller is elected by the Paxos algorithm [37]."
+//! This module implements exactly that slice of Paxos: a set of controller
+//! replicas agree on *one* value — the id of the master — with the classic
+//! prepare/promise, accept/accepted exchange over the same length-prefixed
+//! TCP framing the rest of the system uses.
+//!
+//! Properties (the single-decree Paxos guarantees):
+//! * **Safety** — once a value is chosen by a majority of acceptors, every
+//!   later successful election returns the same value, even with competing
+//!   proposers.
+//! * **Liveness under quorum** — a proposer that can reach a majority of
+//!   acceptors and picks a high enough ballot succeeds; without a quorum
+//!   the election fails with [`ElectError::NoQuorum`] rather than hanging.
+
+use crate::wire::{read_frame, write_frame, Decode, Encode, WireError};
+use bytes::{Bytes, BytesMut};
+use parking_lot::Mutex;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Paxos wire messages.
+#[derive(Debug, Clone, PartialEq)]
+enum PaxosMsg {
+    /// Proposer → acceptor, phase 1.
+    Prepare { ballot: u64 },
+    /// Acceptor → proposer: promise not to accept ballots below `ballot`.
+    /// Carries the highest previously accepted (ballot, value), if any.
+    Promise {
+        ok: bool,
+        /// The acceptor's current promise (for proposer back-off).
+        promised: u64,
+        accepted: Option<(u64, u64)>,
+    },
+    /// Proposer → acceptor, phase 2.
+    Accept { ballot: u64, value: u64 },
+    /// Acceptor → proposer.
+    Accepted { ok: bool, promised: u64 },
+    /// Anyone → acceptor: what do you believe is chosen?
+    Query,
+    /// Acceptor → anyone.
+    ChosenReply { value: Option<u64> },
+    /// Proposer → acceptor after a successful round (learner broadcast).
+    Chosen { value: u64 },
+}
+
+const T_PREPARE: u8 = 1;
+const T_PROMISE: u8 = 2;
+const T_ACCEPT: u8 = 3;
+const T_ACCEPTED: u8 = 4;
+const T_QUERY: u8 = 5;
+const T_CHOSEN_REPLY: u8 = 6;
+const T_CHOSEN: u8 = 7;
+
+impl Encode for PaxosMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            PaxosMsg::Prepare { ballot } => {
+                T_PREPARE.encode(buf);
+                ballot.encode(buf);
+            }
+            PaxosMsg::Promise {
+                ok,
+                promised,
+                accepted,
+            } => {
+                T_PROMISE.encode(buf);
+                ok.encode(buf);
+                promised.encode(buf);
+                match accepted {
+                    Some((b, v)) => {
+                        true.encode(buf);
+                        b.encode(buf);
+                        v.encode(buf);
+                    }
+                    None => false.encode(buf),
+                }
+            }
+            PaxosMsg::Accept { ballot, value } => {
+                T_ACCEPT.encode(buf);
+                ballot.encode(buf);
+                value.encode(buf);
+            }
+            PaxosMsg::Accepted { ok, promised } => {
+                T_ACCEPTED.encode(buf);
+                ok.encode(buf);
+                promised.encode(buf);
+            }
+            PaxosMsg::Query => T_QUERY.encode(buf),
+            PaxosMsg::ChosenReply { value } => {
+                T_CHOSEN_REPLY.encode(buf);
+                match value {
+                    Some(v) => {
+                        true.encode(buf);
+                        v.encode(buf);
+                    }
+                    None => false.encode(buf),
+                }
+            }
+            PaxosMsg::Chosen { value } => {
+                T_CHOSEN.encode(buf);
+                value.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for PaxosMsg {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match u8::decode(buf)? {
+            T_PREPARE => PaxosMsg::Prepare {
+                ballot: u64::decode(buf)?,
+            },
+            T_PROMISE => {
+                let ok = bool::decode(buf)?;
+                let promised = u64::decode(buf)?;
+                let accepted = if bool::decode(buf)? {
+                    Some((u64::decode(buf)?, u64::decode(buf)?))
+                } else {
+                    None
+                };
+                PaxosMsg::Promise {
+                    ok,
+                    promised,
+                    accepted,
+                }
+            }
+            T_ACCEPT => PaxosMsg::Accept {
+                ballot: u64::decode(buf)?,
+                value: u64::decode(buf)?,
+            },
+            T_ACCEPTED => PaxosMsg::Accepted {
+                ok: bool::decode(buf)?,
+                promised: u64::decode(buf)?,
+            },
+            T_QUERY => PaxosMsg::Query,
+            T_CHOSEN_REPLY => {
+                let value = if bool::decode(buf)? {
+                    Some(u64::decode(buf)?)
+                } else {
+                    None
+                };
+                PaxosMsg::ChosenReply { value }
+            }
+            T_CHOSEN => PaxosMsg::Chosen {
+                value: u64::decode(buf)?,
+            },
+            other => return Err(WireError::Malformed(format!("paxos tag {other}"))),
+        })
+    }
+}
+
+/// Acceptor state (single decree).
+#[derive(Debug, Default)]
+struct AcceptorState {
+    promised: u64,
+    accepted: Option<(u64, u64)>,
+    chosen: Option<u64>,
+}
+
+/// Election failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ElectError {
+    /// Fewer than a majority of acceptors answered.
+    NoQuorum,
+    /// Retries exhausted (persistent ballot races).
+    RetriesExhausted,
+}
+
+impl std::fmt::Display for ElectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElectError::NoQuorum => write!(f, "no acceptor quorum reachable"),
+            ElectError::RetriesExhausted => write!(f, "election retries exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for ElectError {}
+
+/// One controller replica: an always-on Paxos acceptor plus a proposer
+/// API for running elections.
+pub struct Replica {
+    id: u64,
+    addr: SocketAddr,
+    state: Arc<Mutex<AcceptorState>>,
+    shutdown: Arc<AtomicBool>,
+    ballot_counter: AtomicU64,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Replica {
+    /// Start an acceptor on an ephemeral localhost port.
+    pub fn start(id: u64) -> io::Result<Replica> {
+        assert!(id < (1 << 16), "replica ids must fit 16 bits (ballot scheme)");
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let state = Arc::new(Mutex::new(AcceptorState::default()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let st = Arc::clone(&state);
+        let sd = Arc::clone(&shutdown);
+        let accept_thread = std::thread::spawn(move || {
+            while !sd.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nodelay(true).ok();
+                        let st = Arc::clone(&st);
+                        std::thread::spawn(move || acceptor_loop(st, stream));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        Ok(Replica {
+            id,
+            addr,
+            state,
+            shutdown,
+            ballot_counter: AtomicU64::new(0),
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// What this replica believes was chosen (learned locally).
+    pub fn chosen(&self) -> Option<u64> {
+        self.state.lock().chosen
+    }
+
+    /// Globally unique, monotonically increasing ballot: counter ‖ id.
+    fn next_ballot(&self, at_least: u64) -> u64 {
+        let min_counter = (at_least >> 16) + 1;
+        let counter = self
+            .ballot_counter
+            .fetch_max(min_counter, Ordering::Relaxed)
+            .max(min_counter);
+        self.ballot_counter.store(counter + 1, Ordering::Relaxed);
+        (counter << 16) | self.id
+    }
+
+    /// Run an election proposing `candidate` (usually `self.id`) as
+    /// master, against the given acceptors (normally all replicas'
+    /// addresses including our own). Returns the *chosen* master — which,
+    /// per Paxos, may be an earlier winner rather than `candidate`.
+    pub fn propose_master(
+        &self,
+        acceptors: &[SocketAddr],
+        candidate: u64,
+    ) -> Result<u64, ElectError> {
+        let majority = acceptors.len() / 2 + 1;
+        let mut floor = 0u64;
+        for _attempt in 0..16 {
+            let ballot = self.next_ballot(floor);
+
+            // Phase 1: prepare.
+            let mut promises = 0usize;
+            let mut best_accepted: Option<(u64, u64)> = None;
+            let mut highest_seen = ballot;
+            for &addr in acceptors {
+                match call(addr, &PaxosMsg::Prepare { ballot }) {
+                    Some(PaxosMsg::Promise {
+                        ok,
+                        promised,
+                        accepted,
+                    }) => {
+                        highest_seen = highest_seen.max(promised);
+                        if ok {
+                            promises += 1;
+                            if let Some((b, v)) = accepted {
+                                if best_accepted.map_or(true, |(bb, _)| b > bb) {
+                                    best_accepted = Some((b, v));
+                                }
+                            }
+                        }
+                    }
+                    _ => continue,
+                }
+            }
+            if promises < majority {
+                if promises == 0 || highest_seen == ballot {
+                    return Err(ElectError::NoQuorum);
+                }
+                floor = highest_seen;
+                continue;
+            }
+
+            // Phase 2: accept — a previously accepted value wins over ours.
+            let value = best_accepted.map(|(_, v)| v).unwrap_or(candidate);
+            let mut accepts = 0usize;
+            for &addr in acceptors {
+                if let Some(PaxosMsg::Accepted { ok, promised }) =
+                    call(addr, &PaxosMsg::Accept { ballot, value })
+                {
+                    highest_seen = highest_seen.max(promised);
+                    if ok {
+                        accepts += 1;
+                    }
+                }
+            }
+            if accepts >= majority {
+                // Learner broadcast (best effort).
+                for &addr in acceptors {
+                    call(addr, &PaxosMsg::Chosen { value });
+                }
+                self.state.lock().chosen = Some(value);
+                return Ok(value);
+            }
+            floor = highest_seen;
+        }
+        Err(ElectError::RetriesExhausted)
+    }
+
+    /// Ask an acceptor what it has learned.
+    pub fn query(addr: SocketAddr) -> Option<u64> {
+        match call(addr, &PaxosMsg::Query) {
+            Some(PaxosMsg::ChosenReply { value }) => value,
+            _ => None,
+        }
+    }
+}
+
+impl Drop for Replica {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            t.join().ok();
+        }
+    }
+}
+
+/// One request/response exchange with an acceptor (short-lived
+/// connection; elections are rare).
+fn call(addr: SocketAddr, msg: &PaxosMsg) -> Option<PaxosMsg> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_millis(200)).ok()?;
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .ok();
+    write_frame(&mut stream, msg).ok()?;
+    match msg {
+        // One-way learner broadcast: no reply expected.
+        PaxosMsg::Chosen { .. } => Some(PaxosMsg::Query),
+        _ => read_frame(&mut stream).ok(),
+    }
+}
+
+/// Acceptor protocol handler: one connection, sequential requests.
+fn acceptor_loop(state: Arc<Mutex<AcceptorState>>, mut stream: TcpStream) {
+    loop {
+        let msg: PaxosMsg = match read_frame(&mut stream) {
+            Ok(m) => m,
+            Err(_) => return,
+        };
+        let reply = {
+            let mut st = state.lock();
+            match msg {
+                PaxosMsg::Prepare { ballot } => {
+                    if ballot > st.promised {
+                        st.promised = ballot;
+                        Some(PaxosMsg::Promise {
+                            ok: true,
+                            promised: st.promised,
+                            accepted: st.accepted,
+                        })
+                    } else {
+                        Some(PaxosMsg::Promise {
+                            ok: false,
+                            promised: st.promised,
+                            accepted: st.accepted,
+                        })
+                    }
+                }
+                PaxosMsg::Accept { ballot, value } => {
+                    if ballot >= st.promised {
+                        st.promised = ballot;
+                        st.accepted = Some((ballot, value));
+                        Some(PaxosMsg::Accepted {
+                            ok: true,
+                            promised: st.promised,
+                        })
+                    } else {
+                        Some(PaxosMsg::Accepted {
+                            ok: false,
+                            promised: st.promised,
+                        })
+                    }
+                }
+                PaxosMsg::Query => Some(PaxosMsg::ChosenReply { value: st.chosen }),
+                PaxosMsg::Chosen { value } => {
+                    st.chosen = Some(value);
+                    None
+                }
+                // Replies are never received by an acceptor.
+                _ => None,
+            }
+        };
+        if let Some(reply) = reply {
+            if write_frame(&mut stream, &reply).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize) -> (Vec<Replica>, Vec<SocketAddr>) {
+        let replicas: Vec<Replica> = (0..n as u64).map(|i| Replica::start(i).unwrap()).collect();
+        let addrs: Vec<SocketAddr> = replicas.iter().map(|r| r.addr()).collect();
+        (replicas, addrs)
+    }
+
+    #[test]
+    fn single_proposer_elects_itself() {
+        let (replicas, addrs) = cluster(3);
+        let master = replicas[1].propose_master(&addrs, 1).unwrap();
+        assert_eq!(master, 1);
+        // Every acceptor learned the choice.
+        for addr in &addrs {
+            assert_eq!(Replica::query(*addr), Some(1));
+        }
+    }
+
+    #[test]
+    fn second_election_returns_first_winner() {
+        let (replicas, addrs) = cluster(3);
+        let first = replicas[0].propose_master(&addrs, 0).unwrap();
+        assert_eq!(first, 0);
+        // Replica 2 campaigns later — Paxos forces it to adopt the chosen
+        // value.
+        let second = replicas[2].propose_master(&addrs, 2).unwrap();
+        assert_eq!(second, 0, "an already-chosen master must stick");
+    }
+
+    #[test]
+    fn concurrent_proposers_agree() {
+        let (replicas, addrs) = cluster(5);
+        let replicas = Arc::new(replicas);
+        let addrs = Arc::new(addrs);
+        let mut handles = Vec::new();
+        let results = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3usize {
+            let addrs = Arc::clone(&addrs);
+            let results = Arc::clone(&results);
+            let replicas = Arc::clone(&replicas);
+            handles.push(std::thread::spawn(move || {
+                if let Ok(v) = replicas[i].propose_master(&addrs, i as u64) {
+                    results.lock().push(v);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let results = results.lock();
+        assert!(!results.is_empty(), "at least one proposer must win");
+        let first = results[0];
+        assert!(
+            results.iter().all(|&v| v == first),
+            "diverging masters: {results:?}"
+        );
+    }
+
+    #[test]
+    fn no_quorum_fails_cleanly() {
+        let (replicas, mut addrs) = cluster(3);
+        // Two of three acceptors unreachable (closed ports).
+        let dead = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead_addr = dead.local_addr().unwrap();
+        drop(dead);
+        addrs[1] = dead_addr;
+        addrs[2] = dead_addr;
+        assert_eq!(
+            replicas[0].propose_master(&addrs, 0),
+            Err(ElectError::NoQuorum)
+        );
+    }
+
+    #[test]
+    fn minority_acceptors_still_elect_with_quorum() {
+        let (replicas, mut addrs) = cluster(5);
+        // One acceptor down out of five: quorum (3) still reachable.
+        let dead = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead_addr = dead.local_addr().unwrap();
+        drop(dead);
+        addrs[4] = dead_addr;
+        let master = replicas[0].propose_master(&addrs, 0).unwrap();
+        assert_eq!(master, 0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Length-prefixed binary framing and primitive codecs.
+//!
+//! Frame layout: `u32` big-endian payload length, then the payload. The
+//! payload is encoded with the [`Encode`]/[`Decode`] traits below — a small
+//! hand-rolled binary format (fixed-width integers big-endian, f64 as IEEE
+//! bits, strings and vectors length-prefixed) so the workspace needs no
+//! serialization framework beyond `bytes`.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum accepted frame size; anything larger is a protocol violation.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Errors surfaced by the codec.
+#[derive(Debug)]
+pub enum WireError {
+    Io(io::Error),
+    /// Frame exceeded [`MAX_FRAME`] or was otherwise malformed.
+    Malformed(String),
+    /// The peer closed the connection cleanly.
+    Closed,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io error: {e}"),
+            WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            WireError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Encode a value into a buffer.
+pub trait Encode {
+    fn encode(&self, buf: &mut BytesMut);
+}
+
+/// Decode a value from a buffer.
+pub trait Decode: Sized {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError>;
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        Err(WireError::Malformed(format!(
+            "need {n} bytes, have {}",
+            buf.remaining()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+macro_rules! int_codec {
+    ($ty:ty, $put:ident, $get:ident, $n:expr) => {
+        impl Encode for $ty {
+            fn encode(&self, buf: &mut BytesMut) {
+                buf.$put(*self);
+            }
+        }
+        impl Decode for $ty {
+            fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+                need(buf, $n)?;
+                Ok(buf.$get())
+            }
+        }
+    };
+}
+
+int_codec!(u8, put_u8, get_u8, 1);
+int_codec!(u32, put_u32, get_u32, 4);
+int_codec!(u64, put_u64, get_u64, 8);
+
+impl Encode for f64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_f64(*self);
+    }
+}
+
+impl Decode for f64 {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        need(buf, 8)?;
+        Ok(buf.get_f64())
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self as u8);
+    }
+}
+
+impl Decode for bool {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        need(buf, 1)?;
+        match buf.get_u8() {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::Malformed(format!("bad bool byte {b}"))),
+        }
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.len() as u32).encode(buf);
+        buf.put_slice(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let len = u32::decode(buf)? as usize;
+        need(buf, len)?;
+        let bytes = buf.split_to(len);
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| WireError::Malformed(format!("bad utf8: {e}")))
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.len() as u32).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let len = u32::decode(buf)? as usize;
+        if len > MAX_FRAME {
+            return Err(WireError::Malformed(format!("vector of {len} elements")));
+        }
+        let mut out = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Write one frame (blocking).
+pub fn write_frame<T: Encode>(stream: &mut TcpStream, msg: &T) -> Result<(), WireError> {
+    let mut payload = BytesMut::new();
+    msg.encode(&mut payload);
+    if payload.len() > MAX_FRAME {
+        return Err(WireError::Malformed(format!(
+            "frame too large: {}",
+            payload.len()
+        )));
+    }
+    let mut head = [0u8; 4];
+    head.copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    stream.write_all(&head)?;
+    stream.write_all(&payload)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Read one frame (blocking). [`WireError::Closed`] on clean EOF at a frame
+/// boundary.
+pub fn read_frame<T: Decode>(stream: &mut TcpStream) -> Result<T, WireError> {
+    let mut head = [0u8; 4];
+    match stream.read_exact(&mut head) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Err(WireError::Closed),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_be_bytes(head) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::Malformed(format!("frame of {len} bytes")));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    let mut bytes = Bytes::from(payload);
+    let msg = T::decode(&mut bytes)?;
+    if bytes.has_remaining() {
+        return Err(WireError::Malformed(format!(
+            "{} trailing bytes",
+            bytes.remaining()
+        )));
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = BytesMut::new();
+        v.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let back = T::decode(&mut bytes).unwrap();
+        assert_eq!(v, back);
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(0xDEAD_BEEFu32);
+        roundtrip(u64::MAX);
+        roundtrip(3.141592653589793f64);
+        roundtrip(f64::NEG_INFINITY);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip("hello → world".to_string());
+        roundtrip(String::new());
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut buf = BytesMut::new();
+        12345u64.encode(&mut buf);
+        let mut short = buf.freeze().slice(0..4);
+        assert!(matches!(
+            u64::decode(&mut short),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_bad_bool() {
+        let mut bytes = Bytes::from_static(&[7]);
+        assert!(matches!(
+            bool::decode(&mut bytes),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn frames_over_tcp() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let v: Vec<u64> = read_frame(&mut conn).unwrap();
+            write_frame(&mut conn, &v.iter().sum::<u64>()).unwrap();
+            // Next read observes the client's clean close.
+            assert!(matches!(
+                read_frame::<u64>(&mut conn),
+                Err(WireError::Closed)
+            ));
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_frame(&mut stream, &vec![1u64, 2, 3]).unwrap();
+        let sum: u64 = read_frame(&mut stream).unwrap();
+        assert_eq!(sum, 6);
+        drop(stream);
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,87 @@
+//! The §5.1 "parallel demands" case study (Table 3 / Fig. 9): three
+//! concurrent demands with different availability targets, allocated by
+//! BATE, TEAVAR, and FFC.
+//!
+//! ```text
+//! cargo run --example parallel_demands
+//! ```
+
+use bate::baselines::{traits::Bate, Ffc, TeAlgorithm, Teavar};
+use bate::core::{Allocation, BaDemand, TeContext};
+use bate::net::{topologies, ScenarioSet};
+use bate::routing::{RoutingScheme, TunnelSet};
+
+fn main() {
+    let topo = topologies::testbed6();
+    let tunnels = TunnelSet::compute(&topo, RoutingScheme::default_ksp4());
+    let scenarios = ScenarioSet::enumerate(&topo, topo.num_groups());
+    let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+
+    let n = |s: &str| topo.find_node(s).unwrap();
+    // Table 3: demand-1 1000 Mbps DC1→DC3 @ 99.5 %, demand-2 500 Mbps
+    // DC1→DC4 @ 99.9 %, demand-3 1500 Mbps DC1→DC5 @ 95 %.
+    let demands = vec![
+        BaDemand::single(
+            1,
+            tunnels.pair_index(n("DC1"), n("DC3")).unwrap(),
+            1000.0,
+            0.995,
+        ),
+        BaDemand::single(
+            2,
+            tunnels.pair_index(n("DC1"), n("DC4")).unwrap(),
+            500.0,
+            0.999,
+        ),
+        BaDemand::single(
+            3,
+            tunnels.pair_index(n("DC1"), n("DC5")).unwrap(),
+            1500.0,
+            0.95,
+        ),
+    ];
+
+    let bate = Bate;
+    let teavar = Teavar::new(0.999);
+    let ffc = Ffc::new(1);
+    let algorithms: Vec<&dyn TeAlgorithm> = vec![&bate, &teavar, &ffc];
+
+    println!("Scheduled results (cf. Table 3):");
+    for algo in algorithms {
+        println!("\n=== {} ===", algo.name());
+        let alloc = algo
+            .allocate(&ctx, &demands)
+            .unwrap_or_else(|_| Allocation::new());
+        for d in &demands {
+            println!(
+                "demand-{} ({} Mbps @ {}%):",
+                d.id.0,
+                d.total_bandwidth(),
+                d.beta * 100.0
+            );
+            let mut any = false;
+            for (t, f) in alloc.flows_of(d.id) {
+                println!("  {:<42} {:>8.1} Mbps", tunnels.path(t).format(&topo), f);
+                any = true;
+            }
+            if !any {
+                println!("  (nothing allocated)");
+            }
+            let achieved = alloc.achieved_availability(&ctx, d);
+            println!(
+                "  achieved availability {:.5}% → {}",
+                achieved * 100.0,
+                if achieved >= d.beta {
+                    "meets target ✓"
+                } else {
+                    "misses target ✗"
+                }
+            );
+        }
+    }
+
+    println!(
+        "\nNote how BATE keeps demand-2 (99.9%) off L4 (DC4-DC5, 1% failure)\n\
+         while TEAVAR routes part of it across L4 — the mismatch §5.1 calls out."
+    );
+}

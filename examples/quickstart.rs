@@ -1,0 +1,95 @@
+//! Quickstart: build a WAN, admit demands with availability targets,
+//! schedule them, and inspect the guarantees.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use bate::core::{admission, scheduling, Allocation, BaDemand, TeContext};
+use bate::net::{topologies, ScenarioSet};
+use bate::routing::{RoutingScheme, TunnelSet};
+
+fn main() {
+    // 1. The network: the paper's 6-DC testbed (Fig. 6). 1 Gbps links,
+    //    heterogeneous failure probabilities (L4 = DC4-DC5 fails 1%).
+    let topo = topologies::testbed6();
+    println!("topology: {topo}");
+
+    // 2. Offline routing: 4-shortest-path tunnels for every DC pair.
+    let tunnels = TunnelSet::compute(&topo, RoutingScheme::default_ksp4());
+    println!(
+        "tunnels:  {} across {} pairs",
+        tunnels.total_tunnels(),
+        tunnels.num_pairs()
+    );
+
+    // 3. Failure scenarios, pruned at 2 concurrent failures (§3.3).
+    let scenarios = ScenarioSet::enumerate(&topo, 2);
+    println!(
+        "scenarios: {} enumerated, {:.6}% probability mass covered",
+        scenarios.len(),
+        scenarios.covered_probability() * 100.0
+    );
+    let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+
+    // 4. Demands with heterogeneous bandwidth-availability targets.
+    let n = |s: &str| topo.find_node(s).unwrap();
+    let pair = |a: &str, b: &str| tunnels.pair_index(n(a), n(b)).unwrap();
+    let requests = vec![
+        BaDemand::single(1, pair("DC1", "DC3"), 400.0, 0.9999), // DNS-class
+        BaDemand::single(2, pair("DC1", "DC4"), 300.0, 0.999),  // replication
+        BaDemand::single(3, pair("DC2", "DC6"), 600.0, 0.95),   // logs
+        BaDemand::single(4, pair("DC1", "DC3"), 5000.0, 0.99),  // too big!
+    ];
+
+    // 5. Online admission (§3.2): fixed check, then the Algorithm-1
+    //    conjecture, then reject.
+    let mut admitted: Vec<BaDemand> = Vec::new();
+    let mut current = Allocation::new();
+    for d in requests {
+        match admission::admit(&ctx, &admitted, &current, &d) {
+            admission::AdmissionOutcome::Admitted { path, allocation } => {
+                println!(
+                    "demand {} ({} Mbps @ {}%): ADMITTED via {:?}",
+                    d.id.0,
+                    d.total_bandwidth(),
+                    d.beta * 100.0,
+                    path
+                );
+                for (t, f) in allocation.flows_of(d.id) {
+                    current.set(d.id, t, f);
+                }
+                admitted.push(d);
+            }
+            admission::AdmissionOutcome::Rejected => {
+                println!(
+                    "demand {} ({} Mbps @ {}%): rejected",
+                    d.id.0,
+                    d.total_bandwidth(),
+                    d.beta * 100.0
+                );
+            }
+        }
+    }
+
+    // 6. Periodic traffic scheduling (§3.3): re-optimize everyone with the
+    //    minimum bandwidth that still meets every target.
+    let result = scheduling::schedule(&ctx, &admitted).expect("admitted demands must schedule");
+    println!(
+        "\nscheduled {} demands with {:.1} Mbps total allocated",
+        admitted.len(),
+        result.total_bandwidth
+    );
+    for d in &admitted {
+        let achieved = result.allocation.achieved_availability(&ctx, d);
+        println!(
+            "  demand {}: target {:>8.4}%  guaranteed {:>9.5}%",
+            d.id.0,
+            d.beta * 100.0,
+            achieved * 100.0
+        );
+        for (t, f) in result.allocation.flows_of(d.id) {
+            println!("    {:>7.1} Mbps on {}", f, tunnels.path(t).format(&topo));
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! # bate — facade crate
+//!
+//! Re-exports the full BATE workspace: the traffic-engineering core, its
+//! substrates (LP solver, WAN model, routing), the baseline TE algorithms,
+//! the discrete-event simulator, and the controller/broker system.
+//!
+//! See the repository README for a tour, `DESIGN.md` for the system
+//! inventory, and `examples/` for runnable entry points.
+
+pub use bate_baselines as baselines;
+pub use bate_core as core;
+pub use bate_lp as lp;
+pub use bate_net as net;
+pub use bate_routing as routing;
+pub use bate_sim as sim;
+pub use bate_system as system;
