@@ -1,0 +1,178 @@
+//! Offline shim for `criterion 0.5` — see `compat/README.md`.
+//!
+//! A real (if minimal) wall-clock micro-benchmark harness behind
+//! criterion's builder API: warm-up, fixed sample count within a
+//! measurement budget, and median/mean reporting to stdout. No statistical
+//! regression analysis, no HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness entry point handed to each `criterion_group!` function.
+pub struct Criterion {
+    /// `--quick` trims sample counts for smoke runs.
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: if self.quick { 10 } else { 100 },
+            warm_up: Duration::from_secs(1),
+            measurement: Duration::from_secs(3),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id.to_string(), f);
+        group.finish();
+    }
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        bencher.report(&label);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, once per sample, `sample_size` times or until the
+    /// measurement budget runs out (always at least 3 samples).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let warm_until = Instant::now() + self.warm_up;
+        while Instant::now() < warm_until {
+            black_box(f());
+        }
+        let budget = Instant::now() + self.measurement;
+        self.samples.clear();
+        for i in 0..self.sample_size.max(3) {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+            if i >= 2 && Instant::now() > budget {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<50} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "{label:<50} median {:>12?}  mean {:>12?}  ({} samples)",
+            median,
+            mean,
+            sorted.len()
+        );
+    }
+}
+
+/// Define a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` from one or more `criterion_group!` functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,10 @@
+//! Offline shim for `crossbeam 0.8` — see `compat/README.md`.
+//!
+//! Scoped threads have been in `std` since Rust 1.63, so the only piece of
+//! crossbeam this workspace's manifests reference is re-exported from the
+//! standard library. Parallel fan-out inside the workspace goes through
+//! `bate_lp::par`, which builds on these scoped threads.
+
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}

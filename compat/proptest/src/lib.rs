@@ -1,0 +1,115 @@
+//! Offline shim for `proptest 1` — see `compat/README.md`.
+//!
+//! Direct-generation property testing: strategies produce values straight
+//! from a deterministic RNG (SplitMix64 keyed by test name and case
+//! index), the runner executes the requested number of cases, and a
+//! failing case panics with the generated input's `Debug` output. There is
+//! **no shrinking** — failures report the raw counterexample.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection` / `prop::sample` namespace, mirroring upstream.
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Entry point: a block of property-test functions with `arg in strategy`
+/// parameter lists, optionally preceded by
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let strategy = ( $( $strat, )+ );
+                $crate::test_runner::run(
+                    stringify!($name),
+                    config,
+                    &strategy,
+                    |( $($arg,)+ )| { $body Ok(()) },
+                );
+            }
+        )*
+    };
+}
+
+/// Fail the current case (returns `Err` from the case closure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Discard the current case (does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,121 @@
+//! Case runner: deterministic seeds, reject handling, no shrinking.
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Runner configuration (only the case count is configurable).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure — aborts the whole test with a report.
+    Fail(String),
+    /// `prop_assume!` discard — the case is re-drawn.
+    Reject,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Execute `cases` generated inputs against `test`. Rejected cases are
+/// re-drawn (bounded); a failing case panics with the counterexample.
+pub fn run<S, F>(name: &str, config: ProptestConfig, strategy: &S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    let base_seed = fnv1a(name);
+    let max_attempts = (config.cases as u64).saturating_mul(64).max(1024);
+    let mut passed = 0u32;
+    let mut attempts = 0u64;
+    while passed < config.cases {
+        if attempts >= max_attempts {
+            panic!(
+                "proptest '{name}': too many rejected cases \
+                 ({passed}/{} passed after {attempts} attempts)",
+                config.cases
+            );
+        }
+        let mut rng = TestRng::new(base_seed.wrapping_add(attempts.wrapping_mul(0x9E37_79B9)));
+        attempts += 1;
+        let value = strategy.generate(&mut rng);
+        let repr = format!("{value:?}");
+        match test(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest '{name}' failed at case {passed} (attempt {attempts}):\n\
+                     {msg}\ninput: {repr}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut count = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        run("t", ProptestConfig::with_cases(10), &(0u32..5), |_| {
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        count += counter.get();
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failure_panics_with_message() {
+        run("t", ProptestConfig::with_cases(4), &(0u32..5), |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn rejects_are_redrawn() {
+        let seen = std::cell::Cell::new(0u32);
+        run("t", ProptestConfig::with_cases(8), &(0u32..10), |v| {
+            if v < 5 {
+                return Err(TestCaseError::Reject);
+            }
+            seen.set(seen.get() + 1);
+            Ok(())
+        });
+        assert_eq!(seen.get(), 8);
+    }
+}

@@ -1,0 +1,13 @@
+//! Offline shim for `serde 1` — see `compat/README.md`.
+//!
+//! Marker traits plus no-op derive macros. Nothing in this repository
+//! serializes through serde (no serde_json/bincode in the tree), so the
+//! traits carry no methods; the derives only need to exist so
+//! `#[derive(Serialize, Deserialize)]` compiles.
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive` — see `compat/README.md`.
+//!
+//! The derives in this repository are decorative (nothing serializes
+//! through serde — there is no serde_json or bincode in the tree), so the
+//! macros expand to nothing. `attributes(serde)` keeps any
+//! field/container `#[serde(...)]` attributes accepted.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

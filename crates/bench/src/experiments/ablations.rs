@@ -153,19 +153,29 @@ pub fn harden_ablation(seeds: &[u64]) -> HardenAblation {
     let env = Env::testbed();
     let ctx = env.ctx();
     let targets = AvailabilityClass::testbed_targets();
+    // Per-seed rounds (a schedule plus a hardening pass each) fan out;
+    // the sums below are order-independent integer counts.
+    let per_seed: Vec<(usize, usize, usize)> = bate_lp::par_map(seeds, |&seed| {
+        let demands = demand_snapshot(&env, 10, (100.0, 400.0), &targets, seed);
+        match schedule(&ctx, &demands) {
+            Ok(mut res) => {
+                let before = demands
+                    .iter()
+                    .filter(|d| !res.allocation.meets_target(&ctx, d))
+                    .count();
+                let after = harden(&ctx, &demands, &mut res);
+                (demands.len(), before, after)
+            }
+            Err(_) => (0, 0, 0),
+        }
+    });
     let mut total = 0;
     let mut before = 0;
     let mut after = 0;
-    for &seed in seeds {
-        let demands = demand_snapshot(&env, 10, (100.0, 400.0), &targets, seed);
-        if let Ok(mut res) = schedule(&ctx, &demands) {
-            total += demands.len();
-            before += demands
-                .iter()
-                .filter(|d| !res.allocation.meets_target(&ctx, d))
-                .count();
-            after += harden(&ctx, &demands, &mut res);
-        }
+    for (t, b, a) in per_seed {
+        total += t;
+        before += b;
+        after += a;
     }
     HardenAblation {
         demands: total,

@@ -48,10 +48,9 @@ pub fn fig7a(horizon_min: f64, seeds: &[u64]) -> Vec<Fig7aRow> {
     [20.0, 30.0, 40.0, 50.0]
         .iter()
         .map(|&size| {
-            let mut fixed = Vec::new();
-            let mut bate = Vec::new();
-            let mut optimal = Vec::new();
-            for &seed in seeds {
+            // Seeds fan out in parallel (three simulations each); the merge
+            // below keeps seed order.
+            let per_seed: Vec<[f64; 3]> = bate_lp::par_map(seeds, |&seed| {
                 let mut wl = WorkloadConfig::testbed(pairs.clone(), seed);
                 // Demands concentrated around `size`, arrival rate scaled
                 // up so the network saturates (the paper's x-axis sweeps
@@ -69,19 +68,18 @@ pub fn fig7a(horizon_min: f64, seeds: &[u64]) -> Vec<Fig7aRow> {
                     hi: size * 1.2 * scale,
                 };
                 let horizon = horizon_min * 60.0;
-                fixed.push(
+                [
                     run_admission(&env, AdmissionStrategy::Fixed, &wl, horizon, seed, false)
                         .rejection_ratio(),
-                );
-                bate.push(
                     run_admission(&env, AdmissionStrategy::Bate, &wl, horizon, seed, false)
                         .rejection_ratio(),
-                );
-                optimal.push(
                     run_admission(&env, AdmissionStrategy::Optimal, &wl, horizon, seed, false)
                         .rejection_ratio(),
-                );
-            }
+                ]
+            });
+            let fixed: Vec<f64> = per_seed.iter().map(|r| r[0]).collect();
+            let bate: Vec<f64> = per_seed.iter().map(|r| r[1]).collect();
+            let optimal: Vec<f64> = per_seed.iter().map(|r| r[2]).collect();
             Fig7aRow {
                 demand_mbps: size,
                 fixed: mean(&fixed),

@@ -61,11 +61,12 @@ pub fn fig11(runs: usize, run_min: f64) -> Vec<(&'static str, Vec<f64>)> {
             RecoveryPolicy::NextRound,
         ),
     ];
+    let run_seeds: Vec<u64> = (0..runs as u64).collect();
     setups
         .iter()
         .map(|(te, admission, recovery)| {
-            let losses: Vec<f64> = (0..runs as u64)
-                .map(|seed| {
+            // Independent runs fan out; the collected losses keep seed order.
+            let losses: Vec<f64> = bate_lp::par_map(&run_seeds, |&seed| {
                     let mut wl = WorkloadConfig::testbed(pairs.clone(), seed);
                 // The paper's testbed spreads 2/min over a full mesh; the
                 // reproduction's 6 pairs get the same pressure via more,
@@ -88,8 +89,7 @@ pub fn fig11(runs: usize, run_min: f64) -> Vec<(&'static str, Vec<f64>)> {
                     }
                     .run()
                     .data_loss_ratio
-                })
-                .collect();
+                });
             (te.name(), losses)
         })
         .collect()
@@ -112,8 +112,9 @@ pub fn fig20(repair_times: &[f64], horizon_min: f64, seeds: &[u64]) -> Vec<Fig20
     repair_times
         .iter()
         .map(|&rt| {
-            let mut sat = [Vec::new(), Vec::new(), Vec::new()];
-            for &seed in seeds {
+            // Per-seed trials (a workload plus three simulations each) fan
+            // out; merge preserves seed order.
+            let per_seed: Vec<[f64; 3]> = bate_lp::par_map(seeds, |&seed| {
                 let mut wl = WorkloadConfig::testbed(pairs.clone(), seed);
                 // The paper's testbed spreads 2/min over a full mesh; the
                 // reproduction's 6 pairs get the same pressure via more,
@@ -130,6 +131,7 @@ pub fn fig20(repair_times: &[f64], horizon_min: f64, seeds: &[u64]) -> Vec<Fig20
                     (&teavar, AdmissionStrategy::Fixed, RecoveryPolicy::NextRound),
                     (&ffc, AdmissionStrategy::Fixed, RecoveryPolicy::NextRound),
                 ];
+                let mut sat = [0.0f64; 3];
                 for (i, (te, admission, recovery)) in setups.iter().enumerate() {
                     let mut cfg = SimConfig::testbed(horizon, seed);
                     cfg.repair_time_secs = rt;
@@ -142,7 +144,14 @@ pub fn fig20(repair_times: &[f64], horizon_min: f64, seeds: &[u64]) -> Vec<Fig20
                         workload: &workload,
                     }
                     .run();
-                    sat[i].push(rep.satisfaction_fraction());
+                    sat[i] = rep.satisfaction_fraction();
+                }
+                sat
+            });
+            let mut sat = [Vec::new(), Vec::new(), Vec::new()];
+            for row in &per_seed {
+                for (i, &v) in row.iter().enumerate() {
+                    sat[i].push(v);
                 }
             }
             Fig20Row {

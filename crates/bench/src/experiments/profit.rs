@@ -47,8 +47,8 @@ pub fn fig7cd(horizon_min: f64, seeds: &[u64]) -> Vec<Fig7cdCell> {
     let mut out = Vec::new();
     for (aname, admission) in admissions {
         for (tname, te, recovery) in tes {
-            let mut gains = Vec::new();
-            for &seed in seeds {
+            // Per-seed simulations fan out; the mean is seed-order stable.
+            let gains: Vec<f64> = bate_lp::par_map(seeds, |&seed| {
                 let mut wl = WorkloadConfig::testbed(pairs.clone(), seed);
                 wl.refund_pool = pool.clone();
                 let horizon = horizon_min * 60.0;
@@ -63,8 +63,8 @@ pub fn fig7cd(horizon_min: f64, seeds: &[u64]) -> Vec<Fig7cdCell> {
                     workload: &workload,
                 }
                 .run();
-                gains.push(rep.profit_gain(&pool));
-            }
+                rep.profit_gain(&pool)
+            });
             let gain = mean(&gains);
             out.push(Fig7cdCell {
                 admission: aname,
@@ -96,11 +96,9 @@ pub fn fig15(rates: &[usize], seeds: &[u64]) -> Vec<Fig15Row> {
     rates
         .iter()
         .map(|&rate| {
-            let mut gains: Vec<(String, Vec<f64>)> = algos
-                .iter()
-                .map(|a| (a.name().to_string(), Vec::new()))
-                .collect();
-            for &seed in seeds {
+            // Seeds fan out in parallel, each producing one gain value per
+            // algorithm; the merge below is in seed order.
+            let per_seed: Vec<Vec<f64>> = bate_lp::par_map(seeds, |&seed| {
                 let demands = demand_snapshot(&env, rate * 4, (100.0, 500.0), &targets, seed);
                 let baseline: f64 = demands.iter().map(|d| d.price).sum();
                 // Failure scenarios: every single fate-group failure,
@@ -109,22 +107,34 @@ pub fn fig15(rates: &[usize], seeds: &[u64]) -> Vec<Fig15Row> {
                 let picks: Vec<GroupId> = (0..5)
                     .map(|_| GroupId(rng.gen_range(0..env.topo.num_groups())))
                     .collect();
-                for (ai, algo) in algos.iter().enumerate() {
-                    let alloc = algo
-                        .allocate(&ctx, &demands)
-                        .unwrap_or_else(|_| bate_core::Allocation::new());
-                    let mut total = 0.0;
-                    for &g in &picks {
-                        let sc = Scenario::with_failures(&env.topo, &[g]);
-                        let profit = if algo.name() == "BATE" {
-                            // BATE reroutes with Algorithm 2.
-                            greedy_recovery(&ctx, &demands, &sc).profit
-                        } else {
-                            profit_under_scenario(&ctx, &alloc, &demands, &sc)
-                        };
-                        total += profit / baseline;
-                    }
-                    gains[ai].1.push(total / picks.len() as f64);
+                algos
+                    .iter()
+                    .map(|algo| {
+                        let alloc = algo
+                            .allocate(&ctx, &demands)
+                            .unwrap_or_else(|_| bate_core::Allocation::new());
+                        let mut total = 0.0;
+                        for &g in &picks {
+                            let sc = Scenario::with_failures(&env.topo, &[g]);
+                            let profit = if algo.name() == "BATE" {
+                                // BATE reroutes with Algorithm 2.
+                                greedy_recovery(&ctx, &demands, &sc).profit
+                            } else {
+                                profit_under_scenario(&ctx, &alloc, &demands, &sc)
+                            };
+                            total += profit / baseline;
+                        }
+                        total / picks.len() as f64
+                    })
+                    .collect()
+            });
+            let mut gains: Vec<(String, Vec<f64>)> = algos
+                .iter()
+                .map(|a| (a.name().to_string(), Vec::new()))
+                .collect();
+            for vals in &per_seed {
+                for (ai, &v) in vals.iter().enumerate() {
+                    gains[ai].1.push(v);
                 }
             }
             Fig15Row {
@@ -155,6 +165,9 @@ pub fn fig19_21(rates: &[usize], seeds: &[u64]) -> Vec<RecoveryRow> {
         .map(|&rate| {
             let mut ratios = Vec::new();
             let mut speedups = Vec::new();
+            // Deliberately sequential: this sweep measures wall-clock
+            // (greedy vs OPT recovery time), and concurrent runs would
+            // contend for cores and distort the speedup ratios.
             for &seed in seeds {
                 let demands = demand_snapshot(&env, rate * 2, (50.0, 250.0), &targets, seed);
                 let n = |s: &str| env.topo.find_node(s).unwrap();

@@ -24,18 +24,20 @@ pub fn fig7b(horizon_min: f64, seeds: &[u64]) -> Vec<Fig7bRow> {
     let env = Env::testbed();
     let pairs = env.demand_pairs(6, 21);
     let targets = [0.95, 0.99, 0.9999];
-    let mut per_algo: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); targets.len()]; 3];
 
-    for &seed in seeds {
+    // Each seed is an independent workload plus three simulations, so the
+    // seed sweep fans out in parallel; results come back in seed order and
+    // the merge below is sequential, so output is thread-count independent.
+    let per_seed: Vec<[[f64; 3]; 3]> = bate_lp::par_map(seeds, |&seed| {
         let mut wl = WorkloadConfig::testbed(pairs.clone(), seed);
-                // The paper's testbed spreads 2/min over a full mesh; the
-                // reproduction's 6 pairs get the same pressure via more,
-                // fatter demands.
-                wl.arrivals_per_min = 6.0;
-                wl.bandwidth = bate_sim::workload::BandwidthModel::Uniform {
-                    lo: 10.0 * 5.0,
-                    hi: 50.0 * 5.0,
-                };
+        // The paper's testbed spreads 2/min over a full mesh; the
+        // reproduction's 6 pairs get the same pressure via more,
+        // fatter demands.
+        wl.arrivals_per_min = 6.0;
+        wl.bandwidth = bate_sim::workload::BandwidthModel::Uniform {
+            lo: 10.0 * 5.0,
+            hi: 50.0 * 5.0,
+        };
         let horizon = horizon_min * 60.0;
         let workload = generate(&wl, &env.tunnels, horizon);
         let setups: [(&dyn TeAlgorithm, AdmissionStrategy, RecoveryPolicy); 3] = [
@@ -51,6 +53,7 @@ pub fn fig7b(horizon_min: f64, seeds: &[u64]) -> Vec<Fig7bRow> {
                 RecoveryPolicy::NextRound,
             ),
         ];
+        let mut sat = [[0.0f64; 3]; 3];
         for (ai, (te, admission, recovery)) in setups.iter().enumerate() {
             let mut cfg = SimConfig::testbed(horizon, seed);
             cfg.admission = *admission;
@@ -63,7 +66,16 @@ pub fn fig7b(horizon_min: f64, seeds: &[u64]) -> Vec<Fig7bRow> {
             }
             .run();
             for (ti, &t) in targets.iter().enumerate() {
-                per_algo[ai][ti].push(rep.satisfaction_for_target(t));
+                sat[ai][ti] = rep.satisfaction_for_target(t);
+            }
+        }
+        sat
+    });
+    let mut per_algo: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); targets.len()]; 3];
+    for sat in &per_seed {
+        for (ai, row) in sat.iter().enumerate() {
+            for (ti, &v) in row.iter().enumerate() {
+                per_algo[ai][ti].push(v);
             }
         }
     }
@@ -158,8 +170,9 @@ fn satisfaction_sweep(
         .collect();
 
     for rate in 1..=max_rate {
-        let mut per_algo: Vec<Vec<f64>> = vec![Vec::new(); algos.len()];
-        for &seed in seeds {
+        // Seeds are independent trials: fan the sweep out, collect one
+        // value per algorithm per seed, and merge in seed order.
+        let per_seed: Vec<Vec<f64>> = bate_lp::par_map(seeds, |&seed| {
             // rate r/min with 5-min lifetimes gives ~5r active demands in the
             // paper; we use 3r demands at ~2x bandwidth for the same pressure.
             let all = demand_snapshot(&env, rate * 4, (100.0, 500.0), &targets, seed);
@@ -181,33 +194,41 @@ fn satisfaction_sweep(
             } else {
                 all.clone()
             };
-            for (ai, algo) in algos.iter().enumerate() {
-                let demands: Vec<BaDemand> = if algo.name() == "BATE" && !fixed_admission {
-                    // BATE's own admission pipeline.
-                    let mut current = bate_core::Allocation::new();
-                    let mut kept: Vec<BaDemand> = Vec::new();
-                    for d in &all {
-                        let out = bate_core::admission::admit(&ctx, &kept, &current, d);
-                        if let bate_core::admission::AdmissionOutcome::Admitted {
-                            allocation, ..
-                        } = out
-                        {
-                            for (t, f) in allocation.flows_of(d.id) {
-                                current.set(d.id, t, f);
+            algos
+                .iter()
+                .map(|algo| {
+                    let demands: Vec<BaDemand> = if algo.name() == "BATE" && !fixed_admission {
+                        // BATE's own admission pipeline.
+                        let mut current = bate_core::Allocation::new();
+                        let mut kept: Vec<BaDemand> = Vec::new();
+                        for d in &all {
+                            let out = bate_core::admission::admit(&ctx, &kept, &current, d);
+                            if let bate_core::admission::AdmissionOutcome::Admitted {
+                                allocation, ..
+                            } = out
+                            {
+                                for (t, f) in allocation.flows_of(d.id) {
+                                    current.set(d.id, t, f);
+                                }
+                                kept.push(d.clone());
                             }
-                            kept.push(d.clone());
                         }
+                        kept
+                    } else {
+                        admitted.clone()
+                    };
+                    if demands.is_empty() {
+                        return 1.0;
                     }
-                    kept
-                } else {
-                    admitted.clone()
-                };
-                if demands.is_empty() {
-                    per_algo[ai].push(1.0);
-                    continue;
-                }
-                let outcomes = evaluate_te(&ctx, algo.as_ref(), &demands);
-                per_algo[ai].push(satisfaction_fraction(&outcomes));
+                    let outcomes = evaluate_te(&ctx, algo.as_ref(), &demands);
+                    satisfaction_fraction(&outcomes)
+                })
+                .collect()
+        });
+        let mut per_algo: Vec<Vec<f64>> = vec![Vec::new(); algos.len()];
+        for vals in &per_seed {
+            for (ai, &v) in vals.iter().enumerate() {
+                per_algo[ai].push(v);
             }
         }
         for (ai, vals) in per_algo.iter().enumerate() {
@@ -232,9 +253,8 @@ pub fn fig18(max_rate: usize, seeds: &[u64]) -> Vec<SatisfactionSeries> {
             let ctx = env.ctx();
             let points = (1..=max_rate)
                 .map(|rate| {
-                    let vals: Vec<f64> = seeds
-                        .iter()
-                        .map(|&seed| {
+                    // Per-seed trials fan out; mean over seed order.
+                    let vals: Vec<f64> = bate_lp::par_map(seeds, |&seed| {
                             let all =
                                 demand_snapshot(&env, rate * 4, (100.0, 500.0), &targets, seed);
                             // BATE serves admitted demands (as in Fig. 13).
@@ -254,8 +274,7 @@ pub fn fig18(max_rate: usize, seeds: &[u64]) -> Vec<SatisfactionSeries> {
                             }
                             let outcomes = evaluate_te(&ctx, &Bate, &admitted);
                             satisfaction_fraction(&outcomes)
-                        })
-                        .collect();
+                        });
                     (rate as f64, mean(&vals))
                 })
                 .collect();

@@ -45,6 +45,7 @@ pub fn conjecture_with_allocation(ctx: &TeContext, demands: &[BaDemand]) -> Opti
         let mut s_d = 1.0f64;
         for &(pair, b) in &demand.bandwidth {
             let tunnels = ctx.tunnels.tunnels(pair);
+            let avail = ctx.tunnels.availabilities(pair);
             // Remaining capacity of the whole pair (line 4): sum of tunnel
             // residual capacities.
             let tunnel_cap = |t: usize, residual: &[f64]| -> f64 {
@@ -67,15 +68,15 @@ pub fn conjecture_with_allocation(ctx: &TeContext, demands: &[BaDemand]) -> Opti
                 // bandwidth and should not poison s_d.
                 available.retain(|&t| tunnel_cap(t, &residual) > 1e-9);
                 let Some(&t) = available.iter().min_by(|&&a, &&b| {
-                    let ka = tunnel_cap(a, &residual) * tunnels[a].availability(ctx.topo);
-                    let kb = tunnel_cap(b, &residual) * tunnels[b].availability(ctx.topo);
+                    let ka = tunnel_cap(a, &residual) * avail[a];
+                    let kb = tunnel_cap(b, &residual) * avail[b];
                     ka.partial_cmp(&kb).unwrap().then(a.cmp(&b))
                 }) else {
                     return None; // tunnels exhausted mid-fill
                 };
                 let cap = tunnel_cap(t, &residual);
                 let f = cap.min(remaining);
-                s_d *= tunnels[t].availability(ctx.topo); // line 11
+                s_d *= avail[t]; // line 11
                 remaining -= f;
                 for l in &tunnels[t].links {
                     residual[l.index()] -= f;
@@ -103,16 +104,11 @@ pub fn best_effort_allocation(ctx: &TeContext, current: &Allocation, new: &BaDem
     let mut alloc = Allocation::new();
     for &(pair, b) in &new.bandwidth {
         let tunnels = ctx.tunnels.tunnels(pair);
+        let avail = ctx.tunnels.availabilities(pair);
         // Highest availability first: the temporary allocation should be as
         // reliable as the residual allows.
         let mut order: Vec<usize> = (0..tunnels.len()).collect();
-        order.sort_by(|&a, &b| {
-            tunnels[b]
-                .availability(ctx.topo)
-                .partial_cmp(&tunnels[a].availability(ctx.topo))
-                .unwrap()
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| avail[b].partial_cmp(&avail[a]).unwrap().then(a.cmp(&b)));
         let mut remaining = b;
         for t in order {
             if remaining <= 1e-9 {

@@ -197,12 +197,15 @@ fn solve_admission(
         }
     }
 
-    // Each node costs a dense-simplex solve; the fast paths above mean the
-    // MILP only sees genuinely ambiguous instances, where a moderate budget
+    // Each node costs a simplex solve; the fast paths above mean the MILP
+    // only sees genuinely ambiguous instances, where a moderate budget
     // almost always suffices (NodeLimit is treated as a rejection by
-    // `optimal_feasible`).
+    // `optimal_feasible`). The batch-parallel branch-and-bound can
+    // speculate up to a batch of nodes past where sequential DFS would
+    // have pruned, so the budget is scaled accordingly — the extra nodes
+    // run concurrently, so wall-clock stays comparable.
     let cfg = milp::BnbConfig {
-        max_nodes: 50,
+        max_nodes: 400,
         gap: 1e-6,
     };
     let sol = milp::solve(&p, cfg)?;

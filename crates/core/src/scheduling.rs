@@ -97,14 +97,9 @@ pub fn place_single_hard(
         let mut feasible = true;
         for &(pair, b) in &demand.bandwidth {
             let tunnels = ctx.tunnels.tunnels(pair);
+            let avail = ctx.tunnels.availabilities(pair);
             let mut order: Vec<usize> = (0..tunnels.len()).collect();
-            order.sort_by(|&a, &c| {
-                tunnels[c]
-                    .availability(ctx.topo)
-                    .partial_cmp(&tunnels[a].availability(ctx.topo))
-                    .unwrap()
-                    .then(a.cmp(&c))
-            });
+            order.sort_by(|&a, &c| avail[c].partial_cmp(&avail[a]).unwrap().then(a.cmp(&c)));
             let mut placed = 0usize;
             for &t in &order {
                 if placed == k.min(tunnels.len()) {
@@ -138,6 +133,17 @@ pub fn place_single_hard(
 
 /// In-place hardening pass (see [`schedule_hardened`]). Returns how many
 /// demands still violate their hard target afterwards.
+///
+/// Parallelized speculatively while staying **deterministic for any thread
+/// count**: the violation scan and the single-demand re-placements (each an
+/// independent LP against the pre-hardening snapshot) fan out over
+/// [`bate_lp::par_map`] for *every* violating demand; adoption then walks
+/// the fixed order (highest β first) sequentially, revalidating each
+/// speculative placement against the live residual capacity — an earlier
+/// adoption may have consumed capacity the speculation assumed — and
+/// re-solving inline only when the speculation no longer fits. Both the
+/// speculation set and every adoption decision are functions of the demand
+/// order alone, never of worker scheduling.
 pub fn harden(ctx: &TeContext, demands: &[BaDemand], result: &mut ScheduleResult) -> usize {
     let mut order: Vec<&BaDemand> = demands.iter().collect();
     order.sort_by(|a, b| {
@@ -146,17 +152,43 @@ pub fn harden(ctx: &TeContext, demands: &[BaDemand], result: &mut ScheduleResult
             .unwrap()
             .then_with(|| a.id.cmp(&b.id))
     });
+
+    // Parallel violation scan (read-only; a demand's hard availability
+    // depends only on its own flows, so adoption below cannot change
+    // another demand's violation status).
+    let snapshot = &result.allocation;
+    let flags = bate_lp::par_map(&order, |demand| !snapshot.meets_target(ctx, demand));
+    let violating: Vec<&BaDemand> = order
+        .iter()
+        .zip(&flags)
+        .filter(|(_, &v)| v)
+        .map(|(&d, _)| d)
+        .collect();
+
+    // Speculative re-placement of every violating demand against the
+    // snapshot residual (lift the demand out, place it alone).
+    let speculative: Vec<Option<Allocation>> = bate_lp::par_map(&violating, |demand| {
+        let mut without = snapshot.clone();
+        without.remove_demand(demand.id);
+        let residual = without.residual_capacities(ctx);
+        place_single_hard(ctx, demand, &residual)
+    });
+
+    // Sequential fixed-order adoption with revalidation.
     let mut violations = 0;
-    for demand in order {
-        if result.allocation.meets_target(ctx, demand) {
-            continue;
-        }
-        // Lift the demand out and re-place it alone (LP first, protection
-        // replication as the fallback).
+    for (demand, spec) in violating.into_iter().zip(speculative) {
         let mut without = result.allocation.clone();
         without.remove_demand(demand.id);
         let residual = without.residual_capacities(ctx);
-        match place_single_hard(ctx, demand, &residual) {
+        // The hard-availability check inside `place_single_hard` is
+        // residual-independent, so a speculation that still fits the live
+        // residual is exactly what a fresh solve would be allowed to
+        // return; only the capacity side needs rechecking.
+        let chosen = match spec {
+            Some(single) if single.respects_capacity_with(ctx, &residual) => Some(single),
+            _ => place_single_hard(ctx, demand, &residual),
+        };
+        match chosen {
             Some(single) => {
                 without.adopt_demand(demand.id, &single);
                 result.allocation = without;
@@ -383,6 +415,61 @@ mod tests {
     }
 
     #[test]
+    fn harden_is_deterministic_across_thread_counts() {
+        let (topo, tunnels, scenarios) = ctx_toy4(4);
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+        // 12 Gbps @ 99%: no single tunnel can carry it, so the LP must
+        // split the flow and the hard availability of the split falls
+        // short — the hardening pass has real work to do. A second,
+        // repairable demand rides along.
+        let demands = vec![
+            BaDemand::single(1, pair, 12_000.0, 0.99),
+            BaDemand::single(2, pair, 6_000.0, 0.95),
+        ];
+
+        // Non-vacuity: at least one demand must violate pre-harden, or
+        // this test would not exercise the speculative parallel path.
+        let pre = schedule(&ctx, &demands).unwrap();
+        assert!(
+            demands.iter().any(|d| !pre.allocation.meets_target(&ctx, d)),
+            "test instance no longer triggers hardening"
+        );
+
+        let run = |threads: usize| {
+            bate_lp::par::with_thread_count(threads, || {
+                let mut result = schedule(&ctx, &demands).unwrap();
+                let violations = harden(&ctx, &demands, &mut result);
+                (violations, result)
+            })
+        };
+        let (v1, r1) = run(1);
+        for threads in [2, 3, 8] {
+            let (v, r) = run(threads);
+            assert_eq!(v1, v, "violation count differs at {threads} threads");
+            assert_eq!(
+                r1.total_bandwidth.to_bits(),
+                r.total_bandwidth.to_bits(),
+                "total bandwidth differs at {threads} threads"
+            );
+            for d in &demands {
+                let a: Vec<_> = r1.allocation.flows_of(d.id).collect();
+                let b: Vec<_> = r.allocation.flows_of(d.id).collect();
+                assert_eq!(a.len(), b.len(), "flow count differs at {threads} threads");
+                for ((ta, fa), (tb, fb)) in a.iter().zip(&b) {
+                    assert_eq!(ta, tb, "tunnel differs at {threads} threads");
+                    assert_eq!(
+                        fa.to_bits(),
+                        fb.to_bits(),
+                        "flow differs at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn residual_capacity_scheduling() {
         let (topo, tunnels, scenarios) = ctx_toy4(2);
         let ctx = TeContext::new(&topo, &tunnels, &scenarios);
@@ -421,8 +508,9 @@ mod tests {
 }
 
 impl Allocation {
-    /// Capacity check against explicit capacities (test helper used by the
-    /// residual-capacity scheduling path).
+    /// Capacity check against explicit capacities. Used by the hardening
+    /// pass to revalidate speculative placements against the live residual,
+    /// and by tests of the residual-capacity scheduling path.
     pub fn respects_capacity_with(&self, ctx: &TeContext, capacities: &[f64]) -> bool {
         let loads = self.link_loads(ctx);
         loads

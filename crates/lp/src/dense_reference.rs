@@ -1,0 +1,573 @@
+//! The original dense two-phase simplex kernel, preserved verbatim.
+//!
+//! [`crate::simplex`] replaced this implementation with a sparse-aware,
+//! allocation-free pivot kernel. This module keeps the old dense kernel
+//! around for two purposes:
+//!
+//! * **golden tests** (`tests/golden.rs`) assert that the sparse kernel
+//!   reproduces the dense kernel's objectives and duals to within 1e-6 on a
+//!   corpus of scheduling- and admission-shaped instances, and
+//! * **benchmarks** (`crates/bench/benches/lp.rs`) report dense-vs-sparse
+//!   wall-clock numbers side by side.
+//!
+//! It is not used on any production path and intentionally receives no
+//! further optimization work.
+
+use crate::error::SolveError;
+use crate::problem::{Problem, Relation, Sense};
+use crate::simplex::BoundOverride;
+use crate::solution::Solution;
+use crate::EPS;
+
+/// Feasibility tolerance for phase-1 termination.
+const PHASE1_TOL: f64 = 1e-7;
+/// Number of non-improving iterations tolerated before switching to Bland's
+/// rule.
+const STALL_LIMIT: usize = 64;
+
+/// Solve the LP relaxation of `problem` with the original dense kernel.
+pub fn solve_relaxation_dense(
+    problem: &Problem,
+    overrides: &[BoundOverride],
+) -> Result<Solution, SolveError> {
+    let n = problem.num_vars();
+
+    // Effective bounds per variable.
+    let mut lo = vec![0.0f64; n];
+    let mut hi: Vec<f64> = problem.vars.iter().map(|v| v.upper).collect();
+    for &(j, l, h) in overrides {
+        lo[j] = lo[j].max(l);
+        hi[j] = hi[j].min(h);
+    }
+    for j in 0..n {
+        if lo[j] > hi[j] + EPS {
+            return Err(SolveError::Infeasible);
+        }
+        // Guard against a tiny negative width from rounding.
+        if hi[j] < lo[j] {
+            hi[j] = lo[j];
+        }
+    }
+
+    // Shift x = lo + y. Constraint rhs absorbs the shift.
+    let mut tab = Tableau::build(problem, &lo, &hi)?;
+    tab.phase1()?;
+    tab.phase2(problem)?;
+
+    let y = tab.extract();
+    let mut values = vec![0.0f64; n];
+    for j in 0..n {
+        let v = lo[j] + y[j];
+        // Clamp solver noise back into the box.
+        values[j] = v.clamp(lo[j], hi[j]);
+    }
+    let objective = problem.objective_value(&values);
+    Ok(Solution {
+        objective,
+        values,
+        duals: Some(tab.duals(problem.sense)),
+    })
+}
+
+/// Dense bounded-variable simplex tableau.
+///
+/// The matrix part holds `B^{-1} A`; the last column holds the *current
+/// values of the basic variables* (with nonbasic-at-upper contributions
+/// folded in), which is what the ratio test needs directly.
+struct Tableau {
+    /// Row-major, `rows x (cols + 1)`; last column = basic values.
+    a: Vec<f64>,
+    rows: usize,
+    cols: usize,
+    /// Basis variable of each row.
+    basis: Vec<usize>,
+    /// Reduced-cost row, length `cols` (no rhs cell — the objective value
+    /// is tracked separately in `objval`).
+    obj: Vec<f64>,
+    /// Current objective value of the internal minimization.
+    objval: f64,
+    /// Upper bound (width after shifting) per column; `INFINITY` when
+    /// unbounded above.
+    ub: Vec<f64>,
+    /// For nonbasic columns: is the variable sitting at its upper bound?
+    at_upper: Vec<bool>,
+    /// Columns that may enter the basis (artificials are blocked in
+    /// phase 2; zero-width columns are always blocked).
+    allowed: Vec<bool>,
+    /// Index of the first artificial column.
+    first_artificial: usize,
+    /// Number of structural (shifted user) variables.
+    n_struct: usize,
+    /// Per original constraint: the marker column (slack/surplus/
+    /// artificial) and the sign mapping its reduced cost to the row's dual
+    /// value, used by [`Tableau::duals`].
+    row_meta: Vec<(usize, f64)>,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * (self.cols + 1) + c]
+    }
+
+    #[inline]
+    fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.a[r * (self.cols + 1) + c] = v;
+    }
+
+    #[inline]
+    fn xb(&self, r: usize) -> f64 {
+        self.at(r, self.cols)
+    }
+
+    /// Build the bounded standard form for `problem` with variables shifted
+    /// by `lo`; `hi` are the (pre-shift) upper bounds.
+    fn build(problem: &Problem, lo: &[f64], hi: &[f64]) -> Result<Tableau, SolveError> {
+        let n = problem.num_vars();
+
+        struct Row {
+            terms: Vec<(usize, f64)>,
+            relation: Relation,
+            rhs: f64,
+        }
+        let mut rows: Vec<Row> = Vec::with_capacity(problem.constraints.len());
+        for c in &problem.constraints {
+            let shift: f64 = c.terms.iter().map(|&(j, coef)| coef * lo[j]).sum();
+            rows.push(Row {
+                terms: c.terms.clone(),
+                relation: c.relation,
+                rhs: c.rhs - shift,
+            });
+        }
+        // Normalize rhs >= 0, remembering which rows were negated (their
+        // dual values flip sign).
+        let mut flipped = vec![false; rows.len()];
+        for (i, row) in rows.iter_mut().enumerate() {
+            if row.rhs < 0.0 {
+                flipped[i] = true;
+                row.rhs = -row.rhs;
+                for t in &mut row.terms {
+                    t.1 = -t.1;
+                }
+                row.relation = match row.relation {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+            }
+        }
+
+        let m = rows.len();
+        let n_slack = rows
+            .iter()
+            .filter(|r| !matches!(r.relation, Relation::Eq))
+            .count();
+        let n_art = rows
+            .iter()
+            .filter(|r| !matches!(r.relation, Relation::Le))
+            .count();
+        let cols = n + n_slack + n_art;
+        let first_artificial = n + n_slack;
+
+        let mut ub = vec![f64::INFINITY; cols];
+        for j in 0..n {
+            ub[j] = hi[j] - lo[j];
+        }
+        let mut allowed = vec![true; cols];
+        for j in 0..n {
+            if ub[j] < EPS {
+                allowed[j] = false; // fixed variable, can never move
+            }
+        }
+
+        let mut tab = Tableau {
+            a: vec![0.0; m * (cols + 1)],
+            rows: m,
+            cols,
+            basis: vec![usize::MAX; m],
+            obj: vec![0.0; cols],
+            objval: 0.0,
+            ub,
+            at_upper: vec![false; cols],
+            allowed,
+            first_artificial,
+            n_struct: n,
+            row_meta: Vec::with_capacity(m),
+        };
+
+        let mut slack_next = n;
+        let mut art_next = first_artificial;
+        for (i, row) in rows.iter().enumerate() {
+            for &(j, coef) in &row.terms {
+                tab.set(i, j, coef);
+            }
+            tab.set(i, cols, row.rhs);
+            let flip = if flipped[i] { -1.0 } else { 1.0 };
+            match row.relation {
+                Relation::Le => {
+                    tab.set(i, slack_next, 1.0);
+                    tab.basis[i] = slack_next;
+                    // d_slack = -y_i  →  y_i = -d_slack.
+                    tab.row_meta.push((slack_next, -flip));
+                    slack_next += 1;
+                }
+                Relation::Ge => {
+                    tab.set(i, slack_next, -1.0);
+                    // d_surplus = +y_i.
+                    tab.row_meta.push((slack_next, flip));
+                    slack_next += 1;
+                    tab.set(i, art_next, 1.0);
+                    tab.basis[i] = art_next;
+                    art_next += 1;
+                }
+                Relation::Eq => {
+                    tab.set(i, art_next, 1.0);
+                    tab.basis[i] = art_next;
+                    // d_artificial = c_art - y_i = -y_i in phase 2.
+                    tab.row_meta.push((art_next, -flip));
+                    art_next += 1;
+                }
+            }
+        }
+        Ok(tab)
+    }
+
+    /// Phase 1: minimize the sum of artificial variables.
+    fn phase1(&mut self) -> Result<(), SolveError> {
+        if self.first_artificial == self.cols {
+            return Ok(()); // all-slack basis is already feasible
+        }
+        // Reduced costs for cost e_{artificials}: basics must have zero
+        // reduced cost, so subtract each artificial-basic row.
+        for v in self.obj.iter_mut() {
+            *v = 0.0;
+        }
+        for c in self.first_artificial..self.cols {
+            self.obj[c] = 1.0;
+        }
+        self.objval = 0.0;
+        for i in 0..self.rows {
+            if self.basis[i] >= self.first_artificial {
+                for c in 0..self.cols {
+                    self.obj[c] -= self.at(i, c);
+                }
+                self.objval += self.xb(i);
+            }
+        }
+
+        self.iterate()?;
+
+        if self.objval > PHASE1_TOL {
+            return Err(SolveError::Infeasible);
+        }
+
+        // Drive any artificial still in the basis out (it sits at zero, so
+        // this is a degenerate pivot).
+        for r in 0..self.rows {
+            if self.basis[r] >= self.first_artificial {
+                let col = (0..self.first_artificial).find(|&c| self.at(r, c).abs() > 1e-8);
+                if let Some(c) = col {
+                    self.degenerate_swap(r, c);
+                }
+                // No pivot column: the row is redundant; the artificial
+                // stays basic at zero and its column is blocked in phase 2.
+            }
+        }
+        Ok(())
+    }
+
+    /// Phase 2: optimize the real (internally minimized) objective.
+    fn phase2(&mut self, problem: &Problem) -> Result<(), SolveError> {
+        let sign = match problem.sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        for c in self.first_artificial..self.cols {
+            self.allowed[c] = false;
+        }
+        // Rebuild reduced costs: d_j = c_j - c_B' (B^{-1} A_j).
+        for c in 0..self.cols {
+            self.obj[c] = if c < self.n_struct {
+                sign * problem.objective[c]
+            } else {
+                0.0
+            };
+        }
+        for i in 0..self.rows {
+            let b = self.basis[i];
+            let cb = if b < self.n_struct {
+                sign * problem.objective[b]
+            } else {
+                0.0
+            };
+            if cb != 0.0 {
+                for c in 0..self.cols {
+                    let v = self.obj[c] - cb * self.at(i, c);
+                    self.obj[c] = v;
+                }
+            }
+        }
+        // Current objective value: c_B' x_B + Σ_{nonbasic at upper} c_j w_j.
+        let mut val = 0.0;
+        for i in 0..self.rows {
+            let b = self.basis[i];
+            if b < self.n_struct {
+                val += sign * problem.objective[b] * self.xb(i);
+            }
+        }
+        let basic: std::collections::HashSet<usize> = self.basis.iter().copied().collect();
+        for j in 0..self.n_struct {
+            if !basic.contains(&j) && self.at_upper[j] {
+                val += sign * problem.objective[j] * self.ub[j];
+            }
+        }
+        self.objval = val;
+
+        self.iterate()
+    }
+
+    /// Main pivot loop.
+    fn iterate(&mut self) -> Result<(), SolveError> {
+        let max_iters = 400 * (self.rows + self.cols) + 20_000;
+        let mut bland = false;
+        let mut stall = 0usize;
+        let mut last_obj = f64::INFINITY;
+        // Wall-clock guard: healthy solves of the model sizes BATE builds
+        // finish in well under a second; a solve running for tens of
+        // seconds is degenerate-cycling under Bland's slow-but-safe rule
+        // and will not produce a better answer. The cap keeps online
+        // components responsive (callers treat IterationLimit like
+        // Infeasible: reject / fall back).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+
+        for it in 0..max_iters {
+            if it % 256 == 0 && std::time::Instant::now() > deadline {
+                return Err(SolveError::IterationLimit);
+            }
+            let basic_mark = self.basic_mark();
+            let Some(e) = self.choose_entering(bland, &basic_mark) else {
+                return Ok(()); // optimal
+            };
+            // Direction: +1 if entering rises from its lower bound, -1 if
+            // it falls from its upper bound.
+            let delta = if self.at_upper[e] { -1.0 } else { 1.0 };
+
+            // Ratio test: the entering step is limited by the entering
+            // variable's own bound width (flip) and by every basic variable
+            // hitting one of its bounds. Ties between rows break toward the
+            // smallest basis index (Bland-compatible); a row beats a
+            // same-sized bound flip.
+            let mut t = self.ub[e]; // bound-flip limit (may be inf)
+            let mut leave: Option<(usize, bool)> = None; // (row, leaves_at_upper)
+            for i in 0..self.rows {
+                let alpha = self.at(i, e);
+                let rate = delta * alpha; // basic i changes at -rate per unit
+                let candidate = if rate > EPS {
+                    // Basic decreases toward 0.
+                    Some((self.xb(i) / rate, false))
+                } else if rate < -EPS && self.ub[self.basis[i]].is_finite() {
+                    // Basic increases toward its own upper bound.
+                    Some(((self.ub[self.basis[i]] - self.xb(i)) / (-rate), true))
+                } else {
+                    None
+                };
+                let Some((ti, at_up)) = candidate else { continue };
+                let ti = ti.max(0.0);
+                let take = match leave {
+                    _ if ti < t - EPS => true,
+                    None if ti <= t + EPS => true, // row beats a tied flip
+                    Some((r, _)) if ti <= t + EPS => self.basis[i] < self.basis[r],
+                    _ => false,
+                };
+                if take {
+                    t = t.min(ti);
+                    leave = Some((i, at_up));
+                }
+            }
+
+            if t.is_infinite() {
+                return Err(SolveError::Unbounded);
+            }
+
+            // Objective improvement bookkeeping (d_e · Δx_e, Δx_e = δ·t).
+            self.objval += self.obj[e] * delta * t;
+
+            match leave {
+                None => {
+                    // Bound flip: entering moves across its whole range.
+                    for i in 0..self.rows {
+                        let alpha = self.at(i, e);
+                        if alpha != 0.0 {
+                            let nv = self.xb(i) - delta * alpha * t;
+                            self.set(i, self.cols, nv);
+                        }
+                    }
+                    self.at_upper[e] = !self.at_upper[e];
+                }
+                Some((r, leaves_at_upper)) => {
+                    // Update folded basic values for all rows except r.
+                    for i in 0..self.rows {
+                        if i != r {
+                            let alpha = self.at(i, e);
+                            if alpha != 0.0 {
+                                let nv = self.xb(i) - delta * alpha * t;
+                                self.set(i, self.cols, nv);
+                            }
+                        }
+                    }
+                    let new_value = if self.at_upper[e] {
+                        self.ub[e] - t
+                    } else {
+                        t
+                    };
+                    let old_basic = self.basis[r];
+                    self.at_upper[old_basic] = leaves_at_upper;
+                    self.pivot_matrix(r, e);
+                    self.at_upper[e] = false;
+                    self.basis[r] = e;
+                    self.set(r, self.cols, new_value.max(0.0));
+                }
+            }
+
+            if self.objval < last_obj - 1e-12 {
+                stall = 0;
+            } else {
+                stall += 1;
+                if stall > STALL_LIMIT {
+                    bland = true;
+                }
+            }
+            last_obj = self.objval;
+        }
+        Err(SolveError::IterationLimit)
+    }
+
+    fn basic_mark(&self) -> Vec<bool> {
+        let mut mark = vec![false; self.cols];
+        for &b in &self.basis {
+            if b < self.cols {
+                mark[b] = true;
+            }
+        }
+        mark
+    }
+
+    /// Entering column: nonbasic at lower with `d < 0`, or nonbasic at
+    /// upper with `d > 0`.
+    fn choose_entering(&self, bland: bool, basic: &[bool]) -> Option<usize> {
+        let violation = |c: usize| -> f64 {
+            if basic[c] || !self.allowed[c] {
+                return 0.0;
+            }
+            let d = self.obj[c];
+            if self.at_upper[c] {
+                if d > EPS {
+                    d
+                } else {
+                    0.0
+                }
+            } else if d < -EPS {
+                -d
+            } else {
+                0.0
+            }
+        };
+        if bland {
+            (0..self.cols).find(|&c| violation(c) > 0.0)
+        } else {
+            let mut best = None;
+            let mut best_v = 0.0;
+            for c in 0..self.cols {
+                let v = violation(c);
+                if v > best_v {
+                    best_v = v;
+                    best = Some(c);
+                }
+            }
+            best
+        }
+    }
+
+    /// Gauss-Jordan pivot on the matrix part only (the folded rhs is
+    /// maintained by the caller).
+    fn pivot_matrix(&mut self, row: usize, col: usize) {
+        let stride = self.cols + 1;
+        let p = self.a[row * stride + col];
+        debug_assert!(p.abs() > 1e-12, "pivot on (near-)zero element");
+        let inv = 1.0 / p;
+        for c in 0..self.cols {
+            self.a[row * stride + c] *= inv;
+        }
+        self.a[row * stride + col] = 1.0;
+
+        for r in 0..self.rows {
+            if r == row {
+                continue;
+            }
+            let f = self.a[r * stride + col];
+            if f != 0.0 {
+                for c in 0..self.cols {
+                    let v = self.a[row * stride + c];
+                    self.a[r * stride + c] -= f * v;
+                }
+                self.a[r * stride + col] = 0.0;
+            }
+        }
+        let f = self.obj[col];
+        if f != 0.0 {
+            for c in 0..self.cols {
+                self.obj[c] -= f * self.a[row * stride + c];
+            }
+            self.obj[col] = 0.0;
+        }
+    }
+
+    /// Swap a zero-valued basic (artificial) out for column `c` without
+    /// changing any variable values.
+    fn degenerate_swap(&mut self, row: usize, col: usize) {
+        let entering_value = if self.at_upper[col] { self.ub[col] } else { 0.0 };
+        // The leaving artificial sits at 0 and goes to its lower bound.
+        let old = self.basis[row];
+        self.at_upper[old] = false;
+        self.pivot_matrix(row, col);
+        self.at_upper[col] = false;
+        self.basis[row] = col;
+        self.set(row, self.cols, entering_value);
+        // Other basic values are unchanged (t = 0 step) — but the entering
+        // column may have had a nonzero value at its upper bound, which was
+        // already folded into every row's rhs, and remains correct because
+        // the variable's value did not change.
+    }
+
+    /// Dual value (shadow price) of every original constraint, in the
+    /// problem's own optimization sense: the marginal change of the
+    /// optimal objective per unit of constraint rhs.
+    fn duals(&self, sense: Sense) -> Vec<f64> {
+        let sense_factor = match sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        self.row_meta
+            .iter()
+            .map(|&(col, sign)| sense_factor * sign * self.obj[col])
+            .collect()
+    }
+
+    /// Read the structural-variable values out of the final tableau.
+    fn extract(&self) -> Vec<f64> {
+        let mut y = vec![0.0f64; self.n_struct];
+        let basic = self.basic_mark();
+        for j in 0..self.n_struct {
+            if !basic[j] && self.at_upper[j] {
+                y[j] = self.ub[j];
+            }
+        }
+        for i in 0..self.rows {
+            let b = self.basis[i];
+            if b < self.n_struct {
+                y[b] = self.xb(i).max(0.0);
+            }
+        }
+        y
+    }
+}

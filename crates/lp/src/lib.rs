@@ -7,10 +7,13 @@
 //! The paper solves its models with Gurobi; the Rust ecosystem has no
 //! comparable offline solver, so this crate implements:
 //!
-//! * a **dense two-phase primal simplex** method with Dantzig pricing and a
-//!   Bland's-rule fallback for anti-cycling ([`simplex`]), and
+//! * a **sparse-aware two-phase primal simplex** method with candidate-list
+//!   partial pricing, warm starts, and a Bland's-rule fallback for
+//!   anti-cycling ([`simplex`]; the original dense kernel is preserved in
+//!   [`dense_reference`] for golden tests and benchmarks), and
 //! * a **branch-and-bound** MILP solver layered on top of it ([`milp`]),
-//!   supporting binary and general integer variables.
+//!   supporting binary and general integer variables, with deterministic
+//!   batch-parallel node evaluation ([`par`]).
 //!
 //! Both are exact methods, so optimization results match what the paper's
 //! solver would produce (up to numerical tolerance); only absolute solve
@@ -34,15 +37,19 @@
 //! assert!((sol[x] - 4.0).abs() < 1e-6);
 //! ```
 
+pub mod dense_reference;
 pub mod error;
 pub mod export;
 pub mod milp;
+pub mod par;
 pub mod problem;
 pub mod simplex;
 pub mod solution;
 
 pub use error::SolveError;
+pub use par::{par_map, par_map_with, thread_count};
 pub use problem::{Problem, Relation, Sense, VarId, VarKind};
+pub use simplex::{Basis, Workspace};
 pub use solution::Solution;
 
 /// Default numerical tolerance used across the solver for feasibility and

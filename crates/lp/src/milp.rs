@@ -4,12 +4,39 @@
 //! bounds (never adds rows), so the LP relaxations stay the same size as the
 //! root problem. Branching picks the integer variable whose relaxation value
 //! is most fractional.
+//!
+//! ## Parallel node evaluation
+//!
+//! Relaxations are evaluated in **fixed-size batches** ([`NODE_BATCH`] nodes
+//! popped per round, independent of thread count) fanned out over
+//! [`crate::par::par_map_with`], then processed strictly in batch order:
+//! node accounting, incumbent updates, pruning, and branching all happen
+//! sequentially. Because each node's relaxation depends only on the problem,
+//! its bound overrides, and its parent's final basis (all properties of the
+//! search tree, never of worker scheduling), the solver returns
+//! **byte-identical results for any thread count** — including 1. The cost
+//! is bounded speculation: an incumbent found at position `i` of a batch
+//! cannot cancel the (already evaluated) relaxations at positions `> i`, so
+//! up to `NODE_BATCH - 1` solves per improvement are wasted relative to pure
+//! sequential DFS.
+//!
+//! Each worker thread owns a [`simplex::Workspace`], so tableau buffers and
+//! the prepared sparse rows are reused across the nodes of its chunk; each
+//! node explicitly installs its parent's basis (or none, for the root), so
+//! workspace history never leaks into results.
+
+use std::sync::Arc;
 
 use crate::error::SolveError;
+use crate::par::par_map_with;
 use crate::problem::{Problem, Sense, VarKind};
-use crate::simplex::{self, BoundOverride};
+use crate::simplex::{self, Basis, BoundOverride};
 use crate::solution::Solution;
 use crate::INT_EPS;
+
+/// Nodes evaluated per parallel batch. Fixed (not derived from the thread
+/// count) so search behavior is reproducible on any machine.
+const NODE_BATCH: usize = 8;
 
 /// Search limits for branch-and-bound.
 #[derive(Debug, Clone, Copy)]
@@ -52,74 +79,128 @@ pub fn solve(problem: &Problem, config: BnbConfig) -> Result<Solution, SolveErro
     let mut incumbent: Option<Solution> = None;
     let mut incumbent_cost = f64::INFINITY; // sign * objective
     let mut nodes = 0usize;
-    // DFS stack of bound-override sets.
-    let mut stack: Vec<Vec<BoundOverride>> = vec![Vec::new()];
+    // DFS stack of nodes: tightened bounds plus the parent's final basis
+    // for warm-starting the child relaxation.
+    struct Node {
+        bounds: Vec<BoundOverride>,
+        warm: Option<Arc<Basis>>,
+    }
+    let mut stack: Vec<Node> = vec![Node {
+        bounds: Vec::new(),
+        warm: None,
+    }];
+    let mut batch: Vec<Node> = Vec::with_capacity(NODE_BATCH);
 
-    while let Some(bounds) = stack.pop() {
-        if nodes >= config.max_nodes {
-            // Out of budget: report the incumbent if we have one.
-            return incumbent.ok_or(SolveError::NodeLimit);
-        }
-        nodes += 1;
-
-        let relax = match simplex::solve_relaxation(problem, &bounds) {
-            Ok(s) => s,
-            Err(SolveError::Infeasible) => continue,
-            Err(e) => return Err(e),
+    while !stack.is_empty() {
+        // Pop a batch (stack order) and evaluate the relaxations in
+        // parallel, one workspace per worker thread. While the frontier is
+        // thin, pop a single node — that is exactly sequential DFS, which
+        // dives to an incumbent fast; only a frontier at least NODE_BATCH
+        // deep fans out, bounding how much the batch can speculate past a
+        // yet-undiscovered incumbent. The ramp rule depends only on the
+        // stack (search state), never the thread count, so determinism is
+        // preserved.
+        batch.clear();
+        let take = if stack.len() >= NODE_BATCH {
+            NODE_BATCH
+        } else {
+            1
         };
-        let relax_cost = sign * relax.objective;
-        if relax_cost >= incumbent_cost - config.gap {
-            continue; // cannot beat the incumbent
-        }
-
-        // Most fractional integer variable.
-        let mut branch_var = None;
-        let mut best_frac = INT_EPS;
-        for &j in &int_vars {
-            let v = relax.values[j];
-            let frac = (v - v.round()).abs();
-            if frac > best_frac {
-                best_frac = frac;
-                branch_var = Some(j);
+        while batch.len() < take {
+            match stack.pop() {
+                Some(node) => batch.push(node),
+                None => break,
             }
         }
+        let evaluated: Vec<(Result<Solution, SolveError>, Option<Basis>)> = par_map_with(
+            &batch,
+            simplex::Workspace::new,
+            |ws, node: &Node| {
+                ws.set_warm(node.warm.as_deref().cloned());
+                let relax = simplex::solve_with(problem, &node.bounds, ws);
+                let basis = ws.final_basis();
+                (relax, basis)
+            },
+        );
 
-        match branch_var {
-            None => {
-                // Integral: snap values exactly and accept as incumbent.
-                let mut vals = relax.values.clone();
-                for &j in &int_vars {
-                    vals[j] = vals[j].round();
+        // Process strictly in batch order: this loop is the only place
+        // search state (incumbent, node budget, stack) changes, so results
+        // do not depend on how the batch was scheduled over threads.
+        for (node, (relax, basis)) in batch.drain(..).zip(evaluated) {
+            if nodes >= config.max_nodes {
+                // Out of budget: report the incumbent if we have one.
+                return incumbent.ok_or(SolveError::NodeLimit);
+            }
+            nodes += 1;
+
+            let relax = match relax {
+                Ok(s) => s,
+                Err(SolveError::Infeasible) => continue,
+                Err(e) => return Err(e),
+            };
+            let relax_cost = sign * relax.objective;
+            if relax_cost >= incumbent_cost - config.gap {
+                continue; // cannot beat the incumbent
+            }
+
+            // Most fractional integer variable.
+            let mut branch_var = None;
+            let mut best_frac = INT_EPS;
+            for &j in &int_vars {
+                let v = relax.values[j];
+                let frac = (v - v.round()).abs();
+                if frac > best_frac {
+                    best_frac = frac;
+                    branch_var = Some(j);
                 }
-                let obj = problem.objective_value(&vals);
-                let cost = sign * obj;
-                if cost < incumbent_cost {
-                    incumbent_cost = cost;
-                    incumbent = Some(Solution {
-                        objective: obj,
-                        values: vals,
-                        duals: None,
+            }
+
+            match branch_var {
+                None => {
+                    // Integral: snap values exactly and accept as incumbent.
+                    let mut vals = relax.values.clone();
+                    for &j in &int_vars {
+                        vals[j] = vals[j].round();
+                    }
+                    let obj = problem.objective_value(&vals);
+                    let cost = sign * obj;
+                    if cost < incumbent_cost {
+                        incumbent_cost = cost;
+                        incumbent = Some(Solution {
+                            objective: obj,
+                            values: vals,
+                            duals: None,
+                        });
+                    }
+                }
+                Some(j) => {
+                    let v = relax.values[j];
+                    let floor = v.floor();
+                    // Explore the "round toward relaxation" side last so it
+                    // pops first (DFS), which tends to find good incumbents
+                    // early.
+                    let down: BoundOverride = (j, 0.0, floor);
+                    let up: BoundOverride = (j, floor + 1.0, f64::INFINITY);
+                    let (first, second) = if v - floor > 0.5 {
+                        (down, up)
+                    } else {
+                        (up, down)
+                    };
+                    // Children warm-start from this node's optimal basis.
+                    let warm = basis.map(Arc::new);
+                    let mut b1 = node.bounds.clone();
+                    b1.push(first);
+                    stack.push(Node {
+                        bounds: b1,
+                        warm: warm.clone(),
+                    });
+                    let mut b2 = node.bounds;
+                    b2.push(second);
+                    stack.push(Node {
+                        bounds: b2,
+                        warm,
                     });
                 }
-            }
-            Some(j) => {
-                let v = relax.values[j];
-                let floor = v.floor();
-                // Explore the "round toward relaxation" side last so it pops
-                // first (DFS), which tends to find good incumbents early.
-                let down: BoundOverride = (j, 0.0, floor);
-                let up: BoundOverride = (j, floor + 1.0, f64::INFINITY);
-                let (first, second) = if v - floor > 0.5 {
-                    (down, up)
-                } else {
-                    (up, down)
-                };
-                let mut b1 = bounds.clone();
-                b1.push(first);
-                stack.push(b1);
-                let mut b2 = bounds;
-                b2.push(second);
-                stack.push(b2);
             }
         }
     }
@@ -210,6 +291,49 @@ mod tests {
         p.add_constraint(&[(r, 1.0)], Relation::Le, 1.5); // capacity allows R = 1.5
         let s = p.solve().unwrap();
         assert_eq!(s.int_value(y), 1);
+    }
+
+    #[test]
+    fn byte_identical_across_thread_counts() {
+        // A MILP big enough to branch repeatedly: a 12-item knapsack with
+        // two capacity rows. Every thread count must produce bit-identical
+        // objective and values (node evaluation is batch-synchronous and
+        // warm bases come from the tree, not the schedule).
+        let mut p = Problem::new(Sense::Maximize);
+        let items: Vec<_> = (0..12).map(|i| p.add_binary_var(&format!("x{i}"))).collect();
+        for (i, &x) in items.iter().enumerate() {
+            p.set_objective(x, 3.0 + (i as f64 * 1.7).sin().abs() * 9.0);
+            p.add_constraint(&[(x, 1.0)], Relation::Le, 1.0);
+        }
+        let w1: Vec<_> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, 1.0 + (i as f64 * 0.9).cos().abs() * 4.0))
+            .collect();
+        let w2: Vec<_> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, 1.0 + (i as f64 * 1.3).sin().abs() * 3.0))
+            .collect();
+        p.add_constraint(&w1, Relation::Le, 14.0);
+        p.add_constraint(&w2, Relation::Le, 11.0);
+
+        let solve_at = |threads: usize| {
+            crate::par::with_thread_count(threads, || solve(&p, BnbConfig::default()).unwrap())
+        };
+        let base = solve_at(1);
+        for threads in [2, 3, 8] {
+            let s = solve_at(threads);
+            assert_eq!(
+                base.objective.to_bits(),
+                s.objective.to_bits(),
+                "objective differs at {threads} threads"
+            );
+            assert_eq!(base.values.len(), s.values.len());
+            for (a, b) in base.values.iter().zip(&s.values) {
+                assert_eq!(a.to_bits(), b.to_bits(), "values differ at {threads} threads");
+            }
+        }
     }
 
     #[test]

@@ -199,6 +199,19 @@ impl Problem {
         simplex::solve_relaxation(self, &[])
     }
 
+    /// Solve the LP relaxation reusing `ws` across calls: tableau buffers
+    /// and the prepared sparse rows are cached, and each solve warm-starts
+    /// from the previous solution's basis when it is still feasible. This
+    /// is the fast path for repeated re-solves of the same problem under
+    /// shifting bound overrides (branch-and-bound, hardening re-placement).
+    pub fn solve_relaxation_with(
+        &self,
+        overrides: &[simplex::BoundOverride],
+        ws: &mut simplex::Workspace,
+    ) -> Result<Solution, SolveError> {
+        simplex::solve_with(self, overrides, ws)
+    }
+
     /// Evaluate the objective at a candidate point (no feasibility check).
     pub fn objective_value(&self, values: &[f64]) -> f64 {
         self.objective.iter().zip(values).map(|(c, x)| c * x).sum()

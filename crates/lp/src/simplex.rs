@@ -1,4 +1,4 @@
-//! Two-phase dense primal simplex with **bounded variables**.
+//! Two-phase **sparse-aware** primal simplex with bounded variables.
 //!
 //! The solver works on the bounded standard form
 //!
@@ -16,9 +16,38 @@
 //! halves the row count compared to the textbook formulation.
 //!
 //! Phase 1 minimizes the sum of artificials to find a basic feasible
-//! solution; phase 2 optimizes the real objective. Pricing is Dantzig's
-//! rule (most violating reduced cost) with a Bland's-rule fallback when the
-//! objective stalls (degeneracy anti-cycling).
+//! solution; phase 2 optimizes the real objective.
+//!
+//! ## What is different from the original dense kernel
+//!
+//! The original kernel (preserved in [`crate::dense_reference`]) paid
+//! `O(rows × cols)` per pivot and allocated fresh scratch vectors every
+//! iteration. This kernel keeps the same tableau semantics (`B⁻¹A` with
+//! folded basic values in the last column) but:
+//!
+//! * **Sparse pivots** — the nonzero columns of the pivot row are gathered
+//!   into a reusable scratch buffer once per pivot, and row/objective
+//!   eliminations touch only those columns. BATE's scheduling and
+//!   admission LPs are very sparse (each `B ≤ f/b` row touches a handful
+//!   of variables), so most pivots update a small fraction of the matrix.
+//!   The arithmetic on touched columns is identical to the dense kernel:
+//!   untouched columns would only ever have received `x -= f · 0`.
+//! * **Candidate-list partial pricing** — Dantzig pricing scanned every
+//!   column every iteration. Here a bounded candidate list of attractive
+//!   columns is priced instead, with a periodic (and on-exhaustion)
+//!   full-scan refresh. Optimality is only ever declared by a full scan,
+//!   and Bland's anti-cycling fallback always scans fully, so termination
+//!   guarantees are unchanged. All tie-breaks are index-ordered, keeping
+//!   pivot sequences deterministic.
+//! * **No per-iteration allocation** — the basic-column marker (previously
+//!   a fresh `Vec<bool>` per iteration plus a `HashSet` in phase 2) is
+//!   tableau state maintained across pivots; pricing and pivot scratch
+//!   buffers live in the tableau and are reused.
+//! * **Warm starts** — a [`Workspace`] caches the prepared sparse rows and
+//!   every tableau buffer across solves of the same problem (only bound
+//!   overrides changing), and can reinstall a saved [`Basis`] to skip
+//!   phase 1 entirely. Branch-and-bound warm-starts each child node from
+//!   its parent's optimal basis.
 
 use crate::error::SolveError;
 use crate::problem::{Problem, Relation, Sense};
@@ -30,10 +59,146 @@ const PHASE1_TOL: f64 = 1e-7;
 /// Number of non-improving iterations tolerated before switching to Bland's
 /// rule.
 const STALL_LIMIT: usize = 64;
+/// Pivots between full pricing scans; between refreshes only the candidate
+/// list is priced.
+const PRICE_REFRESH: usize = 48;
+
+/// Tableaus at or below this column count price with a full Dantzig scan
+/// every iteration (see `Tableau::partial`).
+const PARTIAL_PRICING_MIN_COLS: usize = 256;
+
+/// Tableaus with at most this many columns skip per-column row files
+/// (see [`Tableau::track_cols`]).
+const COL_FILE_MIN_COLS: usize = 256;
 
 /// Per-variable bound override used by branch-and-bound: `(var index,
 /// lower, upper)`.
 pub type BoundOverride = (usize, f64, f64);
+
+/// A snapshot of a simplex basis: which variable is basic in each row and
+/// which nonbasic columns rest at their upper bound. Opaque to callers;
+/// obtained from [`Workspace::final_basis`] and fed back through
+/// [`Workspace::set_warm`] to warm-start a related solve (same problem,
+/// different bound overrides).
+#[derive(Debug, Clone)]
+pub struct Basis {
+    rows: Vec<usize>,
+    at_upper: Vec<bool>,
+}
+
+/// Reusable solver state: prepared sparse problem rows, tableau buffers,
+/// and an optional warm-start basis.
+///
+/// A workspace amortizes, across repeated solves of the *same* problem
+/// with different bound overrides (the branch-and-bound access pattern):
+///
+/// * the sparse row preparation (constraint terms are cloned out of the
+///   [`Problem`] once, not per solve),
+/// * every tableau allocation (the dense matrix, pricing buffers, pivot
+///   scratch — all reused), and
+/// * optionally phase 1, by reinstalling a saved basis (see
+///   [`Workspace::set_warm`]); if the saved basis is not primal feasible
+///   under the new bounds the solve silently falls back to a cold start.
+///
+/// After every successful solve the workspace re-arms its warm basis with
+/// that solve's final basis, so plain sequential re-solving warm-starts
+/// automatically. Callers that need schedule-independent determinism (the
+/// parallel branch-and-bound) override this via [`Workspace::set_warm`] /
+/// [`Workspace::clear_warm`] before each solve.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    tab: Tableau,
+    prepared: Option<Prepared>,
+    warm: Option<Basis>,
+}
+
+impl Workspace {
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Install `basis` as the warm start for the next solve. `None` forces
+    /// the next solve cold.
+    pub fn set_warm(&mut self, basis: Option<Basis>) {
+        self.warm = basis;
+    }
+
+    /// Drop any warm-start state (next solve runs phase 1 from scratch).
+    pub fn clear_warm(&mut self) {
+        self.warm = None;
+    }
+
+    /// The final basis of the most recent successful solve, if any.
+    pub fn final_basis(&self) -> Option<Basis> {
+        self.warm.clone()
+    }
+}
+
+/// Problem structure shared by every solve in a workspace: sparse rows
+/// plus the (override-independent) column layout.
+///
+/// The layout assigns every row its slack/surplus column (non-`Eq` rows)
+/// and an artificial column (every row, used or not depending on the
+/// per-solve rhs normalization), so column indices — and therefore saved
+/// bases — stay valid when only bounds change between solves.
+#[derive(Debug)]
+struct Prepared {
+    /// Guards against a workspace being reused across different problems:
+    /// (num_vars, num_constraints, total term count).
+    fingerprint: (usize, usize, usize),
+    terms: Vec<Vec<(usize, f64)>>,
+    relations: Vec<Relation>,
+    rhs: Vec<f64>,
+    /// Slack/surplus column per row (`usize::MAX` for `Eq` rows).
+    slack_col: Vec<usize>,
+    /// Artificial column per row (always allocated; unused ones stay
+    /// all-zero and blocked).
+    art_col: Vec<usize>,
+    cols: usize,
+    first_artificial: usize,
+}
+
+impl Prepared {
+    fn build(problem: &Problem) -> Prepared {
+        let n = problem.num_vars();
+        let m = problem.constraints.len();
+        let mut terms = Vec::with_capacity(m);
+        let mut relations = Vec::with_capacity(m);
+        let mut rhs = Vec::with_capacity(m);
+        let mut total_terms = 0usize;
+        for c in &problem.constraints {
+            total_terms += c.terms.len();
+            terms.push(c.terms.clone());
+            relations.push(c.relation);
+            rhs.push(c.rhs);
+        }
+        let mut slack_col = vec![usize::MAX; m];
+        let mut next = n;
+        for i in 0..m {
+            if !matches!(relations[i], Relation::Eq) {
+                slack_col[i] = next;
+                next += 1;
+            }
+        }
+        let first_artificial = next;
+        let art_col: Vec<usize> = (0..m).map(|i| first_artificial + i).collect();
+        Prepared {
+            fingerprint: (n, m, total_terms),
+            terms,
+            relations,
+            rhs,
+            slack_col,
+            art_col,
+            cols: first_artificial + m,
+            first_artificial,
+        }
+    }
+
+    fn matches(&self, problem: &Problem) -> bool {
+        let total: usize = problem.constraints.iter().map(|c| c.terms.len()).sum();
+        self.fingerprint == (problem.num_vars(), problem.constraints.len(), total)
+    }
+}
 
 /// Solve the LP relaxation of `problem` with additional bound overrides.
 ///
@@ -43,6 +208,21 @@ pub type BoundOverride = (usize, f64, f64);
 pub fn solve_relaxation(
     problem: &Problem,
     overrides: &[BoundOverride],
+) -> Result<Solution, SolveError> {
+    let mut ws = Workspace::new();
+    solve_with(problem, overrides, &mut ws)
+}
+
+/// Solve the LP relaxation reusing (and updating) `ws`.
+///
+/// Identical results to [`solve_relaxation`] on a fresh workspace; with a
+/// used workspace, buffer reuse changes no arithmetic and a warm basis is
+/// accepted only when primal feasible (otherwise the solve restarts cold),
+/// so objectives remain optimal either way.
+pub fn solve_with(
+    problem: &Problem,
+    overrides: &[BoundOverride],
+    ws: &mut Workspace,
 ) -> Result<Solution, SolveError> {
     let n = problem.num_vars();
 
@@ -63,11 +243,41 @@ pub fn solve_relaxation(
         }
     }
 
-    // Shift x = lo + y. Constraint rhs absorbs the shift.
-    let mut tab = Tableau::build(problem, &lo, &hi)?;
-    tab.phase1()?;
-    tab.phase2(problem)?;
+    // (Re)prepare the sparse rows if this workspace saw a different problem.
+    if !ws.prepared.as_ref().is_some_and(|p| p.matches(problem)) {
+        ws.prepared = Some(Prepared::build(problem));
+        ws.warm = None;
+    }
+    let prepared = ws.prepared.as_ref().expect("prepared above");
 
+    // Shift x = lo + y. Constraint rhs absorbs the shift.
+    ws.tab.build(prepared, &lo, &hi);
+    let mut warmed = false;
+    if let Some(basis) = ws.warm.as_ref() {
+        warmed = ws.tab.install_basis(basis);
+        if !warmed {
+            // The install pivots mutated the tableau; rebuild for phase 1.
+            ws.tab.build(prepared, &lo, &hi);
+        }
+    }
+    let run = (|| {
+        if !warmed {
+            ws.tab.phase1()?;
+        }
+        ws.tab.phase2(problem)
+    })();
+    if let Err(e) = run {
+        ws.warm = None;
+        return Err(e);
+    }
+
+    // Re-arm the warm basis with this solve's final basis.
+    ws.warm = Some(Basis {
+        rows: ws.tab.basis.clone(),
+        at_upper: ws.tab.at_upper.clone(),
+    });
+
+    let tab = &ws.tab;
     let y = tab.extract();
     let mut values = vec![0.0f64; n];
     for j in 0..n {
@@ -83,11 +293,14 @@ pub fn solve_relaxation(
     })
 }
 
-/// Dense bounded-variable simplex tableau.
+/// Bounded-variable simplex tableau with sparse pivot application.
 ///
 /// The matrix part holds `B^{-1} A`; the last column holds the *current
 /// values of the basic variables* (with nonbasic-at-upper contributions
-/// folded in), which is what the ratio test needs directly.
+/// folded in), which is what the ratio test needs directly. Storage is
+/// dense row-major, but pivots only touch the nonzero columns of the pivot
+/// row (gathered once per pivot into `scratch`).
+#[derive(Debug, Default)]
 struct Tableau {
     /// Row-major, `rows x (cols + 1)`; last column = basic values.
     a: Vec<f64>,
@@ -95,6 +308,9 @@ struct Tableau {
     cols: usize,
     /// Basis variable of each row.
     basis: Vec<usize>,
+    /// `is_basic[c]` ⇔ some row has `basis[r] == c`. Maintained across
+    /// pivots (the dense kernel rebuilt this every iteration).
+    is_basic: Vec<bool>,
     /// Reduced-cost row, length `cols` (no rhs cell — the objective value
     /// is tracked separately in `objval`).
     obj: Vec<f64>,
@@ -116,7 +332,82 @@ struct Tableau {
     /// artificial) and the sign mapping its reduced cost to the row's dual
     /// value, used by [`Tableau::duals`].
     row_meta: Vec<(usize, f64)>,
+    /// Pivot scratch: nonzero column indices of the current pivot row,
+    /// with the (scaled) values gathered into `scratch_val` so the
+    /// elimination inner loop reads them contiguously.
+    scratch: Vec<usize>,
+    scratch_val: Vec<f64>,
+    /// Per-column row *files*: `col_rows[c]` is a superset of the rows
+    /// where column `c` is nonzero (entries may be stale-zero or
+    /// duplicated; they are sorted + deduped lazily when the column is
+    /// priced in). The tableau is row-major, so reading one column
+    /// strides across the whole matrix — one TLB/cache miss per row —
+    /// and on block-sparse scheduling LPs only a handful of rows per
+    /// column are actually nonzero. The lists confine the per-iteration
+    /// entering-column gather, ratio test, and elimination to those rows.
+    /// Maintained incrementally: a pivot creates nonzeros only at
+    /// (eliminated row, pivot-row-nonzero column) pairs, which
+    /// [`Tableau::note_fill_in`] records.
+    col_rows: Vec<Vec<u32>>,
+    /// Columns whose row list outgrew `rows / 2`: not worth tracking,
+    /// fall back to a full column scan for these.
+    col_dense: Vec<bool>,
+    /// Whether row files are maintained at all. Small tableaus skip them
+    /// (every column dense-flagged): the full column scan is cheap at
+    /// that size and the bookkeeping would only add overhead — the same
+    /// reasoning as the `partial` pricing gate.
+    track_cols: bool,
+    /// The current entering column, gathered sparsely: ascending rows
+    /// with their (nonzero) coefficients in parallel. The ratio test,
+    /// folded-rhs update, and elimination factors all read this.
+    ecol_rows: Vec<u32>,
+    ecol_vals: Vec<f64>,
+    /// Partial-pricing candidate columns and their last full-scan
+    /// violations (parallel vectors).
+    candidates: Vec<usize>,
+    cand_v: Vec<f64>,
+    /// Pivots remaining before the next forced full pricing scan.
+    refresh_in: usize,
+    /// Candidate-list capacity.
+    price_cap: usize,
+    /// Whether partial pricing is active. Small tableaus full-scan every
+    /// iteration instead: the scan is cheap at that size, and it keeps the
+    /// entering rule identical to classic Dantzig pricing, so small LPs
+    /// land on the same optimal vertex the original dense kernel chose
+    /// (degenerate optima are common in the scheduling LPs, and callers
+    /// observe which vertex they get through the extracted allocation).
+    partial: bool,
 }
+
+/// Hint the CPU to start loading the cache line holding `p`. The
+/// entering-column gather reads the row-major tableau at a
+/// `(cols+1) * 8`-byte stride — beyond the page-bounded reach of
+/// hardware stride prefetchers — so without an explicit hint each row
+/// read serialises on a full memory-latency miss. Prefetching a fixed
+/// distance ahead overlaps those misses. `wrapping_add` keeps the
+/// address computation defined even past the end of the buffer; a
+/// prefetch of an unmapped address is architecturally a no-op.
+#[inline(always)]
+fn prefetch_read(p: *const f64) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch instructions never fault; any address is allowed.
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch::<_MM_HINT_T0>(p as *const i8);
+    }
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: `prfm pldl1keep` never faults; any address is allowed.
+    unsafe {
+        std::arch::asm!("prfm pldl1keep, [{0}]", in(reg) p, options(nostack, preserves_flags));
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    let _ = p;
+}
+
+/// How many rows ahead the column gather prefetches. Large enough to
+/// cover DRAM latency at one tableau row per loop step, small enough
+/// not to thrash L1.
+const GATHER_PREFETCH_DIST: usize = 8;
 
 impl Tableau {
     #[inline]
@@ -134,122 +425,235 @@ impl Tableau {
         self.at(r, self.cols)
     }
 
-    /// Build the bounded standard form for `problem` with variables shifted
-    /// by `lo`; `hi` are the (pre-shift) upper bounds.
-    fn build(problem: &Problem, lo: &[f64], hi: &[f64]) -> Result<Tableau, SolveError> {
-        let n = problem.num_vars();
+    /// Fill the tableau from `prepared` with variables shifted by `lo`;
+    /// `hi` are the (pre-shift) upper bounds. Reuses every buffer.
+    fn build(&mut self, prepared: &Prepared, lo: &[f64], hi: &[f64]) {
+        let n = lo.len();
+        let m = prepared.relations.len();
+        let cols = prepared.cols;
 
-        struct Row {
-            terms: Vec<(usize, f64)>,
-            relation: Relation,
-            rhs: f64,
-        }
-        let mut rows: Vec<Row> = Vec::with_capacity(problem.constraints.len());
-        for c in &problem.constraints {
-            let shift: f64 = c.terms.iter().map(|&(j, coef)| coef * lo[j]).sum();
-            rows.push(Row {
-                terms: c.terms.clone(),
-                relation: c.relation,
-                rhs: c.rhs - shift,
-            });
-        }
-        // Normalize rhs >= 0, remembering which rows were negated (their
-        // dual values flip sign).
-        let mut flipped = vec![false; rows.len()];
-        for (i, row) in rows.iter_mut().enumerate() {
-            if row.rhs < 0.0 {
-                flipped[i] = true;
-                row.rhs = -row.rhs;
-                for t in &mut row.terms {
-                    t.1 = -t.1;
+        // Zero the matrix. When the workspace is rebuilt on the same
+        // layout (the warm-start paths: branch-and-bound bound overrides,
+        // hardening re-solves, rejected basis installs), the row files
+        // say exactly which cells can be nonzero, so zeroing those plus
+        // the rhs column is O(nnz) instead of a matrix-sized memset —
+        // at scheduling scale the memset alone costs as much as the
+        // whole pivot loop.
+        let stride = cols + 1;
+        let same_layout = self.track_cols
+            && self.rows == m
+            && self.cols == cols
+            && self.a.len() == m * stride
+            && self.col_rows.len() == cols;
+        if same_layout {
+            for c in 0..cols {
+                if self.col_dense[c] {
+                    for r in 0..m {
+                        self.a[r * stride + c] = 0.0;
+                    }
+                } else {
+                    for &r in &self.col_rows[c] {
+                        self.a[r as usize * stride + c] = 0.0;
+                    }
                 }
-                row.relation = match row.relation {
+            }
+            for r in 0..m {
+                self.a[r * stride + cols] = 0.0;
+            }
+        } else {
+            self.a.clear();
+            self.a.resize(m * stride, 0.0);
+        }
+
+        self.rows = m;
+        self.cols = cols;
+        self.n_struct = n;
+        self.first_artificial = prepared.first_artificial;
+        self.objval = 0.0;
+        self.track_cols = cols > COL_FILE_MIN_COLS;
+
+        self.basis.clear();
+        self.basis.resize(m, usize::MAX);
+        self.is_basic.clear();
+        self.is_basic.resize(cols, false);
+        self.obj.clear();
+        self.obj.resize(cols, 0.0);
+        self.ub.clear();
+        self.ub.resize(cols, f64::INFINITY);
+        self.at_upper.clear();
+        self.at_upper.resize(cols, false);
+        self.allowed.clear();
+        self.allowed.resize(cols, true);
+        self.row_meta.clear();
+        for list in self.col_rows.iter_mut() {
+            list.clear(); // keep inner allocations for warm rebuilds
+        }
+        if self.col_rows.len() > cols {
+            self.col_rows.truncate(cols);
+        } else {
+            self.col_rows.resize_with(cols, Vec::new);
+        }
+        self.col_dense.clear();
+        self.col_dense.resize(cols, !self.track_cols);
+        self.ecol_rows.clear();
+        self.ecol_vals.clear();
+        self.candidates.clear();
+        self.cand_v.clear();
+        self.refresh_in = 0;
+        self.price_cap = (cols / 8).clamp(16, 256);
+        self.partial = cols > PARTIAL_PRICING_MIN_COLS;
+
+        for j in 0..n {
+            self.ub[j] = hi[j] - lo[j];
+            if self.ub[j] < EPS {
+                self.allowed[j] = false; // fixed variable, can never move
+            }
+        }
+
+        let track = self.track_cols;
+        for i in 0..m {
+            // Shifted rhs; a negative one flips the whole row so phase 1
+            // starts from rhs >= 0 (flipped rows report sign-flipped duals).
+            let shift: f64 = prepared.terms[i]
+                .iter()
+                .map(|&(j, coef)| coef * lo[j])
+                .sum();
+            let rhs = prepared.rhs[i] - shift;
+            let (sign, flip) = if rhs < 0.0 { (-1.0, -1.0) } else { (1.0, 1.0) };
+            for &(j, coef) in &prepared.terms[i] {
+                self.set(i, j, sign * coef);
+                if track {
+                    self.col_rows[j].push(i as u32);
+                }
+            }
+            self.set(i, cols, sign * rhs);
+            let relation = if sign < 0.0 {
+                match prepared.relations[i] {
                     Relation::Le => Relation::Ge,
                     Relation::Ge => Relation::Le,
                     Relation::Eq => Relation::Eq,
-                };
-            }
-        }
-
-        let m = rows.len();
-        let n_slack = rows
-            .iter()
-            .filter(|r| !matches!(r.relation, Relation::Eq))
-            .count();
-        let n_art = rows
-            .iter()
-            .filter(|r| !matches!(r.relation, Relation::Le))
-            .count();
-        let cols = n + n_slack + n_art;
-        let first_artificial = n + n_slack;
-
-        let mut ub = vec![f64::INFINITY; cols];
-        for j in 0..n {
-            ub[j] = hi[j] - lo[j];
-        }
-        let mut allowed = vec![true; cols];
-        for j in 0..n {
-            if ub[j] < EPS {
-                allowed[j] = false; // fixed variable, can never move
-            }
-        }
-
-        let mut tab = Tableau {
-            a: vec![0.0; m * (cols + 1)],
-            rows: m,
-            cols,
-            basis: vec![usize::MAX; m],
-            obj: vec![0.0; cols],
-            objval: 0.0,
-            ub,
-            at_upper: vec![false; cols],
-            allowed,
-            first_artificial,
-            n_struct: n,
-            row_meta: Vec::with_capacity(m),
-        };
-
-        let mut slack_next = n;
-        let mut art_next = first_artificial;
-        for (i, row) in rows.iter().enumerate() {
-            for &(j, coef) in &row.terms {
-                tab.set(i, j, coef);
-            }
-            tab.set(i, cols, row.rhs);
-            let flip = if flipped[i] { -1.0 } else { 1.0 };
-            match row.relation {
+                }
+            } else {
+                prepared.relations[i]
+            };
+            let slack = prepared.slack_col[i];
+            let art = prepared.art_col[i];
+            match relation {
                 Relation::Le => {
-                    tab.set(i, slack_next, 1.0);
-                    tab.basis[i] = slack_next;
+                    self.set(i, slack, 1.0);
+                    if track {
+                        self.col_rows[slack].push(i as u32);
+                    }
+                    self.basis[i] = slack;
                     // d_slack = -y_i  →  y_i = -d_slack.
-                    tab.row_meta.push((slack_next, -flip));
-                    slack_next += 1;
+                    self.row_meta.push((slack, -flip));
+                    // This row's artificial column stays all-zero.
+                    self.allowed[art] = false;
                 }
                 Relation::Ge => {
-                    tab.set(i, slack_next, -1.0);
+                    self.set(i, slack, -1.0);
+                    if track {
+                        self.col_rows[slack].push(i as u32);
+                    }
                     // d_surplus = +y_i.
-                    tab.row_meta.push((slack_next, flip));
-                    slack_next += 1;
-                    tab.set(i, art_next, 1.0);
-                    tab.basis[i] = art_next;
-                    art_next += 1;
+                    self.row_meta.push((slack, flip));
+                    self.set(i, art, 1.0);
+                    if track {
+                        self.col_rows[art].push(i as u32);
+                    }
+                    self.basis[i] = art;
                 }
                 Relation::Eq => {
-                    tab.set(i, art_next, 1.0);
-                    tab.basis[i] = art_next;
+                    self.set(i, art, 1.0);
+                    if track {
+                        self.col_rows[art].push(i as u32);
+                    }
+                    self.basis[i] = art;
                     // d_artificial = c_art - y_i = -y_i in phase 2.
-                    tab.row_meta.push((art_next, -flip));
-                    art_next += 1;
+                    self.row_meta.push((art, -flip));
+                }
+            }
+            self.is_basic[self.basis[i]] = true;
+        }
+    }
+
+    /// Try to reinstall `saved` as the starting basis, skipping phase 1.
+    ///
+    /// Pivots the freshly built tableau onto the saved basis (transforming
+    /// the rhs to `B⁻¹b` along the way), folds nonbasic-at-upper
+    /// contributions back in, and accepts only if the result is primal
+    /// feasible. Returns `false` — with the tableau left dirty; the caller
+    /// rebuilds — when the basis no longer fits (layout mismatch, singular
+    /// pivot, or infeasible under the new bounds).
+    fn install_basis(&mut self, saved: &Basis) -> bool {
+        if saved.rows.len() != self.rows || saved.at_upper.len() != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            let j = saved.rows[r];
+            if j >= self.cols {
+                return false;
+            }
+            if self.basis[r] == j {
+                continue;
+            }
+            if self.is_basic[j] {
+                // Wanted in this row but already basic elsewhere (only
+                // possible for degenerate saved bases that no longer map).
+                return false;
+            }
+            if self.at(r, j).abs() < 1e-8 {
+                return false;
+            }
+            let old = self.basis[r];
+            self.pivot_matrix_ext(r, j, true);
+            self.is_basic[old] = false;
+            self.is_basic[j] = true;
+            self.basis[r] = j;
+        }
+        // Restore nonbasic-at-upper rests and fold their contribution into
+        // the rhs (which currently holds B⁻¹b).
+        for j in 0..self.cols {
+            self.at_upper[j] = false;
+            if saved.at_upper[j] && !self.is_basic[j] && self.ub[j].is_finite() && self.ub[j] > 0.0
+            {
+                self.at_upper[j] = true;
+                let w = self.ub[j];
+                for r in 0..self.rows {
+                    let alpha = self.at(r, j);
+                    if alpha != 0.0 {
+                        let nv = self.xb(r) - alpha * w;
+                        self.set(r, self.cols, nv);
+                    }
                 }
             }
         }
-        Ok(tab)
+        // Primal feasibility of the installed point.
+        for r in 0..self.rows {
+            let v = self.xb(r);
+            let b = self.basis[r];
+            if v < -PHASE1_TOL || v > self.ub[b] + PHASE1_TOL {
+                return false;
+            }
+            if b >= self.first_artificial && v.abs() > PHASE1_TOL {
+                // A basic artificial at a nonzero value means Ax ≠ b.
+                return false;
+            }
+            if v < 0.0 {
+                self.set(r, self.cols, 0.0);
+            }
+        }
+        true
     }
 
     /// Phase 1: minimize the sum of artificial variables.
     fn phase1(&mut self) -> Result<(), SolveError> {
-        if self.first_artificial == self.cols {
-            return Ok(()); // all-slack basis is already feasible
+        let any_artificial_basic = self
+            .basis
+            .iter()
+            .any(|&b| b >= self.first_artificial);
+        if !any_artificial_basic {
+            return Ok(()); // slack basis is already feasible
         }
         // Reduced costs for cost e_{artificials}: basics must have zero
         // reduced cost, so subtract each artificial-basic row.
@@ -263,12 +667,16 @@ impl Tableau {
         for i in 0..self.rows {
             if self.basis[i] >= self.first_artificial {
                 for c in 0..self.cols {
-                    self.obj[c] -= self.at(i, c);
+                    let v = self.at(i, c);
+                    if v != 0.0 {
+                        self.obj[c] -= v;
+                    }
                 }
                 self.objval += self.xb(i);
             }
         }
 
+        self.reset_pricing();
         self.iterate()?;
 
         if self.objval > PHASE1_TOL {
@@ -316,8 +724,10 @@ impl Tableau {
             };
             if cb != 0.0 {
                 for c in 0..self.cols {
-                    let v = self.obj[c] - cb * self.at(i, c);
-                    self.obj[c] = v;
+                    let v = self.at(i, c);
+                    if v != 0.0 {
+                        self.obj[c] -= cb * v;
+                    }
                 }
             }
         }
@@ -329,14 +739,14 @@ impl Tableau {
                 val += sign * problem.objective[b] * self.xb(i);
             }
         }
-        let basic: std::collections::HashSet<usize> = self.basis.iter().copied().collect();
         for j in 0..self.n_struct {
-            if !basic.contains(&j) && self.at_upper[j] {
+            if !self.is_basic[j] && self.at_upper[j] {
                 val += sign * problem.objective[j] * self.ub[j];
             }
         }
         self.objval = val;
 
+        self.reset_pricing();
         self.iterate()
     }
 
@@ -358,23 +768,31 @@ impl Tableau {
             if it % 256 == 0 && std::time::Instant::now() > deadline {
                 return Err(SolveError::IterationLimit);
             }
-            let basic_mark = self.basic_mark();
-            let Some(e) = self.choose_entering(bland, &basic_mark) else {
-                return Ok(()); // optimal
+            let Some(e) = self.choose_entering(bland) else {
+                return Ok(()); // optimal (verified by a full pricing scan)
             };
             // Direction: +1 if entering rises from its lower bound, -1 if
             // it falls from its upper bound.
             let delta = if self.at_upper[e] { -1.0 } else { 1.0 };
 
+            // Gather the entering column sparsely (ascending rows with
+            // nonzero coefficients); the ratio test, rhs update, and
+            // elimination below all iterate this instead of every row.
+            self.gather_entering(e);
+
             // Ratio test: the entering step is limited by the entering
             // variable's own bound width (flip) and by every basic variable
             // hitting one of its bounds. Ties between rows break toward the
             // smallest basis index (Bland-compatible); a row beats a
-            // same-sized bound flip.
+            // same-sized bound flip. Rows absent from the gather have a
+            // zero coefficient, i.e. never limit the step — visiting only
+            // the gathered rows (in ascending order, like the full scan
+            // this replaces) is exact.
             let mut t = self.ub[e]; // bound-flip limit (may be inf)
-            let mut leave: Option<(usize, bool)> = None; // (row, leaves_at_upper)
-            for i in 0..self.rows {
-                let alpha = self.at(i, e);
+            let mut leave: Option<(usize, bool)> = None; // (gather index, leaves_at_upper)
+            for k in 0..self.ecol_rows.len() {
+                let i = self.ecol_rows[k] as usize;
+                let alpha = self.ecol_vals[k];
                 let rate = delta * alpha; // basic i changes at -rate per unit
                 let candidate = if rate > EPS {
                     // Basic decreases toward 0.
@@ -390,12 +808,14 @@ impl Tableau {
                 let take = match leave {
                     _ if ti < t - EPS => true,
                     None if ti <= t + EPS => true, // row beats a tied flip
-                    Some((r, _)) if ti <= t + EPS => self.basis[i] < self.basis[r],
+                    Some((pk, _)) if ti <= t + EPS => {
+                        self.basis[i] < self.basis[self.ecol_rows[pk] as usize]
+                    }
                     _ => false,
                 };
                 if take {
                     t = t.min(ti);
-                    leave = Some((i, at_up));
+                    leave = Some((k, at_up));
                 }
             }
 
@@ -409,26 +829,15 @@ impl Tableau {
             match leave {
                 None => {
                     // Bound flip: entering moves across its whole range.
-                    for i in 0..self.rows {
-                        let alpha = self.at(i, e);
-                        if alpha != 0.0 {
-                            let nv = self.xb(i) - delta * alpha * t;
-                            self.set(i, self.cols, nv);
-                        }
+                    for k in 0..self.ecol_rows.len() {
+                        let i = self.ecol_rows[k] as usize;
+                        let nv = self.xb(i) - delta * self.ecol_vals[k] * t;
+                        self.set(i, self.cols, nv);
                     }
                     self.at_upper[e] = !self.at_upper[e];
                 }
-                Some((r, leaves_at_upper)) => {
-                    // Update folded basic values for all rows except r.
-                    for i in 0..self.rows {
-                        if i != r {
-                            let alpha = self.at(i, e);
-                            if alpha != 0.0 {
-                                let nv = self.xb(i) - delta * alpha * t;
-                                self.set(i, self.cols, nv);
-                            }
-                        }
-                    }
+                Some((pk, leaves_at_upper)) => {
+                    let r = self.ecol_rows[pk] as usize;
                     let new_value = if self.at_upper[e] {
                         self.ub[e] - t
                     } else {
@@ -436,8 +845,10 @@ impl Tableau {
                     };
                     let old_basic = self.basis[r];
                     self.at_upper[old_basic] = leaves_at_upper;
-                    self.pivot_matrix(r, e);
+                    self.pivot_with_rhs_update(r, e, delta * t, pk);
                     self.at_upper[e] = false;
+                    self.is_basic[old_basic] = false;
+                    self.is_basic[e] = true;
                     self.basis[r] = e;
                     self.set(r, self.cols, new_value.max(0.0));
                 }
@@ -456,84 +867,315 @@ impl Tableau {
         Err(SolveError::IterationLimit)
     }
 
-    fn basic_mark(&self) -> Vec<bool> {
-        let mut mark = vec![false; self.cols];
-        for &b in &self.basis {
-            if b < self.cols {
-                mark[b] = true;
-            }
+    /// Pricing violation of column `c`: how strongly its reduced cost
+    /// invites it into the basis (0.0 = not eligible).
+    #[inline]
+    fn violation(&self, c: usize) -> f64 {
+        if self.is_basic[c] || !self.allowed[c] {
+            return 0.0;
         }
-        mark
+        let d = self.obj[c];
+        if self.at_upper[c] {
+            if d > EPS {
+                d
+            } else {
+                0.0
+            }
+        } else if d < -EPS {
+            -d
+        } else {
+            0.0
+        }
+    }
+
+    /// Forget the candidate list (phase transitions change the cost row
+    /// wholesale, invalidating cached attractiveness).
+    fn reset_pricing(&mut self) {
+        self.candidates.clear();
+        self.cand_v.clear();
+        self.refresh_in = 0;
     }
 
     /// Entering column: nonbasic at lower with `d < 0`, or nonbasic at
     /// upper with `d > 0`.
-    fn choose_entering(&self, bland: bool, basic: &[bool]) -> Option<usize> {
-        let violation = |c: usize| -> f64 {
-            if basic[c] || !self.allowed[c] {
-                return 0.0;
-            }
-            let d = self.obj[c];
-            if self.at_upper[c] {
-                if d > EPS {
-                    d
-                } else {
-                    0.0
-                }
-            } else if d < -EPS {
-                -d
-            } else {
-                0.0
-            }
-        };
+    ///
+    /// Partial pricing: between full scans only the candidate list is
+    /// priced (stale entries are dropped in place). A full scan — which is
+    /// the only way `None` (optimality) is returned — refills the list with
+    /// the `price_cap` most attractive columns. Bland mode always scans
+    /// fully and takes the first eligible index.
+    fn choose_entering(&mut self, bland: bool) -> Option<usize> {
         if bland {
-            (0..self.cols).find(|&c| violation(c) > 0.0)
-        } else {
-            let mut best = None;
+            return (0..self.cols).find(|&c| self.violation(c) > 0.0);
+        }
+        if self.partial && self.refresh_in > 0 && !self.candidates.is_empty() {
+            self.refresh_in -= 1;
+            let mut best: Option<usize> = None;
             let mut best_v = 0.0;
-            for c in 0..self.cols {
-                let v = violation(c);
-                if v > best_v {
-                    best_v = v;
-                    best = Some(c);
+            let mut w = 0usize;
+            for k in 0..self.candidates.len() {
+                let c = self.candidates[k];
+                let v = self.violation(c);
+                if v > 0.0 {
+                    self.candidates[w] = c;
+                    self.cand_v[w] = v;
+                    w += 1;
+                    if v > best_v {
+                        best_v = v;
+                        best = Some(c);
+                    }
                 }
             }
-            best
+            self.candidates.truncate(w);
+            self.cand_v.truncate(w);
+            if best.is_some() {
+                return best;
+            }
+        }
+        self.full_price()
+    }
+
+    /// Full Dantzig scan; rebuilds the candidate list as a side effect.
+    fn full_price(&mut self) -> Option<usize> {
+        self.refresh_in = PRICE_REFRESH;
+        self.candidates.clear();
+        self.cand_v.clear();
+        let cap = self.price_cap;
+        let mut best: Option<usize> = None;
+        let mut best_v = 0.0;
+        for c in 0..self.cols {
+            let v = self.violation(c);
+            if v <= 0.0 {
+                continue;
+            }
+            if v > best_v {
+                best_v = v;
+                best = Some(c);
+            }
+            if !self.partial {
+                continue; // pure Dantzig: no candidate list to maintain
+            }
+            if self.candidates.len() < cap {
+                self.candidates.push(c);
+                self.cand_v.push(v);
+            } else {
+                // Replace the weakest cached candidate (first-min on ties,
+                // so the outcome is index-deterministic).
+                let mut mi = 0usize;
+                for k in 1..cap {
+                    if self.cand_v[k] < self.cand_v[mi] {
+                        mi = k;
+                    }
+                }
+                if v > self.cand_v[mi] {
+                    self.candidates[mi] = c;
+                    self.cand_v[mi] = v;
+                }
+            }
+        }
+        best
+    }
+
+    /// Gather the entering column `e` into `ecol_rows` / `ecol_vals`:
+    /// ascending rows, nonzero coefficients only. Uses the column's row
+    /// file when one is tracked (sorting + deduping it in place, and
+    /// compacting out entries that have gone stale-zero — safe because
+    /// any pivot that re-creates a nonzero re-records the row); falls
+    /// back to a full strided scan for dense-flagged columns.
+    fn gather_entering(&mut self, e: usize) {
+        self.ecol_rows.clear();
+        self.ecol_vals.clear();
+        let stride = self.cols + 1;
+        if !self.col_dense[e] {
+            let mut list = std::mem::take(&mut self.col_rows[e]);
+            list.sort_unstable();
+            list.dedup();
+            if list.len() <= self.rows / 2 {
+                for idx in 0..list.len() {
+                    if let Some(&r) = list.get(idx + GATHER_PREFETCH_DIST) {
+                        prefetch_read(self.a.as_ptr().wrapping_add(r as usize * stride + e));
+                    }
+                    let r = list[idx];
+                    let v = self.a[r as usize * stride + e];
+                    if v != 0.0 {
+                        self.ecol_rows.push(r);
+                        self.ecol_vals.push(v);
+                    }
+                }
+                list.clear();
+                list.extend_from_slice(&self.ecol_rows);
+                self.col_rows[e] = list;
+                return;
+            }
+            // Outgrew the tracking threshold: a full scan is no slower
+            // than walking the list, so stop maintaining it.
+            self.col_dense[e] = true;
+        }
+        for r in 0..self.rows {
+            prefetch_read(
+                self.a
+                    .as_ptr()
+                    .wrapping_add((r + GATHER_PREFETCH_DIST) * stride + e),
+            );
+            let v = self.a[r * stride + e];
+            if v != 0.0 {
+                self.ecol_rows.push(r as u32);
+                self.ecol_vals.push(v);
+            }
         }
     }
 
-    /// Gauss-Jordan pivot on the matrix part only (the folded rhs is
-    /// maintained by the caller).
+    /// Record the fill-in of a pivot at (`row`, `col`) in the per-column
+    /// row files. The elimination wrote to (eliminated row, pivot-row
+    /// nonzero column) pairs — the eliminated rows are exactly the
+    /// gathered `ecol_rows` minus the pivot row, and the pivot-row
+    /// nonzeros are `scratch` — and collapsed the entering column to a
+    /// unit vector. Raw lists that outgrow `rows` entries are deduped in
+    /// place and dense-flagged if still oversized, bounding both memory
+    /// and the sort cost at the next gather.
+    fn note_fill_in(&mut self, row: usize, col: usize) {
+        if !self.track_cols {
+            return;
+        }
+        for idx in 0..self.scratch.len() {
+            let c = self.scratch[idx];
+            if c == col || c >= self.cols || self.col_dense[c] {
+                continue;
+            }
+            for k in 0..self.ecol_rows.len() {
+                let r = self.ecol_rows[k];
+                if r as usize != row {
+                    self.col_rows[c].push(r);
+                }
+            }
+            if self.col_rows[c].len() > self.rows {
+                let list = &mut self.col_rows[c];
+                list.sort_unstable();
+                list.dedup();
+                if list.len() > self.rows / 2 {
+                    self.col_dense[c] = true;
+                    *list = Vec::new();
+                }
+            }
+        }
+        // Column `col` is now exactly the unit vector for `row`.
+        self.col_dense[col] = false;
+        self.col_rows[col].clear();
+        self.col_rows[col].push(row as u32);
+    }
+
+    /// Gauss-Jordan pivot restricted to the nonzero columns of the pivot
+    /// row (the folded rhs is maintained by the caller).
     fn pivot_matrix(&mut self, row: usize, col: usize) {
+        self.pivot_matrix_ext(row, col, false);
+    }
+
+    /// The main-loop pivot: Gauss-Jordan on the nonzero pivot-row columns,
+    /// with the folded-rhs update (`xb -= α · step`) fused into the same
+    /// row pass. Requires the entering column `col` to be gathered in
+    /// `ecol_rows` / `ecol_vals` (with `pk` indexing the pivot row), which
+    /// lets rows with a zero elimination factor be skipped without
+    /// touching the matrix at all — on block-sparse scheduling LPs that is
+    /// most of them. Arithmetic on touched cells is identical to
+    /// `pivot_matrix` plus the caller-side rhs loop it replaces.
+    fn pivot_with_rhs_update(&mut self, row: usize, col: usize, step: f64, pk: usize) {
         let stride = self.cols + 1;
-        let p = self.a[row * stride + col];
+        let base = row * stride;
+        let p = self.ecol_vals[pk];
         debug_assert!(p.abs() > 1e-12, "pivot on (near-)zero element");
         let inv = 1.0 / p;
+        self.scratch.clear();
+        self.scratch_val.clear();
         for c in 0..self.cols {
-            self.a[row * stride + c] *= inv;
+            let v = self.a[base + c];
+            if v != 0.0 {
+                let sv = if c == col { 1.0 } else { v * inv };
+                self.a[base + c] = sv;
+                self.scratch.push(c);
+                self.scratch_val.push(sv);
+            }
         }
-        self.a[row * stride + col] = 1.0;
+        self.a[base + col] = 1.0;
 
+        for k in 0..self.ecol_rows.len() {
+            if k == pk {
+                continue;
+            }
+            let r = self.ecol_rows[k] as usize;
+            let f = self.ecol_vals[k];
+            let rbase = r * stride;
+            self.a[rbase + self.cols] -= f * step;
+            for k2 in 0..self.scratch.len() {
+                self.a[rbase + self.scratch[k2]] -= f * self.scratch_val[k2];
+            }
+            self.a[rbase + col] = 0.0;
+        }
+        let f = self.obj[col];
+        if f != 0.0 {
+            for k in 0..self.scratch.len() {
+                self.obj[self.scratch[k]] -= f * self.scratch_val[k];
+            }
+            self.obj[col] = 0.0;
+        }
+        self.note_fill_in(row, col);
+    }
+
+    /// Pivot implementation; `include_rhs` additionally transforms the rhs
+    /// column (wanted when the rhs holds `B⁻¹b` during basis installation,
+    /// NOT during the main loop where the caller maintains folded values).
+    fn pivot_matrix_ext(&mut self, row: usize, col: usize, include_rhs: bool) {
+        let stride = self.cols + 1;
+        let base = row * stride;
+        let p = self.a[base + col];
+        debug_assert!(p.abs() > 1e-12, "pivot on (near-)zero element");
+        let inv = 1.0 / p;
+        // Gather the pivot row's nonzero columns once; scaling and all row
+        // eliminations below touch only these. Untouched columns would
+        // only ever receive `x -= f * 0`, so skipping them is exact.
+        self.scratch.clear();
+        let limit = if include_rhs { self.cols + 1 } else { self.cols };
+        for c in 0..limit {
+            let v = self.a[base + c];
+            if v != 0.0 {
+                self.a[base + c] = v * inv;
+                self.scratch.push(c);
+            }
+        }
+        self.a[base + col] = 1.0;
+
+        // Track which rows get eliminated so the per-column row files can
+        // record the fill-in afterwards (this path reads the entering
+        // column with a strided scan — it only runs during warm-start
+        // basis installation and artificial drive-out, never in the main
+        // pivot loop).
+        self.ecol_rows.clear();
+        self.ecol_vals.clear();
         for r in 0..self.rows {
             if r == row {
                 continue;
             }
             let f = self.a[r * stride + col];
             if f != 0.0 {
-                for c in 0..self.cols {
-                    let v = self.a[row * stride + c];
-                    self.a[r * stride + c] -= f * v;
+                self.ecol_rows.push(r as u32);
+                let rbase = r * stride;
+                for k in 0..self.scratch.len() {
+                    let c = self.scratch[k];
+                    self.a[rbase + c] -= f * self.a[base + c];
                 }
-                self.a[r * stride + col] = 0.0;
+                self.a[rbase + col] = 0.0;
             }
         }
         let f = self.obj[col];
         if f != 0.0 {
-            for c in 0..self.cols {
-                self.obj[c] -= f * self.a[row * stride + c];
+            for k in 0..self.scratch.len() {
+                let c = self.scratch[k];
+                if c < self.cols {
+                    self.obj[c] -= f * self.a[base + c];
+                }
             }
             self.obj[col] = 0.0;
         }
+        self.note_fill_in(row, col);
     }
 
     /// Swap a zero-valued basic (artificial) out for column `c` without
@@ -545,6 +1187,8 @@ impl Tableau {
         self.at_upper[old] = false;
         self.pivot_matrix(row, col);
         self.at_upper[col] = false;
+        self.is_basic[old] = false;
+        self.is_basic[col] = true;
         self.basis[row] = col;
         self.set(row, self.cols, entering_value);
         // Other basic values are unchanged (t = 0 step) — but the entering
@@ -570,9 +1214,8 @@ impl Tableau {
     /// Read the structural-variable values out of the final tableau.
     fn extract(&self) -> Vec<f64> {
         let mut y = vec![0.0f64; self.n_struct];
-        let basic = self.basic_mark();
         for j in 0..self.n_struct {
-            if !basic[j] && self.at_upper[j] {
+            if !self.is_basic[j] && self.at_upper[j] {
                 y[j] = self.ub[j];
             }
         }
@@ -839,6 +1482,113 @@ mod tests {
         // Needs full delivery in state 0 plus one of the partial states.
         assert!(s.objective >= b - 1e-6);
         assert!(p.is_feasible(&s.values, 1e-6));
+    }
+}
+
+#[cfg(test)]
+mod workspace_tests {
+    use super::{solve_with, Workspace};
+    use crate::{Problem, Relation, Sense};
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    /// A small scheduling-shaped LP with `>=` rows (so a cold solve needs
+    /// phase 1, making the warm path observable).
+    fn demo_problem() -> Problem {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        let z = p.add_bounded_var("z", 2.0);
+        p.set_objective(x, 2.0);
+        p.set_objective(y, 3.0);
+        p.set_objective(z, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0), (z, 1.0)], Relation::Ge, 10.0);
+        p.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Le, 4.0);
+        p.add_constraint(&[(y, 1.0), (z, 1.0)], Relation::Ge, 3.0);
+        p
+    }
+
+    #[test]
+    fn warm_resolve_matches_cold() {
+        let p = demo_problem();
+        let mut ws = Workspace::new();
+        let cold = solve_with(&p, &[], &mut ws).unwrap();
+        assert!(ws.final_basis().is_some());
+        // Second solve warm-starts from the first solve's basis.
+        let warm = solve_with(&p, &[], &mut ws).unwrap();
+        approx(cold.objective, warm.objective);
+        for (a, b) in cold.values.iter().zip(&warm.values) {
+            approx(*a, *b);
+        }
+    }
+
+    #[test]
+    fn warm_start_with_changed_bounds_matches_cold() {
+        let p = demo_problem();
+        let mut ws = Workspace::new();
+        solve_with(&p, &[], &mut ws).unwrap();
+        // Branch-and-bound-style tightenings, solved warm and cold.
+        let tighten: &[&[super::BoundOverride]] = &[
+            &[(0, 0.0, 3.0)],
+            &[(1, 2.0, f64::INFINITY)],
+            &[(0, 1.0, 6.0), (2, 0.0, 1.0)],
+        ];
+        for bounds in tighten {
+            let warm = solve_with(&p, bounds, &mut ws).unwrap();
+            let cold = super::solve_relaxation(&p, bounds).unwrap();
+            approx(warm.objective, cold.objective);
+        }
+    }
+
+    #[test]
+    fn workspace_survives_infeasible_overrides() {
+        let p = demo_problem();
+        let mut ws = Workspace::new();
+        solve_with(&p, &[], &mut ws).unwrap();
+        // Force x to a range that contradicts row 2 (x - y <= 4 is fine;
+        // make lower > upper instead for a straight bounds conflict).
+        assert!(solve_with(&p, &[(0, 5.0, 2.0)], &mut ws).is_err());
+        // Workspace remains usable afterwards.
+        let again = solve_with(&p, &[], &mut ws).unwrap();
+        let fresh = super::solve_relaxation(&p, &[]).unwrap();
+        approx(again.objective, fresh.objective);
+    }
+
+    #[test]
+    fn workspace_reused_across_different_problems_detects_mismatch() {
+        let p1 = demo_problem();
+        let mut ws = Workspace::new();
+        let a = solve_with(&p1, &[], &mut ws).unwrap();
+        approx(a.objective, super::solve_relaxation(&p1, &[]).unwrap().objective);
+
+        // A different problem through the same workspace must re-prepare.
+        let mut p2 = Problem::new(Sense::Maximize);
+        let x = p2.add_var("x");
+        let y = p2.add_var("y");
+        p2.set_objective(x, 3.0);
+        p2.set_objective(y, 2.0);
+        p2.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+        p2.add_constraint(&[(x, 1.0), (y, 3.0)], Relation::Le, 6.0);
+        let b = solve_with(&p2, &[], &mut ws).unwrap();
+        approx(b.objective, 12.0);
+    }
+
+    #[test]
+    fn explicit_warm_basis_transfer() {
+        let p = demo_problem();
+        let mut ws1 = Workspace::new();
+        solve_with(&p, &[], &mut ws1).unwrap();
+        let basis = ws1.final_basis().unwrap();
+
+        // A second workspace warm-started from the first one's basis.
+        let mut ws2 = Workspace::new();
+        solve_with(&p, &[], &mut ws2).unwrap(); // prepare structures
+        ws2.set_warm(Some(basis));
+        let warm = solve_with(&p, &[(1, 0.5, f64::INFINITY)], &mut ws2).unwrap();
+        let cold = super::solve_relaxation(&p, &[(1, 0.5, f64::INFINITY)]).unwrap();
+        approx(warm.objective, cold.objective);
     }
 }
 

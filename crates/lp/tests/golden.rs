@@ -1,0 +1,170 @@
+//! Golden equivalence: the sparse pivot kernel must reproduce the original
+//! dense kernel's objectives and duals to within 1e-6.
+//!
+//! The corpus is BATE-shaped: scheduling LPs (flow variables per tunnel,
+//! bounded availability variables per failure scenario, delivery and
+//! availability rows — the structure of the paper's Eq. 1–7) and
+//! admission-shaped LPs (fractional multi-knapsacks over candidate
+//! demands). Coefficients are randomized per instance so optimal bases —
+//! and therefore duals — are generically unique, which is what makes the
+//! dual comparison meaningful.
+
+use bate_lp::dense_reference::solve_relaxation_dense;
+use bate_lp::simplex::solve_relaxation;
+use bate_lp::{Problem, Relation, Sense};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Build a scheduling-shaped LP: minimize provisioned tunnel bandwidth
+/// subject to demand delivery, per-scenario delivered-fraction coupling,
+/// and a bandwidth-availability floor.
+fn scheduling_instance(seed: u64, tunnels: usize, scenarios: usize) -> Problem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = Problem::new(Sense::Minimize);
+    let demand = rng.gen_range(5.0..20.0);
+
+    let f: Vec<_> = (0..tunnels)
+        .map(|t| {
+            let v = p.add_var(&format!("f{t}"));
+            // Distinct random costs keep the optimum unique.
+            p.set_objective(v, rng.gen_range(1.0..3.0));
+            v
+        })
+        .collect();
+    // Slightly jittered delivery coefficients keep constraint rows in
+    // general position: the dense and sparse kernels may reach different
+    // optimal bases, and only generically-unique duals make the 1e-6 dual
+    // comparison meaningful.
+    p.add_constraint(
+        &f.iter()
+            .map(|&v| (v, rng.gen_range(0.9..1.1)))
+            .collect::<Vec<_>>(),
+        Relation::Ge,
+        demand,
+    );
+
+    let mut avail_terms = Vec::with_capacity(scenarios);
+    let mut prob_left = 1.0f64;
+    for s in 0..scenarios {
+        let b = p.add_bounded_var(&format!("B{s}"), 1.0);
+        // Scenario survival sets: each tunnel independently alive, with
+        // jittered per-tunnel delivery efficiency (general position again).
+        let mut terms = vec![(b, demand)];
+        let mut any = false;
+        for &fv in &f {
+            if rng.gen_bool(0.7) {
+                let eff: f64 = rng.gen_range(0.8..1.2);
+                terms.push((fv, -eff));
+                any = true;
+            }
+        }
+        if !any {
+            terms.push((f[0], -1.0));
+        }
+        p.add_constraint(&terms, Relation::Le, 0.0);
+        let ps = if s + 1 == scenarios {
+            prob_left
+        } else {
+            let ps = prob_left * rng.gen_range(0.3..0.7);
+            prob_left -= ps;
+            ps
+        };
+        avail_terms.push((b, ps));
+    }
+    p.add_constraint(&avail_terms, Relation::Ge, rng.gen_range(0.6..0.9));
+    p
+}
+
+/// Build an admission-shaped LP: maximize weighted admitted (fractional)
+/// demands subject to a handful of shared capacity rows.
+fn admission_instance(seed: u64, demands: usize, links: usize) -> Problem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = Problem::new(Sense::Maximize);
+    let x: Vec<_> = (0..demands)
+        .map(|d| {
+            let v = p.add_bounded_var(&format!("x{d}"), 1.0);
+            p.set_objective(v, rng.gen_range(0.5..5.0));
+            v
+        })
+        .collect();
+    for l in 0..links {
+        let mut terms = Vec::new();
+        for &xv in &x {
+            if rng.gen_bool(0.5) {
+                terms.push((xv, rng.gen_range(0.5..4.0)));
+            }
+        }
+        if terms.is_empty() {
+            terms.push((x[l % demands], 1.0));
+        }
+        let cap = rng.gen_range(2.0..8.0);
+        p.add_constraint(&terms, Relation::Le, cap);
+    }
+    p
+}
+
+fn assert_kernels_agree(p: &Problem, label: &str) {
+    let dense = solve_relaxation_dense(p, &[]).unwrap_or_else(|e| {
+        panic!("{label}: dense kernel failed: {e:?}");
+    });
+    let sparse = solve_relaxation(p, &[]).unwrap_or_else(|e| {
+        panic!("{label}: sparse kernel failed: {e:?}");
+    });
+    assert!(
+        (dense.objective - sparse.objective).abs() < 1e-6,
+        "{label}: objective mismatch: dense {} vs sparse {}",
+        dense.objective,
+        sparse.objective
+    );
+    let dd = dense.duals.as_ref().expect("dense duals");
+    let sd = sparse.duals.as_ref().expect("sparse duals");
+    assert_eq!(dd.len(), sd.len(), "{label}: dual count mismatch");
+    for (i, (a, b)) in dd.iter().zip(sd).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-6,
+            "{label}: dual {i} mismatch: dense {a} vs sparse {b}"
+        );
+    }
+    // Both solutions must satisfy the problem they claim to solve.
+    assert!(p.is_feasible(&sparse.values, 1e-6), "{label}: sparse infeasible");
+}
+
+#[test]
+fn golden_scheduling_instances() {
+    // 8 scheduling-shaped instances across sizes.
+    let shapes = [(3, 4), (4, 6), (5, 8), (6, 10), (8, 12), (10, 16), (12, 20), (6, 24)];
+    for (k, &(tunnels, scenarios)) in shapes.iter().enumerate() {
+        let p = scheduling_instance(0x5EED_0000 + k as u64, tunnels, scenarios);
+        assert_kernels_agree(&p, &format!("scheduling[{k}] t={tunnels} s={scenarios}"));
+    }
+}
+
+#[test]
+fn golden_admission_instances() {
+    // 6 admission-shaped instances across sizes.
+    let shapes = [(6, 3), (10, 4), (14, 5), (20, 6), (28, 8), (40, 10)];
+    for (k, &(demands, links)) in shapes.iter().enumerate() {
+        let p = admission_instance(0xADA1_0000 + k as u64, demands, links);
+        assert_kernels_agree(&p, &format!("admission[{k}] d={demands} l={links}"));
+    }
+}
+
+#[test]
+fn golden_under_bound_overrides() {
+    // Branch-and-bound style tightened re-solves agree between kernels.
+    let p = scheduling_instance(0xB0B0_5EED, 6, 8);
+    for j in 0..3 {
+        let overrides = [(j, 0.0, 2.0)];
+        let dense = solve_relaxation_dense(&p, &overrides);
+        let sparse = solve_relaxation(&p, &overrides);
+        match (dense, sparse) {
+            (Ok(d), Ok(s)) => assert!(
+                (d.objective - s.objective).abs() < 1e-6,
+                "override {j}: {} vs {}",
+                d.objective,
+                s.objective
+            ),
+            (Err(de), Err(se)) => assert_eq!(de, se, "override {j}: error mismatch"),
+            (d, s) => panic!("override {j}: kernel disagreement: {d:?} vs {s:?}"),
+        }
+    }
+}

@@ -116,14 +116,14 @@ impl ScenarioSet {
         // Enumerate combinations layer by layer. Each failed group i swaps a
         // factor (1-x_i) for x_i, i.e. multiplies by x_i / (1-x_i).
         let ratio: Vec<f64> = probs.iter().map(|&p| p / (1.0 - p)).collect();
-        let mut combo: Vec<usize> = Vec::new();
+        let mut failed = LinkSet::new(n);
         enumerate_combos(
             n,
             max_failures,
             0,
             all_up_p,
             &ratio,
-            &mut combo,
+            &mut failed,
             &mut scenarios,
         );
 
@@ -156,31 +156,32 @@ impl ScenarioSet {
     }
 }
 
+/// Recursive layer-by-layer combination walk. `failed` is the parent
+/// scenario's group set, maintained incrementally: each child inserts one
+/// group, clones the set for the emitted scenario (a flat word copy), and
+/// removes the group on backtrack — O(words) per scenario instead of
+/// re-inserting the whole combo at every node.
 fn enumerate_combos(
     n: usize,
     depth_left: usize,
     start: usize,
     prob: f64,
     ratio: &[f64],
-    combo: &mut Vec<usize>,
+    failed: &mut LinkSet,
     out: &mut Vec<Scenario>,
 ) {
     if depth_left == 0 {
         return;
     }
     for i in start..n {
-        combo.push(i);
+        failed.insert(i);
         let p = prob * ratio[i];
-        let mut failed = LinkSet::new(n);
-        for &g in combo.iter() {
-            failed.insert(g);
-        }
         out.push(Scenario {
-            failed,
+            failed: failed.clone(),
             probability: p,
         });
-        enumerate_combos(n, depth_left - 1, i + 1, p, ratio, combo, out);
-        combo.pop();
+        enumerate_combos(n, depth_left - 1, i + 1, p, ratio, failed, out);
+        failed.remove(i);
     }
 }
 

@@ -48,6 +48,12 @@ pub struct TunnelSet {
     pairs: Vec<(NodeId, NodeId)>,
     pair_index: HashMap<(NodeId, NodeId), usize>,
     tunnels: Vec<Vec<Path>>,
+    /// `p_t` per tunnel, parallel to `tunnels`. `Path::availability`
+    /// allocates a group vector on every call, which is too expensive for
+    /// the sort comparators in admission and hardening; the product only
+    /// depends on the topology the set was computed from, so it is cached
+    /// here once at build time.
+    avail: Vec<Vec<f64>>,
 }
 
 impl TunnelSet {
@@ -67,6 +73,7 @@ impl TunnelSet {
             pairs: Vec::with_capacity(pairs.len()),
             pair_index: HashMap::new(),
             tunnels: Vec::with_capacity(pairs.len()),
+            avail: Vec::with_capacity(pairs.len()),
         };
         for &(s, d) in pairs {
             let paths = match scheme {
@@ -76,6 +83,7 @@ impl TunnelSet {
             };
             set.pair_index.insert((s, d), set.pairs.len());
             set.pairs.push((s, d));
+            set.avail.push(paths.iter().map(|p| p.availability(topo)).collect());
             set.tunnels.push(paths);
         }
         set
@@ -112,6 +120,19 @@ impl TunnelSet {
     /// The path behind a [`TunnelId`].
     pub fn path(&self, id: TunnelId) -> &Path {
         &self.tunnels[id.pair][id.tunnel]
+    }
+
+    /// Cached `p_t` of every tunnel of a pair, parallel to
+    /// [`TunnelSet::tunnels`]. Equals `Path::availability` against the
+    /// topology the set was computed from, without the per-call group
+    /// allocation.
+    pub fn availabilities(&self, pair: usize) -> &[f64] {
+        &self.avail[pair]
+    }
+
+    /// Cached `p_t` of one tunnel (see [`TunnelSet::availabilities`]).
+    pub fn availability(&self, id: TunnelId) -> f64 {
+        self.avail[id.pair][id.tunnel]
     }
 
     /// Iterate every tunnel as `(TunnelId, &Path)`.
@@ -203,6 +224,21 @@ mod tests {
         assert_eq!(set.iter().count(), set.total_tunnels());
         for (id, p) in set.iter() {
             assert_eq!(set.path(id).links, p.links);
+        }
+    }
+
+    #[test]
+    fn cached_availability_matches_path() {
+        let t = topologies::testbed6();
+        let set = TunnelSet::compute(&t, RoutingScheme::default_ksp4());
+        for (id, p) in set.iter() {
+            assert!(
+                (set.availability(id) - p.availability(&t)).abs() < 1e-12,
+                "cache diverged for {id:?}"
+            );
+        }
+        for pair in 0..set.num_pairs() {
+            assert_eq!(set.availabilities(pair).len(), set.tunnels(pair).len());
         }
     }
 

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the LP kernel microbenchmarks.
+#
+# Usage: scripts/bench.sh [--baseline <json>]
+#
+# Runs the workspace build + tests (the tier-1 gate), then the LP kernel
+# benchmark with --emit-json, which rewrites BENCH_lp.json at the repo
+# root. With --baseline, diffs the fresh numbers against a saved copy so
+# perf regressions show up next to the speedup column.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=""
+if [[ "${1:-}" == "--baseline" ]]; then
+    BASELINE="${2:?--baseline needs a path}"
+fi
+
+echo "== tier-1: build =="
+cargo build --release --offline
+
+echo "== tier-1: tests =="
+cargo test -q --offline
+
+echo "== lp kernel benchmarks =="
+cargo bench -q --offline -p bate-bench --bench lp -- --emit-json
+
+echo "== BENCH_lp.json =="
+cat BENCH_lp.json
+
+if [[ -n "$BASELINE" ]]; then
+    echo "== diff vs $BASELINE =="
+    diff -u "$BASELINE" BENCH_lp.json && echo "(no change)" || true
+fi
