@@ -57,6 +57,7 @@
 
 pub mod admission;
 pub mod allocation;
+pub mod clock;
 pub mod demand;
 pub mod pricing;
 pub mod profile;
@@ -65,6 +66,7 @@ pub mod reservation;
 pub mod scheduling;
 
 pub use allocation::Allocation;
+pub use clock::{Clock, SimClock, SystemClock};
 pub use demand::{AvailabilityClass, BaDemand, DemandId};
 pub use pricing::SlaSchedule;
 

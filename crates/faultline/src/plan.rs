@@ -1,0 +1,377 @@
+//! The fault-plan DSL: a seed plus an ordered list of rules, deciding per
+//! frame what the proxy does to it.
+//!
+//! Decisions are a pure function of `(plan.seed, conn, dir, seq)` — no
+//! global RNG state, no wall clock — so the same plan over the same
+//! traffic produces the same decision sequence regardless of thread
+//! interleaving. That is what makes traces byte-identical across runs.
+//!
+//! ```
+//! use faultline::plan::FaultPlan;
+//! let plan = FaultPlan::seeded(42).drop(0.1).sever_after(3);
+//! assert_eq!(plan.to_string(), "seed=42: drop(0.1) + sever_after(3)");
+//! assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Traffic direction through the proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Direction {
+    /// Downstream (client/broker) → upstream (controller/acceptor).
+    C2S,
+    /// Upstream → downstream.
+    S2C,
+}
+
+impl Direction {
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::C2S => "c2s",
+            Direction::S2C => "s2c",
+        }
+    }
+}
+
+/// What the proxy does with one observed frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// Pass through unchanged.
+    Forward,
+    /// Swallow the frame; the connection stays up.
+    Drop,
+    /// Forward after sleeping (head-of-line: later frames wait too).
+    Delay { ms: u64 },
+    /// Forward the frame twice.
+    Duplicate,
+    /// Write the header and half the payload, then sever the connection
+    /// (a mid-frame cut: the receiver sees EOF inside the payload).
+    Truncate,
+    /// Flip one payload byte but keep the original CRC, so the receiver's
+    /// CRC check fires.
+    Corrupt,
+    /// Sever the connection without forwarding.
+    Sever,
+}
+
+impl Action {
+    pub fn label(self) -> &'static str {
+        match self {
+            Action::Forward => "forward",
+            Action::Drop => "drop",
+            Action::Delay { .. } => "delay",
+            Action::Duplicate => "duplicate",
+            Action::Truncate => "truncate",
+            Action::Corrupt => "corrupt",
+            Action::Sever => "sever",
+        }
+    }
+}
+
+/// One rule. Rules are evaluated in order; the first that fires decides
+/// the frame's fate. Each probabilistic rule draws exactly one value from
+/// the per-frame RNG whether or not it fires, so adding a rule never
+/// perturbs the draws of rules before it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultRule {
+    Drop { p: f64 },
+    Delay { p: f64, ms: u64 },
+    Duplicate { p: f64 },
+    Truncate { p: f64 },
+    Corrupt { p: f64 },
+    /// Sever the connection at the `msgs`-th frame of each direction.
+    SeverAfter { msgs: u64 },
+    /// Deterministically drop the first `n` frames in one direction
+    /// (`None` = both) **of the first connection only**. The precision
+    /// tool for regression tests — "exactly the first AdmissionReply is
+    /// lost" — scoped to conn 0 so a reconnecting peer's retry is not
+    /// swallowed again on the fresh connection.
+    DropFirst { dir: Option<Direction>, n: u64 },
+}
+
+impl fmt::Display for FaultRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultRule::Drop { p } => write!(f, "drop({p})"),
+            FaultRule::Delay { p, ms } => write!(f, "delay({p},{ms}ms)"),
+            FaultRule::Duplicate { p } => write!(f, "duplicate({p})"),
+            FaultRule::Truncate { p } => write!(f, "truncate({p})"),
+            FaultRule::Corrupt { p } => write!(f, "corrupt({p})"),
+            FaultRule::SeverAfter { msgs } => write!(f, "sever_after({msgs})"),
+            FaultRule::DropFirst { dir: None, n } => write!(f, "drop_first({n})"),
+            FaultRule::DropFirst { dir: Some(d), n } => {
+                write!(f, "drop_first_{}({n})", d.label())
+            }
+        }
+    }
+}
+
+/// A seeded fault schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty (all-forward) plan under `seed`.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    fn with(mut self, rule: FaultRule) -> FaultPlan {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Drop each frame with probability `p`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn drop(self, p: f64) -> FaultPlan {
+        self.with(FaultRule::Drop { p })
+    }
+
+    /// Delay each frame `ms` milliseconds with probability `p`.
+    pub fn delay(self, p: f64, ms: u64) -> FaultPlan {
+        self.with(FaultRule::Delay { p, ms })
+    }
+
+    /// Forward each frame twice with probability `p`.
+    pub fn duplicate(self, p: f64) -> FaultPlan {
+        self.with(FaultRule::Duplicate { p })
+    }
+
+    /// Cut each frame in half (and the connection with it) with
+    /// probability `p`.
+    pub fn truncate(self, p: f64) -> FaultPlan {
+        self.with(FaultRule::Truncate { p })
+    }
+
+    /// Flip a payload byte (CRC kept stale) with probability `p`.
+    pub fn corrupt(self, p: f64) -> FaultPlan {
+        self.with(FaultRule::Corrupt { p })
+    }
+
+    /// Sever every connection at its `msgs`-th frame per direction.
+    pub fn sever_after(self, msgs: u64) -> FaultPlan {
+        self.with(FaultRule::SeverAfter { msgs })
+    }
+
+    /// Deterministically drop the first `n` frames in `dir` (both
+    /// directions if `None`).
+    pub fn drop_first(self, dir: Option<Direction>, n: u64) -> FaultPlan {
+        self.with(FaultRule::DropFirst { dir, n })
+    }
+
+    /// The fate of frame number `seq` (0-based, per connection and
+    /// direction). Pure in `(seed, conn, dir, seq)`.
+    pub fn decide(&self, conn: u64, dir: Direction, seq: u64) -> Action {
+        let mix = splitmix(
+            self.seed
+                ^ conn.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ ((dir as u64) << 62)
+                ^ seq.wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+        );
+        let mut rng = StdRng::seed_from_u64(mix);
+        for rule in &self.rules {
+            match *rule {
+                FaultRule::Drop { p } => {
+                    if rng.gen_bool(p) {
+                        return Action::Drop;
+                    }
+                }
+                FaultRule::Delay { p, ms } => {
+                    if rng.gen_bool(p) {
+                        return Action::Delay { ms };
+                    }
+                }
+                FaultRule::Duplicate { p } => {
+                    if rng.gen_bool(p) {
+                        return Action::Duplicate;
+                    }
+                }
+                FaultRule::Truncate { p } => {
+                    if rng.gen_bool(p) {
+                        return Action::Truncate;
+                    }
+                }
+                FaultRule::Corrupt { p } => {
+                    if rng.gen_bool(p) {
+                        return Action::Corrupt;
+                    }
+                }
+                FaultRule::SeverAfter { msgs } => {
+                    if seq >= msgs {
+                        return Action::Sever;
+                    }
+                }
+                FaultRule::DropFirst { dir: d, n } => {
+                    if conn == 0 && (d.is_none() || d == Some(dir)) && seq < n {
+                        return Action::Drop;
+                    }
+                }
+            }
+        }
+        Action::Forward
+    }
+
+    /// Parse the [`fmt::Display`] form back:
+    /// `seed=42: drop(0.1) + sever_after(3)`.
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let s = s.trim();
+        let rest = s
+            .strip_prefix("seed=")
+            .ok_or_else(|| format!("expected 'seed=N: ...', got {s:?}"))?;
+        let (seed_str, rules_str) = match rest.split_once(':') {
+            Some((a, b)) => (a.trim(), b.trim()),
+            None => (rest.trim(), ""),
+        };
+        let seed: u64 = seed_str
+            .parse()
+            .map_err(|e| format!("bad seed {seed_str:?}: {e}"))?;
+        let mut plan = FaultPlan::seeded(seed);
+        if rules_str.is_empty() {
+            return Ok(plan);
+        }
+        for part in rules_str.split('+') {
+            let part = part.trim();
+            let (name, args) = part
+                .split_once('(')
+                .and_then(|(n, a)| a.strip_suffix(')').map(|a| (n, a)))
+                .ok_or_else(|| format!("bad rule syntax {part:?}"))?;
+            let args: Vec<&str> = args.split(',').map(str::trim).collect();
+            let p = |i: usize| -> Result<f64, String> {
+                args.get(i)
+                    .ok_or_else(|| format!("{name}: missing arg {i}"))?
+                    .parse()
+                    .map_err(|e| format!("{name}: bad float: {e}"))
+            };
+            let n = |i: usize| -> Result<u64, String> {
+                args.get(i)
+                    .ok_or_else(|| format!("{name}: missing arg {i}"))?
+                    .trim_end_matches("ms")
+                    .trim_end_matches(" msgs")
+                    .parse()
+                    .map_err(|e| format!("{name}: bad int: {e}"))
+            };
+            plan = match name {
+                "drop" => plan.drop(p(0)?),
+                "delay" => plan.delay(p(0)?, n(1)?),
+                "duplicate" => plan.duplicate(p(0)?),
+                "truncate" => plan.truncate(p(0)?),
+                "corrupt" => plan.corrupt(p(0)?),
+                "sever_after" => plan.sever_after(n(0)?),
+                "drop_first" => plan.drop_first(None, n(0)?),
+                "drop_first_c2s" => plan.drop_first(Some(Direction::C2S), n(0)?),
+                "drop_first_s2c" => plan.drop_first(Some(Direction::S2C), n(0)?),
+                other => return Err(format!("unknown rule {other:?}")),
+            };
+        }
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={}", self.seed)?;
+        if self.rules.is_empty() {
+            return Ok(());
+        }
+        write!(f, ": ")?;
+        for (i, rule) in self.rules.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{rule}")?;
+        }
+        Ok(())
+    }
+}
+
+/// SplitMix64 finalizer: a strong bit mix for combining seed components.
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_functions_of_coordinates() {
+        let plan = FaultPlan::seeded(7).drop(0.3).delay(0.3, 10).corrupt(0.1);
+        for conn in 0..4 {
+            for dir in [Direction::C2S, Direction::S2C] {
+                for seq in 0..64 {
+                    assert_eq!(
+                        plan.decide(conn, dir, seq),
+                        plan.decide(conn, dir, seq),
+                        "decision must be reproducible"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = FaultPlan::seeded(1).drop(0.5);
+        let b = FaultPlan::seeded(2).drop(0.5);
+        let da: Vec<Action> = (0..64).map(|s| a.decide(0, Direction::C2S, s)).collect();
+        let db: Vec<Action> = (0..64).map(|s| b.decide(0, Direction::C2S, s)).collect();
+        assert_ne!(da, db);
+    }
+
+    #[test]
+    fn sever_after_fires_exactly_at_the_threshold() {
+        let plan = FaultPlan::seeded(0).sever_after(3);
+        for seq in 0..3 {
+            assert_eq!(plan.decide(0, Direction::C2S, seq), Action::Forward);
+        }
+        assert_eq!(plan.decide(0, Direction::C2S, 3), Action::Sever);
+        assert_eq!(plan.decide(5, Direction::S2C, 9), Action::Sever);
+    }
+
+    #[test]
+    fn drop_first_is_directional_and_first_connection_only() {
+        let plan = FaultPlan::seeded(0).drop_first(Some(Direction::S2C), 2);
+        assert_eq!(plan.decide(0, Direction::S2C, 0), Action::Drop);
+        assert_eq!(plan.decide(0, Direction::S2C, 1), Action::Drop);
+        assert_eq!(plan.decide(0, Direction::S2C, 2), Action::Forward);
+        assert_eq!(plan.decide(0, Direction::C2S, 0), Action::Forward);
+        // A reconnecting peer's retry (conn 1) is not swallowed again.
+        assert_eq!(plan.decide(1, Direction::S2C, 0), Action::Forward);
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let plans = [
+            FaultPlan::seeded(42),
+            FaultPlan::seeded(42).drop(0.1).sever_after(3),
+            FaultPlan::seeded(7).delay(0.25, 15).duplicate(0.5).corrupt(0.05),
+            FaultPlan::seeded(9).truncate(0.2).drop_first(Some(Direction::S2C), 1),
+            FaultPlan::seeded(11).drop_first(None, 2),
+        ];
+        for plan in plans {
+            let s = plan.to_string();
+            assert_eq!(FaultPlan::parse(&s).unwrap(), plan, "via {s:?}");
+        }
+    }
+
+    #[test]
+    fn probabilities_roughly_respected() {
+        let plan = FaultPlan::seeded(3).drop(0.25);
+        let drops = (0..4000)
+            .filter(|&s| plan.decide(0, Direction::C2S, s) == Action::Drop)
+            .count();
+        let frac = drops as f64 / 4000.0;
+        assert!((frac - 0.25).abs() < 0.04, "drop fraction {frac}");
+    }
+}

@@ -1,0 +1,359 @@
+//! The in-process fault proxy: a frame-aware TCP man-in-the-middle.
+//!
+//! Sits between a control-plane endpoint and its peers, parses the wire
+//! framing (so faults land on *message* boundaries, not arbitrary byte
+//! offsets), and applies the plan's per-frame decision: forward, drop,
+//! delay, duplicate, truncate mid-frame, corrupt (payload flipped, CRC
+//! left stale), or sever. Every decision is recorded to the shared
+//! [`Trace`].
+//!
+//! Connection ids are assigned in accept order; with the harness's
+//! sequential dialing this makes `(conn, dir, seq)` coordinates — and
+//! therefore traces — deterministic.
+
+use crate::plan::{Action, Direction, FaultPlan};
+use crate::trace::{Trace, TraceRecord};
+use bate_system::wire::{crc32, read_frame_bytes};
+use parking_lot::Mutex;
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running fault proxy. All live proxied connections are severed when
+/// it is dropped.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    plan: FaultPlan,
+    trace: Arc<Trace>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    conn_counter: Arc<AtomicU64>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Listen on an ephemeral localhost port, forwarding every accepted
+    /// connection to `upstream` under `plan`.
+    pub fn start(upstream: SocketAddr, plan: FaultPlan) -> io::Result<FaultProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let trace = Arc::new(Trace::new());
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let conn_counter = Arc::new(AtomicU64::new(0));
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let t = Arc::clone(&trace);
+        let c = Arc::clone(&conns);
+        let counter = Arc::clone(&conn_counter);
+        let sd = Arc::clone(&shutdown);
+        let accept_plan = plan.clone();
+        let accept_thread = std::thread::spawn(move || {
+            while !sd.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((down, _)) => {
+                        down.set_nodelay(true).ok();
+                        let conn = counter.fetch_add(1, Ordering::Relaxed);
+                        let Ok(up) = TcpStream::connect(upstream) else {
+                            down.shutdown(Shutdown::Both).ok();
+                            continue;
+                        };
+                        up.set_nodelay(true).ok();
+                        {
+                            let mut reg = c.lock();
+                            if let (Ok(d), Ok(u)) = (down.try_clone(), up.try_clone()) {
+                                reg.push(d);
+                                reg.push(u);
+                            }
+                        }
+                        spawn_pumps(conn, down, up, accept_plan.clone(), Arc::clone(&t));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        Ok(FaultProxy {
+            addr,
+            plan,
+            trace,
+            conns,
+            conn_counter,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address peers dial instead of the real endpoint.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The plan in effect.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// How many connections have been accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.conn_counter.load(Ordering::Relaxed)
+    }
+
+    /// All recorded decisions, in deterministic `(conn, dir, seq)` order.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.trace.sorted()
+    }
+
+    /// The replayable JSONL trace (header line = the plan's DSL form).
+    pub fn trace_jsonl(&self) -> String {
+        self.trace.to_jsonl(&self.plan)
+    }
+
+    /// Sever every live proxied connection now (a manual full partition).
+    /// New connections are still accepted — this models a transient cut,
+    /// not proxy shutdown.
+    pub fn sever_all(&self) {
+        let mut conns = self.conns.lock();
+        for stream in conns.drain(..) {
+            stream.shutdown(Shutdown::Both).ok();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.sever_all();
+        if let Some(t) = self.accept_thread.take() {
+            t.join().ok();
+        }
+    }
+}
+
+fn spawn_pumps(conn: u64, down: TcpStream, up: TcpStream, plan: FaultPlan, trace: Arc<Trace>) {
+    let (Ok(down_r), Ok(up_r)) = (down.try_clone(), up.try_clone()) else {
+        return;
+    };
+    let plan2 = plan.clone();
+    let trace2 = Arc::clone(&trace);
+    std::thread::spawn(move || pump(conn, Direction::C2S, down_r, up, plan, trace));
+    std::thread::spawn(move || pump(conn, Direction::S2C, up_r, down, plan2, trace2));
+}
+
+/// Forward frames from `src` to `dst`, applying the plan per frame. Runs
+/// until the source closes or a plan-decided fault severs the connection.
+///
+/// Half-close semantics keep traces deterministic: when the source closes
+/// (or the destination dies mid-write), this pump does NOT kill the
+/// opposite direction's sockets — it propagates EOF by shutting down only
+/// its own destination's write half, and keeps *reading* (and recording)
+/// until the source itself closes. Each direction's record set is then
+/// exactly "every frame the source wrote before closing", independent of
+/// how the teardown of the two directions interleaves. Only plan-decided
+/// `Sever`/`Truncate` (an injected abrupt cut) take down both sockets.
+fn pump(
+    conn: u64,
+    dir: Direction,
+    mut src: TcpStream,
+    mut dst: TcpStream,
+    plan: FaultPlan,
+    trace: Arc<Trace>,
+) {
+    let mut seq = 0u64;
+    let mut dst_alive = true;
+    let sever = |src: &TcpStream, dst: &TcpStream| {
+        src.shutdown(Shutdown::Both).ok();
+        dst.shutdown(Shutdown::Both).ok();
+    };
+    loop {
+        let payload = match read_frame_bytes(&mut src) {
+            Ok(p) => p,
+            // Source closed (cleanly or not): propagate EOF downstream and
+            // stop. The sibling pump keeps draining its own source.
+            Err(_) => {
+                dst.shutdown(Shutdown::Write).ok();
+                return;
+            }
+        };
+        let action = plan.decide(conn, dir, seq);
+        trace.record(conn, dir, seq, action, payload.len());
+        seq += 1;
+
+        let result = match action {
+            Action::Forward if dst_alive => write_raw_frame(&mut dst, &payload, crc32(&payload)),
+            Action::Drop => Ok(()),
+            Action::Delay { ms } => {
+                std::thread::sleep(Duration::from_millis(ms));
+                if dst_alive {
+                    write_raw_frame(&mut dst, &payload, crc32(&payload))
+                } else {
+                    Ok(())
+                }
+            }
+            Action::Duplicate if dst_alive => write_raw_frame(&mut dst, &payload, crc32(&payload))
+                .and_then(|()| write_raw_frame(&mut dst, &payload, crc32(&payload))),
+            Action::Truncate => {
+                // Full-length header, half the payload, then a hard cut:
+                // the receiver hits EOF inside the payload.
+                if dst_alive {
+                    let mut head = Vec::with_capacity(8);
+                    head.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+                    head.extend_from_slice(&crc32(&payload).to_be_bytes());
+                    let cut = payload.len() / 2;
+                    let _ = dst
+                        .write_all(&head)
+                        .and_then(|()| dst.write_all(&payload[..cut]))
+                        .and_then(|()| dst.flush());
+                }
+                sever(&src, &dst);
+                return;
+            }
+            Action::Corrupt if dst_alive => {
+                // Damage the payload but keep the stale CRC, so this is
+                // detected by the receiver's CRC check, not by parsing.
+                let stale_crc = crc32(&payload);
+                let mut bad = payload.to_vec();
+                if bad.is_empty() {
+                    // Nothing to flip: corrupt the CRC itself instead.
+                    write_raw_frame(&mut dst, &bad, stale_crc ^ 1)
+                } else {
+                    let mid = bad.len() / 2;
+                    bad[mid] ^= 0xFF;
+                    write_raw_frame(&mut dst, &bad, stale_crc)
+                }
+            }
+            Action::Sever => {
+                sever(&src, &dst);
+                return;
+            }
+            // dst already dead: decisions are still made and recorded so
+            // the trace stays a pure function of what the source sent.
+            _ => Ok(()),
+        };
+        if result.is_err() {
+            // The destination died (peer closed/reset). Keep draining and
+            // recording the source; just stop forwarding.
+            dst.shutdown(Shutdown::Write).ok();
+            dst_alive = false;
+        }
+    }
+}
+
+/// Write one frame with an explicit CRC field (which [`Action::Corrupt`]
+/// deliberately leaves stale).
+fn write_raw_frame(dst: &mut TcpStream, payload: &[u8], crc: u32) -> io::Result<()> {
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(&crc.to_be_bytes());
+    frame.extend_from_slice(payload);
+    dst.write_all(&frame)?;
+    dst.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bate_system::wire::{read_frame, write_frame, WireError};
+
+    /// An echo server speaking the frame protocol (u64 payloads).
+    fn echo_server() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            // Serve a handful of connections then exit.
+            for _ in 0..8 {
+                let Ok((mut conn, _)) = listener.accept() else {
+                    return;
+                };
+                std::thread::spawn(move || loop {
+                    match read_frame::<u64, _>(&mut conn) {
+                        Ok(v) => {
+                            if write_frame(&mut conn, &v).is_err() {
+                                return;
+                            }
+                        }
+                        Err(_) => return,
+                    }
+                });
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn clean_plan_forwards_transparently() {
+        let (addr, _server) = echo_server();
+        let proxy = FaultProxy::start(addr, FaultPlan::seeded(1)).unwrap();
+        let mut stream = TcpStream::connect(proxy.addr()).unwrap();
+        for v in [1u64, 2, 3] {
+            write_frame(&mut stream, &v).unwrap();
+            assert_eq!(read_frame::<u64, _>(&mut stream).unwrap(), v);
+        }
+        let records = proxy.records();
+        // 3 frames each way, all forwarded.
+        assert_eq!(records.len(), 6);
+        assert!(records.iter().all(|r| r.action == "forward"));
+    }
+
+    #[test]
+    fn corrupt_frames_fail_the_receiver_crc_check() {
+        let (addr, _server) = echo_server();
+        let plan = FaultPlan::seeded(1).corrupt(1.0);
+        let proxy = FaultProxy::start(addr, plan).unwrap();
+        let mut stream = TcpStream::connect(proxy.addr()).unwrap();
+        write_frame(&mut stream, &7u64).unwrap();
+        // The c2s frame was corrupted; the echo server kills the
+        // connection, so we see Closed/Malformed — never a wrong value.
+        match read_frame::<u64, _>(&mut stream) {
+            Ok(v) => panic!("corrupt frame decoded to {v}"),
+            Err(WireError::Corrupt { .. } | WireError::Closed | WireError::Malformed(_)) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn sever_after_cuts_the_connection() {
+        let (addr, _server) = echo_server();
+        let plan = FaultPlan::seeded(1).sever_after(2);
+        let proxy = FaultProxy::start(addr, plan).unwrap();
+        let mut stream = TcpStream::connect(proxy.addr()).unwrap();
+        for v in [10u64, 20] {
+            write_frame(&mut stream, &v).unwrap();
+            assert_eq!(read_frame::<u64, _>(&mut stream).unwrap(), v);
+        }
+        // Third frame hits the sever threshold.
+        write_frame(&mut stream, &30u64).ok();
+        assert!(read_frame::<u64, _>(&mut stream).is_err());
+        // A fresh connection works again (seq resets per connection).
+        let mut stream2 = TcpStream::connect(proxy.addr()).unwrap();
+        write_frame(&mut stream2, &40u64).unwrap();
+        assert_eq!(read_frame::<u64, _>(&mut stream2).unwrap(), 40);
+    }
+
+    #[test]
+    fn duplicate_doubles_the_frame() {
+        let (addr, _server) = echo_server();
+        // Duplicate only server->client so the echo count is unambiguous.
+        let plan = FaultPlan::seeded(1); // clean c2s
+        let proxy = FaultProxy::start(addr, plan).unwrap();
+        let mut stream = TcpStream::connect(proxy.addr()).unwrap();
+        write_frame(&mut stream, &5u64).unwrap();
+        assert_eq!(read_frame::<u64, _>(&mut stream).unwrap(), 5);
+        drop(stream);
+        // Now with duplication both ways: one request echoes twice (the
+        // duplicated request echoes once each, the duplicated replies
+        // double again — at least 2 replies arrive for 1 send).
+        let proxy2 = FaultProxy::start(addr, FaultPlan::seeded(1).duplicate(1.0)).unwrap();
+        let mut stream = TcpStream::connect(proxy2.addr()).unwrap();
+        write_frame(&mut stream, &5u64).unwrap();
+        assert_eq!(read_frame::<u64, _>(&mut stream).unwrap(), 5);
+        assert_eq!(read_frame::<u64, _>(&mut stream).unwrap(), 5);
+    }
+}

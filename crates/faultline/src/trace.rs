@@ -1,0 +1,117 @@
+//! Replayable JSONL traces of proxy decisions.
+//!
+//! Records are keyed `(conn, dir, seq)` — coordinates that are
+//! deterministic for a given plan and workload — and the serialized trace
+//! is sorted by that key, so pump-thread interleaving cannot change the
+//! output bytes. The first line carries the plan in its parseable DSL
+//! form; [`parse_plan_line`] recovers it for replay.
+
+use crate::plan::{Action, Direction, FaultPlan};
+use parking_lot::Mutex;
+
+/// One decision the proxy took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    pub conn: u64,
+    pub dir: Direction,
+    pub seq: u64,
+    /// The action's DSL label (`forward`, `drop`, …).
+    pub action: String,
+    /// Payload length of the observed frame.
+    pub len: usize,
+}
+
+impl TraceRecord {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"conn\":{},\"dir\":\"{}\",\"seq\":{},\"action\":\"{}\",\"len\":{}}}",
+            self.conn,
+            self.dir.label(),
+            self.seq,
+            self.action,
+            self.len
+        )
+    }
+}
+
+/// Thread-safe decision log shared by all pump threads of one proxy.
+pub struct Trace {
+    records: Mutex<Vec<TraceRecord>>,
+}
+
+impl Trace {
+    pub fn new() -> Trace {
+        Trace {
+            records: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn record(&self, conn: u64, dir: Direction, seq: u64, action: Action, len: usize) {
+        self.records.lock().push(TraceRecord {
+            conn,
+            dir,
+            seq,
+            action: action.label().to_string(),
+            len,
+        });
+    }
+
+    /// All records, sorted by `(conn, dir, seq)` (the deterministic order).
+    pub fn sorted(&self) -> Vec<TraceRecord> {
+        let mut records = self.records.lock().clone();
+        records.sort_by_key(|r| (r.conn, r.dir, r.seq));
+        records
+    }
+
+    /// The full JSONL document: a plan header line, then one record per
+    /// line in `(conn, dir, seq)` order. Byte-identical across runs of the
+    /// same plan over the same workload.
+    pub fn to_jsonl(&self, plan: &FaultPlan) -> String {
+        let mut out = format!("{{\"plan\":\"{plan}\"}}\n");
+        for record in self.sorted() {
+            out.push_str(&record.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new()
+    }
+}
+
+/// Recover the plan from a trace's header line (the first line of
+/// [`Trace::to_jsonl`] output), for replay.
+pub fn parse_plan_line(jsonl: &str) -> Result<FaultPlan, String> {
+    let first = jsonl.lines().next().ok_or("empty trace")?;
+    let plan_str = first
+        .strip_prefix("{\"plan\":\"")
+        .and_then(|s| s.strip_suffix("\"}"))
+        .ok_or_else(|| format!("bad trace header {first:?}"))?;
+    FaultPlan::parse(plan_str)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_is_sorted_and_replayable() {
+        let plan = FaultPlan::seeded(42).drop(0.1).sever_after(3);
+        let trace = Trace::new();
+        // Record out of order, as racing pump threads would.
+        trace.record(1, Direction::S2C, 0, Action::Forward, 10);
+        trace.record(0, Direction::C2S, 1, Action::Drop, 20);
+        trace.record(0, Direction::C2S, 0, Action::Forward, 20);
+        let jsonl = trace.to_jsonl(&plan);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].contains("\"conn\":0") && lines[1].contains("\"seq\":0"));
+        assert!(lines[2].contains("\"seq\":1") && lines[2].contains("\"action\":\"drop\""));
+        assert!(lines[3].contains("\"conn\":1"));
+        // The header recovers the plan for replay.
+        assert_eq!(parse_plan_line(&jsonl).unwrap(), plan);
+    }
+}

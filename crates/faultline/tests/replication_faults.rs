@@ -1,0 +1,152 @@
+//! Replication (Paxos master election) under injected network faults:
+//! the single-decree safety property — at most one master is ever chosen,
+//! and everyone who learns a value learns the same one — must survive
+//! lossy links and partitions.
+
+use bate_core::clock::SystemClock;
+use bate_system::replication::{ElectError, Replica, ReplicaConfig};
+use faultline::{FaultPlan, FaultProxy};
+use parking_lot::Mutex;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Short deadlines so lost frames cost milliseconds, not the defaults'
+/// half-second.
+fn fast_config() -> ReplicaConfig {
+    ReplicaConfig {
+        connect_timeout: Duration::from_millis(100),
+        read_timeout: Duration::from_millis(100),
+        retry_base: Duration::from_millis(2),
+        retry_max: Duration::from_millis(20),
+        max_attempts: 10,
+        lease: Duration::from_secs(10),
+    }
+}
+
+fn cluster(n: usize) -> (Vec<Replica>, Vec<SocketAddr>) {
+    let replicas: Vec<Replica> = (0..n as u64)
+        .map(|i| Replica::start_with(i, fast_config(), SystemClock::shared()).unwrap())
+        .collect();
+    let addrs: Vec<SocketAddr> = replicas.iter().map(|r| r.addr()).collect();
+    (replicas, addrs)
+}
+
+/// Put a lossy proxy in front of every acceptor, one set per proposer
+/// (each proposer experiences its own independent packet loss).
+fn lossy_view(acceptors: &[SocketAddr], seed: u64, p: f64) -> (Vec<FaultProxy>, Vec<SocketAddr>) {
+    let proxies: Vec<FaultProxy> = acceptors
+        .iter()
+        .enumerate()
+        .map(|(i, &addr)| {
+            FaultProxy::start(addr, FaultPlan::seeded(seed + i as u64).drop(p)).unwrap()
+        })
+        .collect();
+    let addrs = proxies.iter().map(|p| p.addr()).collect();
+    (proxies, addrs)
+}
+
+/// Master uniqueness under loss: two proposers campaign concurrently,
+/// each through its own independently lossy view of the acceptors. Paxos
+/// quorum intersection must still force a single agreed master, and every
+/// acceptor that learned a value must have learned that master.
+#[test]
+fn master_uniqueness_under_lossy_concurrent_elections() {
+    let (replicas, addrs) = cluster(5);
+    let replicas = Arc::new(replicas);
+
+    let (_proxies_a, view_a) = lossy_view(&addrs, 9000, 0.1);
+    let (_proxies_b, view_b) = lossy_view(&addrs, 9100, 0.1);
+
+    let results: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    for (proposer, view) in [(0usize, view_a), (4usize, view_b)] {
+        let replicas = Arc::clone(&replicas);
+        let results = Arc::clone(&results);
+        handles.push(std::thread::spawn(move || {
+            if let Ok(v) = replicas[proposer].propose_master(&view, proposer as u64) {
+                results.lock().push(v);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let results = results.lock();
+    assert!(
+        !results.is_empty(),
+        "with only 10% loss at least one election must succeed"
+    );
+    let master = results[0];
+    assert!(
+        results.iter().all(|&v| v == master),
+        "two masters elected: {results:?}"
+    );
+    // Acceptors that learned anything all learned the same master.
+    for addr in &addrs {
+        if let Some(learned) = Replica::query(*addr) {
+            assert_eq!(learned, master, "acceptor diverged");
+        }
+    }
+}
+
+/// A minority partition cannot elect: a proposer that can only reach 2 of
+/// 5 acceptors (the rest drop every frame) must fail with NoQuorum, not
+/// declare itself master.
+#[test]
+fn minority_partition_cannot_elect_a_master() {
+    let (replicas, addrs) = cluster(5);
+
+    // Proxies for acceptors 2..5 drop everything; 0 and 1 are clean.
+    let mut view = Vec::new();
+    let mut proxies = Vec::new();
+    for (i, &addr) in addrs.iter().enumerate() {
+        if i < 2 {
+            view.push(addr);
+        } else {
+            let proxy =
+                FaultProxy::start(addr, FaultPlan::seeded(50 + i as u64).drop(1.0)).unwrap();
+            view.push(proxy.addr());
+            proxies.push(proxy);
+        }
+    }
+
+    assert_eq!(
+        replicas[0].propose_master(&view, 0),
+        Err(ElectError::NoQuorum),
+        "2 of 5 reachable must not produce a master"
+    );
+    // Nothing was chosen anywhere.
+    for addr in &addrs {
+        assert_eq!(Replica::query(*addr), None);
+    }
+}
+
+/// Partition heals: the same proposer that failed against a minority view
+/// succeeds once the partition lifts (fresh clean proxies), and the late
+/// second proposer adopts the already-chosen master rather than electing
+/// itself.
+#[test]
+fn healed_partition_elects_exactly_one_master() {
+    let (replicas, addrs) = cluster(3);
+
+    // During the partition: all acceptors unreachable through dead drops.
+    let (_dead, dead_view) = {
+        let proxies: Vec<FaultProxy> = addrs
+            .iter()
+            .map(|&a| FaultProxy::start(a, FaultPlan::seeded(1).drop(1.0)).unwrap())
+            .collect();
+        let view: Vec<SocketAddr> = proxies.iter().map(|p| p.addr()).collect();
+        (proxies, view)
+    };
+    assert!(replicas[0].propose_master(&dead_view, 0).is_err());
+
+    // Partition lifts: direct addresses, election succeeds.
+    let master = replicas[0].propose_master(&addrs, 0).unwrap();
+    assert_eq!(master, 0);
+    // A later campaigner through a (mildly lossy) proxy view adopts it.
+    let (_proxies, lossy) = lossy_view(&addrs, 700, 0.05);
+    let second = replicas[2].propose_master(&lossy, 2).unwrap();
+    assert_eq!(second, 0, "already-chosen master must stick");
+}

@@ -38,6 +38,6 @@ pub mod metrics;
 pub mod montecarlo;
 pub mod workload;
 
-pub use engine::{AdmissionStrategy, RecoveryPolicy, SimConfig, Simulation};
+pub use engine::{AdmissionStrategy, RecoveryPolicy, SimConfig, Simulation, TimingMode};
 pub use metrics::SimReport;
 pub use workload::WorkloadConfig;

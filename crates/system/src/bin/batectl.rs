@@ -97,6 +97,8 @@ fn main() {
                 routing: RoutingScheme::default_ksp4(),
                 max_failures: prune,
                 schedule_interval: Some(Duration::from_secs_f64(interval)),
+                clock: bate_core::clock::SystemClock::shared(),
+                legacy_duplicate_handling: false,
             })
             .expect("controller start");
             println!("listening on {}", controller.addr());

@@ -1,9 +1,18 @@
 //! The central controller (§4): admission control, scheduling, failure
 //! recovery, and broker coordination behind a TCP listener.
+//!
+//! Hardened against lossy control channels: demand ids double as
+//! idempotency keys. A retried `SubmitDemand` (same id, same content)
+//! replays the original admission verdict and re-pushes the allocation —
+//! it is never double-counted, and never spuriously refused the way the
+//! pre-hardening duplicate check refused it. Withdraws are acknowledged
+//! and idempotent, and a broker that re-registers after a severed
+//! connection is immediately re-synced with every live allocation.
 
 use crate::proto::{FlowEntry, Message};
 use crate::wire::{read_frame, write_frame, WireError};
 use bate_core::admission::{self, AdmissionOutcome};
+use bate_core::clock::{Clock, SystemClock};
 use bate_core::recovery::greedy::greedy_recovery;
 use bate_core::scheduling::schedule_hardened as schedule;
 use bate_core::{Allocation, BaDemand, DemandId, TeContext};
@@ -16,7 +25,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Controller parameters.
 pub struct ControllerConfig {
@@ -28,6 +37,14 @@ pub struct ControllerConfig {
     /// (§3.3 suggests minutes in production; `None` disables the thread —
     /// rounds then only happen via [`Controller::run_schedule_round`]).
     pub schedule_interval: Option<Duration>,
+    /// Time source for the scheduler thread (tests inject a simulated
+    /// clock; everything else uses the system clock).
+    pub clock: Arc<dyn Clock>,
+    /// Pre-hardening duplicate handling: a repeated SubmitDemand id is
+    /// refused outright instead of replaying the original verdict. Kept
+    /// ONLY so regression tests can demonstrate the retry bug this
+    /// shipped with; leave `false`.
+    pub legacy_duplicate_handling: bool,
 }
 
 impl ControllerConfig {
@@ -39,8 +56,20 @@ impl ControllerConfig {
             routing,
             max_failures,
             schedule_interval: None,
+            clock: SystemClock::shared(),
+            legacy_duplicate_handling: false,
         }
     }
+}
+
+/// Cached verdict for one demand id (the idempotency record).
+#[derive(Debug, Clone, Copy)]
+struct SubmitRecord {
+    /// Hash of the submitted fields: a retry matches, an id collision
+    /// (same id, different demand) does not.
+    fingerprint: u64,
+    admitted: bool,
+    withdrawn: bool,
 }
 
 struct Shared {
@@ -49,6 +78,7 @@ struct Shared {
     scenarios: ScenarioSet,
     state: Mutex<CtrlState>,
     shutdown: AtomicBool,
+    legacy_duplicate_handling: bool,
 }
 
 struct CtrlState {
@@ -56,6 +86,7 @@ struct CtrlState {
     allocation: Allocation,
     failed: LinkSet,
     brokers: HashMap<String, Arc<Mutex<TcpStream>>>,
+    outcomes: HashMap<u64, SubmitRecord>,
 }
 
 impl Shared {
@@ -87,8 +118,10 @@ impl Controller {
                 allocation: Allocation::new(),
                 failed,
                 brokers: HashMap::new(),
+                outcomes: HashMap::new(),
             }),
             shutdown: AtomicBool::new(false),
+            legacy_duplicate_handling: config.legacy_duplicate_handling,
         });
 
         let listener = TcpListener::bind("127.0.0.1:0")?;
@@ -114,16 +147,18 @@ impl Controller {
             }
         });
 
-        // The Online Scheduler thread (§4): periodic rescheduling rounds.
+        // The Online Scheduler thread (§4): periodic rescheduling rounds,
+        // paced by the injected clock.
         let scheduler_thread = config.schedule_interval.map(|interval| {
             let sched_shared = Arc::clone(&shared);
+            let clock = Arc::clone(&config.clock);
             std::thread::spawn(move || {
                 // Wake frequently so shutdown stays responsive even with
                 // long intervals.
                 let tick = Duration::from_millis(20).min(interval);
                 let mut elapsed = Duration::ZERO;
                 while !sched_shared.shutdown.load(Ordering::Relaxed) {
-                    std::thread::sleep(tick);
+                    clock.sleep(tick);
                     elapsed += tick;
                     if elapsed >= interval {
                         elapsed = Duration::ZERO;
@@ -156,6 +191,22 @@ impl Controller {
         self.shared.state.lock().brokers.len()
     }
 
+    /// Block until at least `n` brokers are registered (replaces the blind
+    /// sleeps the tests used to need after `Broker::connect`). Returns
+    /// false on timeout.
+    pub fn wait_for_brokers(&self, n: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.broker_count() >= n {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
     /// Total rate currently allocated to a demand.
     pub fn allocated_rate(&self, id: u64) -> f64 {
         let state = self.shared.state.lock();
@@ -164,6 +215,17 @@ impl Controller {
             .flows_of(DemandId(id))
             .map(|(_, f)| f)
             .sum()
+    }
+
+    /// Whether a demand id was admitted, per the idempotency record
+    /// (`None` if the id was never decided).
+    pub fn admission_verdict(&self, id: u64) -> Option<bool> {
+        self.shared
+            .state
+            .lock()
+            .outcomes
+            .get(&id)
+            .map(|r| r.admitted && !r.withdrawn)
     }
 
     /// Run a scheduling round now (the Online Scheduler also does this
@@ -200,6 +262,26 @@ impl Drop for Controller {
     }
 }
 
+/// Stable fingerprint of a submission's content, so a retried id can be
+/// told apart from an id collision (FNV-1a over the encoded fields).
+fn submit_fingerprint(src: &str, dst: &str, bandwidth: f64, beta: f64, price: f64, refund: f64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    eat(src.as_bytes());
+    eat(&[0xFF]);
+    eat(dst.as_bytes());
+    eat(&bandwidth.to_bits().to_be_bytes());
+    eat(&beta.to_bits().to_be_bytes());
+    eat(&price.to_bits().to_be_bytes());
+    eat(&refund.to_bits().to_be_bytes());
+    h
+}
+
 fn connection_loop(shared: Arc<Shared>, mut stream: TcpStream) {
     loop {
         if shared.shutdown.load(Ordering::Relaxed) {
@@ -208,6 +290,9 @@ fn connection_loop(shared: Arc<Shared>, mut stream: TcpStream) {
         let msg: Message = match read_frame(&mut stream) {
             Ok(m) => m,
             Err(WireError::Closed) => return,
+            // Malformed, corrupt, or truncated frames leave the byte
+            // stream unsynchronized: drop the connection (typed error, no
+            // panic) and let the peer's retry policy redial.
             Err(_) => return,
         };
         match msg {
@@ -236,16 +321,49 @@ fn connection_loop(shared: Arc<Shared>, mut stream: TcpStream) {
             }
             Message::WithdrawDemand { id } => {
                 let ctx = shared.ctx();
-                let mut state = shared.state.lock();
-                state.demands.retain(|d| d.id.0 != id);
-                state.allocation.remove_demand(DemandId(id));
-                broadcast(&mut state, &Message::RemoveAllocation { demand: id });
+                {
+                    let mut state = shared.state.lock();
+                    let was_present = state.demands.iter().any(|d| d.id.0 == id);
+                    state.demands.retain(|d| d.id.0 != id);
+                    state.allocation.remove_demand(DemandId(id));
+                    // Tombstone the id: a stale submit retry arriving after
+                    // the withdraw must not re-admit it.
+                    state
+                        .outcomes
+                        .entry(id)
+                        .and_modify(|r| r.withdrawn = true)
+                        .or_insert(SubmitRecord {
+                            fingerprint: 0,
+                            admitted: false,
+                            withdrawn: true,
+                        });
+                    if was_present {
+                        broadcast(&mut state, &Message::RemoveAllocation { demand: id });
+                    }
+                }
                 let _ = ctx;
+                if write_frame(&mut stream, &Message::WithdrawAck { id }).is_err() {
+                    return;
+                }
             }
             Message::RegisterBroker { dc } => {
                 if let Ok(clone) = stream.try_clone() {
+                    let ctx = shared.ctx();
                     let mut state = shared.state.lock();
-                    state.brokers.insert(dc, Arc::new(Mutex::new(clone)));
+                    state.brokers.insert(dc.clone(), Arc::new(Mutex::new(clone)));
+                    // Re-sync: a broker (re)connecting after a severed
+                    // link must converge to the live allocation set.
+                    let ids: Vec<DemandId> = state.demands.iter().map(|d| d.id).collect();
+                    for id in ids {
+                        let msg = install_message(&state, id);
+                        if let Some(stream) = state.brokers.get(&dc) {
+                            let mut s = stream.lock();
+                            if write_frame(&mut *s, &msg).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                    let _ = ctx;
                 }
             }
             Message::LinkReport { group, up } => {
@@ -261,6 +379,7 @@ fn connection_loop(shared: Arc<Shared>, mut stream: TcpStream) {
             Message::StatsReport { .. } => {}
             // Messages a controller never receives.
             Message::AdmissionReply { .. }
+            | Message::WithdrawAck { .. }
             | Message::InstallAllocation { .. }
             | Message::RemoveAllocation { .. }
             | Message::Pong { .. } => {}
@@ -279,6 +398,8 @@ fn handle_submit(
     price: f64,
     refund_ratio: f64,
 ) -> bool {
+    let fingerprint = submit_fingerprint(src, dst, bandwidth, beta, price, refund_ratio);
+
     let (Some(s), Some(d)) = (shared.topo.find_node(src), shared.topo.find_node(dst)) else {
         return false;
     };
@@ -298,9 +419,29 @@ fn handle_submit(
 
     let ctx = shared.ctx();
     let mut state = shared.state.lock();
-    if state.demands.iter().any(|d| d.id.0 == id) {
-        return false; // duplicate id
+
+    if shared.legacy_duplicate_handling {
+        // Pre-hardening path: any repeated id is refused — which means a
+        // client whose AdmissionReply was lost retries and is told
+        // `false` for a demand the controller is billing it for.
+        if state.demands.iter().any(|d| d.id.0 == id) {
+            return false;
+        }
+    } else if let Some(rec) = state.outcomes.get(&id).copied() {
+        if rec.withdrawn {
+            return false; // stale resubmit of a withdrawn demand
+        }
+        if rec.fingerprint != fingerprint {
+            return false; // id collision: same id, different demand
+        }
+        // Idempotent replay: same verdict, and re-push the allocation in
+        // case the broker installs were lost alongside the reply.
+        if rec.admitted {
+            push_demand_allocation(&ctx, &mut state, DemandId(id));
+        }
+        return rec.admitted;
     }
+
     match admission::admit(&ctx, &state.demands, &state.allocation, &demand) {
         AdmissionOutcome::Admitted { allocation, .. } => {
             for (t, f) in allocation.flows_of(demand.id) {
@@ -308,8 +449,21 @@ fn handle_submit(
             }
             state.demands.push(demand.clone());
             push_demand_allocation(&ctx, &mut state, demand.id);
+            if !shared.legacy_duplicate_handling {
+                state.outcomes.insert(
+                    id,
+                    SubmitRecord {
+                        fingerprint,
+                        admitted: true,
+                        withdrawn: false,
+                    },
+                );
+            }
             true
         }
+        // Rejections are NOT recorded: admitting nothing has no side
+        // effect to protect, and the same id may legitimately be retried
+        // later once capacity frees up.
         AdmissionOutcome::Rejected => false,
     }
 }
@@ -345,8 +499,8 @@ fn handle_link_report(shared: &Arc<Shared>, group: usize, up: bool) {
     push_all_allocations(&ctx, &mut state);
 }
 
-/// Send one demand's current allocation to every broker.
-fn push_demand_allocation(ctx: &TeContext, state: &mut CtrlState, id: DemandId) {
+/// The InstallAllocation message carrying a demand's current entries.
+fn install_message(state: &CtrlState, id: DemandId) -> Message {
     let entries: Vec<FlowEntry> = state
         .allocation
         .flows_of(id)
@@ -356,14 +510,17 @@ fn push_demand_allocation(ctx: &TeContext, state: &mut CtrlState, id: DemandId) 
             rate: f,
         })
         .collect();
+    Message::InstallAllocation {
+        demand: id.0,
+        entries,
+    }
+}
+
+/// Send one demand's current allocation to every broker.
+fn push_demand_allocation(ctx: &TeContext, state: &mut CtrlState, id: DemandId) {
+    let msg = install_message(state, id);
     let _ = ctx;
-    broadcast(
-        state,
-        &Message::InstallAllocation {
-            demand: id.0,
-            entries,
-        },
-    );
+    broadcast(state, &msg);
 }
 
 fn push_all_allocations(ctx: &TeContext, state: &mut CtrlState) {

@@ -36,5 +36,7 @@ pub mod replication;
 pub mod wire;
 
 pub use broker::Broker;
-pub use client::Client;
+pub use client::{Client, Dialer, RetryPolicy};
 pub use controller::{Controller, ControllerConfig};
+pub use replication::{ElectError, Replica, ReplicaConfig};
+pub use wire::{Transport, WireError};

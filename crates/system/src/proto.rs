@@ -51,6 +51,11 @@ pub enum Message {
     WithdrawDemand {
         id: u64,
     },
+    /// controller → client: withdraw processed (idempotent — retrying a
+    /// withdraw whose ack was lost re-acks without side effects).
+    WithdrawAck {
+        id: u64,
+    },
     /// controller → client.
     AdmissionReply {
         id: u64,
@@ -99,6 +104,7 @@ const T_LINK: u8 = 7;
 const T_STATS: u8 = 8;
 const T_PING: u8 = 9;
 const T_PONG: u8 = 10;
+const T_WITHDRAW_ACK: u8 = 11;
 
 impl Encode for Message {
     fn encode(&self, buf: &mut BytesMut) {
@@ -123,6 +129,10 @@ impl Encode for Message {
             }
             Message::WithdrawDemand { id } => {
                 T_WITHDRAW.encode(buf);
+                id.encode(buf);
+            }
+            Message::WithdrawAck { id } => {
+                T_WITHDRAW_ACK.encode(buf);
                 id.encode(buf);
             }
             Message::AdmissionReply { id, admitted } => {
@@ -179,6 +189,9 @@ impl Decode for Message {
                 refund_ratio: f64::decode(buf)?,
             },
             T_WITHDRAW => Message::WithdrawDemand {
+                id: u64::decode(buf)?,
+            },
+            T_WITHDRAW_ACK => Message::WithdrawAck {
                 id: u64::decode(buf)?,
             },
             T_ADMISSION => Message::AdmissionReply {
@@ -239,6 +252,7 @@ mod tests {
             refund_ratio: 0.1,
         });
         roundtrip(Message::WithdrawDemand { id: 42 });
+        roundtrip(Message::WithdrawAck { id: 42 });
         roundtrip(Message::AdmissionReply {
             id: 42,
             admitted: true,
@@ -279,5 +293,76 @@ mod tests {
             Message::decode(&mut bytes),
             Err(WireError::Malformed(_))
         ));
+    }
+
+    /// Negative inputs (truncated, oversized-length, garbage) return typed
+    /// errors — the pre-hardening code paths that `unwrap()`ed on decode
+    /// turned these into panics.
+    #[test]
+    fn truncated_message_returns_typed_error() {
+        let msg = Message::SubmitDemand {
+            id: 9,
+            src: "DC1".into(),
+            dst: "DC2".into(),
+            bandwidth: 100.0,
+            beta: 0.99,
+            price: 100.0,
+            refund_ratio: 0.25,
+        };
+        let mut buf = BytesMut::new();
+        msg.encode(&mut buf);
+        let full = buf.freeze();
+        // Every strict prefix must decode to an error or to a *different*
+        // complete message — never panic.
+        for cut in 1..full.len() {
+            let mut prefix = full.slice(0..cut);
+            match Message::decode(&mut prefix) {
+                Err(WireError::Malformed(_)) => {}
+                Err(other) => panic!("unexpected error kind: {other}"),
+                Ok(parsed) => assert_ne!(parsed, msg, "prefix cannot equal original"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_vector_length_is_rejected() {
+        // An InstallAllocation claiming u32::MAX entries: the length guard
+        // fires before any per-element allocation.
+        let mut buf = BytesMut::new();
+        5u8.encode(&mut buf); // T_INSTALL
+        7u64.encode(&mut buf); // demand
+        u32::MAX.encode(&mut buf); // entries length
+        let mut bytes = buf.freeze();
+        assert!(matches!(
+            Message::decode(&mut bytes),
+            Err(WireError::Malformed(_))
+        ));
+        // A plausible-but-unbacked length (claims 5000 entries, carries
+        // none) errors on the first missing element.
+        let mut buf = BytesMut::new();
+        5u8.encode(&mut buf);
+        7u64.encode(&mut buf);
+        5000u32.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        assert!(matches!(
+            Message::decode(&mut bytes),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic() {
+        // A deterministic pseudo-random garbage sweep (the proptest suite
+        // in tests/codec_property.rs covers the randomized version).
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        for len in 0..64usize {
+            let mut data = Vec::with_capacity(len);
+            for _ in 0..len {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                data.push((x >> 56) as u8);
+            }
+            let mut bytes = Bytes::from(data);
+            let _ = Message::decode(&mut bytes); // must not panic
+        }
     }
 }

@@ -14,10 +14,22 @@
 //! * **Liveness under quorum** — a proposer that can reach a majority of
 //!   acceptors and picks a high enough ballot succeeds; without a quorum
 //!   the election fails with [`ElectError::NoQuorum`] rather than hanging.
+//!
+//! Hardening: connect/read deadlines and the inter-attempt backoff are
+//! configurable ([`ReplicaConfig`]) and paced by an injected [`Clock`], so
+//! fault-injection tests can run elections under partitions without
+//! wall-clock flakiness. Ballot races back off exponentially with seeded
+//! jitter instead of retrying immediately, and a replica's knowledge of
+//! the master carries a **lease**: after `lease` elapses on the replica's
+//! clock without renewal, [`Replica::master`] returns `None` and callers
+//! must re-query or re-elect rather than act on stale state.
 
 use crate::wire::{read_frame, write_frame, Decode, Encode, WireError};
+use bate_core::clock::{Clock, SystemClock};
 use bytes::{Bytes, BytesMut};
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -162,6 +174,8 @@ struct AcceptorState {
     promised: u64,
     accepted: Option<(u64, u64)>,
     chosen: Option<u64>,
+    /// When the local lease on `chosen` expires (on the replica's clock).
+    lease_expiry: Duration,
 }
 
 /// Election failures.
@@ -184,6 +198,36 @@ impl std::fmt::Display for ElectError {
 
 impl std::error::Error for ElectError {}
 
+/// Deadlines and retry pacing for a replica's RPC and elections.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// TCP connect deadline per acceptor call.
+    pub connect_timeout: Duration,
+    /// Reply deadline per acceptor call.
+    pub read_timeout: Duration,
+    /// Backoff before election retry `k` is `retry_base * 2^(k-1)` plus
+    /// jitter, capped at `retry_max`.
+    pub retry_base: Duration,
+    pub retry_max: Duration,
+    /// Election attempts before [`ElectError::RetriesExhausted`].
+    pub max_attempts: u32,
+    /// How long locally learned master knowledge stays trustworthy.
+    pub lease: Duration,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            connect_timeout: Duration::from_millis(200),
+            read_timeout: Duration::from_millis(500),
+            retry_base: Duration::from_millis(5),
+            retry_max: Duration::from_millis(100),
+            max_attempts: 16,
+            lease: Duration::from_secs(10),
+        }
+    }
+}
+
 /// One controller replica: an always-on Paxos acceptor plus a proposer
 /// API for running elections.
 pub struct Replica {
@@ -192,12 +236,22 @@ pub struct Replica {
     state: Arc<Mutex<AcceptorState>>,
     shutdown: Arc<AtomicBool>,
     ballot_counter: AtomicU64,
+    config: ReplicaConfig,
+    clock: Arc<dyn Clock>,
+    jitter: Mutex<StdRng>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
 impl Replica {
-    /// Start an acceptor on an ephemeral localhost port.
+    /// Start an acceptor on an ephemeral localhost port with default
+    /// deadlines and the system clock.
     pub fn start(id: u64) -> io::Result<Replica> {
+        Replica::start_with(id, ReplicaConfig::default(), SystemClock::shared())
+    }
+
+    /// Full-control constructor: deadlines, retry pacing, lease length,
+    /// and the clock that paces backoff and lease expiry.
+    pub fn start_with(id: u64, config: ReplicaConfig, clock: Arc<dyn Clock>) -> io::Result<Replica> {
         assert!(id < (1 << 16), "replica ids must fit 16 bits (ballot scheme)");
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
@@ -207,13 +261,16 @@ impl Replica {
 
         let st = Arc::clone(&state);
         let sd = Arc::clone(&shutdown);
+        let lease = config.lease;
+        let acceptor_clock = Arc::clone(&clock);
         let accept_thread = std::thread::spawn(move || {
             while !sd.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         stream.set_nodelay(true).ok();
                         let st = Arc::clone(&st);
-                        std::thread::spawn(move || acceptor_loop(st, stream));
+                        let clock = Arc::clone(&acceptor_clock);
+                        std::thread::spawn(move || acceptor_loop(st, stream, clock, lease));
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(2));
@@ -229,6 +286,9 @@ impl Replica {
             state,
             shutdown,
             ballot_counter: AtomicU64::new(0),
+            jitter: Mutex::new(StdRng::seed_from_u64(0xBA70_0000 | id)),
+            config,
+            clock,
             accept_thread: Some(accept_thread),
         })
     }
@@ -241,9 +301,21 @@ impl Replica {
         self.addr
     }
 
-    /// What this replica believes was chosen (learned locally).
+    /// What this replica believes was chosen (learned locally, ignoring
+    /// the lease — see [`Replica::master`] for the safe accessor).
     pub fn chosen(&self) -> Option<u64> {
         self.state.lock().chosen
+    }
+
+    /// The master this replica may act on: the locally learned choice,
+    /// but only while its lease is unexpired. `None` means the knowledge
+    /// is stale — re-query a quorum or run an election before acting.
+    pub fn master(&self) -> Option<u64> {
+        let st = self.state.lock();
+        match st.chosen {
+            Some(v) if self.clock.now() < st.lease_expiry => Some(v),
+            _ => None,
+        }
     }
 
     /// Globally unique, monotonically increasing ballot: counter ‖ id.
@@ -257,6 +329,22 @@ impl Replica {
         (counter << 16) | self.id
     }
 
+    /// Sleep the backoff for election retry `attempt` (1-based):
+    /// exponential, capped, plus up to +50% seeded jitter so competing
+    /// proposers de-synchronize deterministically.
+    fn backoff(&self, attempt: u32) {
+        let exp = self
+            .config
+            .retry_base
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        let step = exp.min(self.config.retry_max);
+        let frac: f64 = self.jitter.lock().gen_range(0.0..0.5);
+        let total = step + step.mul_f64(frac);
+        if !total.is_zero() {
+            self.clock.sleep(total);
+        }
+    }
+
     /// Run an election proposing `candidate` (usually `self.id`) as
     /// master, against the given acceptors (normally all replicas'
     /// addresses including our own). Returns the *chosen* master — which,
@@ -268,7 +356,12 @@ impl Replica {
     ) -> Result<u64, ElectError> {
         let majority = acceptors.len() / 2 + 1;
         let mut floor = 0u64;
-        for _attempt in 0..16 {
+        let mut starved = false;
+        for attempt in 0..self.config.max_attempts {
+            if attempt > 0 {
+                self.backoff(attempt);
+            }
+            starved = false;
             let ballot = self.next_ballot(floor);
 
             // Phase 1: prepare.
@@ -276,7 +369,7 @@ impl Replica {
             let mut best_accepted: Option<(u64, u64)> = None;
             let mut highest_seen = ballot;
             for &addr in acceptors {
-                match call(addr, &PaxosMsg::Prepare { ballot }) {
+                match self.call(addr, &PaxosMsg::Prepare { ballot }) {
                     Some(PaxosMsg::Promise {
                         ok,
                         promised,
@@ -296,8 +389,13 @@ impl Replica {
                 }
             }
             if promises < majority {
-                if promises == 0 || highest_seen == ballot {
-                    return Err(ElectError::NoQuorum);
+                if highest_seen == ballot {
+                    // Nobody promised a higher ballot: this is a
+                    // connectivity shortfall, not a competing proposer.
+                    // Retry — transient loss heals across attempts; a
+                    // real partition exhausts them and reports NoQuorum.
+                    starved = true;
+                    continue;
                 }
                 floor = highest_seen;
                 continue;
@@ -308,7 +406,7 @@ impl Replica {
             let mut accepts = 0usize;
             for &addr in acceptors {
                 if let Some(PaxosMsg::Accepted { ok, promised }) =
-                    call(addr, &PaxosMsg::Accept { ballot, value })
+                    self.call(addr, &PaxosMsg::Accept { ballot, value })
                 {
                     highest_seen = highest_seen.max(promised);
                     if ok {
@@ -319,22 +417,35 @@ impl Replica {
             if accepts >= majority {
                 // Learner broadcast (best effort).
                 for &addr in acceptors {
-                    call(addr, &PaxosMsg::Chosen { value });
+                    self.call(addr, &PaxosMsg::Chosen { value });
                 }
-                self.state.lock().chosen = Some(value);
+                let mut st = self.state.lock();
+                st.chosen = Some(value);
+                st.lease_expiry = self.clock.now() + self.config.lease;
                 return Ok(value);
             }
             floor = highest_seen;
         }
-        Err(ElectError::RetriesExhausted)
+        Err(if starved {
+            ElectError::NoQuorum
+        } else {
+            ElectError::RetriesExhausted
+        })
     }
 
-    /// Ask an acceptor what it has learned.
+    /// Ask an acceptor what it has learned (default deadlines).
     pub fn query(addr: SocketAddr) -> Option<u64> {
-        match call(addr, &PaxosMsg::Query) {
+        let config = ReplicaConfig::default();
+        match call_with(addr, &PaxosMsg::Query, &config) {
             Some(PaxosMsg::ChosenReply { value }) => value,
             _ => None,
         }
+    }
+
+    /// One request/response exchange with an acceptor under this
+    /// replica's deadlines.
+    fn call(&self, addr: SocketAddr, msg: &PaxosMsg) -> Option<PaxosMsg> {
+        call_with(addr, msg, &self.config)
     }
 }
 
@@ -349,12 +460,10 @@ impl Drop for Replica {
 
 /// One request/response exchange with an acceptor (short-lived
 /// connection; elections are rare).
-fn call(addr: SocketAddr, msg: &PaxosMsg) -> Option<PaxosMsg> {
-    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_millis(200)).ok()?;
+fn call_with(addr: SocketAddr, msg: &PaxosMsg, config: &ReplicaConfig) -> Option<PaxosMsg> {
+    let mut stream = TcpStream::connect_timeout(&addr, config.connect_timeout).ok()?;
     stream.set_nodelay(true).ok();
-    stream
-        .set_read_timeout(Some(Duration::from_millis(500)))
-        .ok();
+    stream.set_read_timeout(Some(config.read_timeout)).ok();
     write_frame(&mut stream, msg).ok()?;
     match msg {
         // One-way learner broadcast: no reply expected.
@@ -364,7 +473,12 @@ fn call(addr: SocketAddr, msg: &PaxosMsg) -> Option<PaxosMsg> {
 }
 
 /// Acceptor protocol handler: one connection, sequential requests.
-fn acceptor_loop(state: Arc<Mutex<AcceptorState>>, mut stream: TcpStream) {
+fn acceptor_loop(
+    state: Arc<Mutex<AcceptorState>>,
+    mut stream: TcpStream,
+    clock: Arc<dyn Clock>,
+    lease: Duration,
+) {
     loop {
         let msg: PaxosMsg = match read_frame(&mut stream) {
             Ok(m) => m,
@@ -407,6 +521,7 @@ fn acceptor_loop(state: Arc<Mutex<AcceptorState>>, mut stream: TcpStream) {
                 PaxosMsg::Query => Some(PaxosMsg::ChosenReply { value: st.chosen }),
                 PaxosMsg::Chosen { value } => {
                     st.chosen = Some(value);
+                    st.lease_expiry = clock.now() + lease;
                     None
                 }
                 // Replies are never received by an acceptor.
@@ -424,6 +539,7 @@ fn acceptor_loop(state: Arc<Mutex<AcceptorState>>, mut stream: TcpStream) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bate_core::clock::SimClock;
 
     fn cluster(n: usize) -> (Vec<Replica>, Vec<SocketAddr>) {
         let replicas: Vec<Replica> = (0..n as u64).map(|i| Replica::start(i).unwrap()).collect();
@@ -507,5 +623,37 @@ mod tests {
         addrs[4] = dead_addr;
         let master = replicas[0].propose_master(&addrs, 0).unwrap();
         assert_eq!(master, 0);
+    }
+
+    #[test]
+    fn master_lease_expires_on_the_injected_clock() {
+        let clock = SimClock::shared();
+        let config = ReplicaConfig {
+            lease: Duration::from_secs(5),
+            ..ReplicaConfig::default()
+        };
+        let replicas: Vec<Replica> = (0..3u64)
+            .map(|i| {
+                Replica::start_with(i, config.clone(), clock.clone() as Arc<dyn Clock>).unwrap()
+            })
+            .collect();
+        let addrs: Vec<SocketAddr> = replicas.iter().map(|r| r.addr()).collect();
+
+        replicas[0].propose_master(&addrs, 0).unwrap();
+        assert_eq!(replicas[0].master(), Some(0), "fresh lease is valid");
+
+        // Advance virtual time past the lease: local knowledge goes stale.
+        clock.advance(Duration::from_secs(6));
+        assert_eq!(replicas[0].master(), None, "expired lease must not serve");
+        assert_eq!(
+            replicas[0].chosen(),
+            Some(0),
+            "raw chosen value survives lease expiry"
+        );
+
+        // Re-election renews the lease and (single decree) keeps the value.
+        let again = replicas[0].propose_master(&addrs, 0).unwrap();
+        assert_eq!(again, 0);
+        assert_eq!(replicas[0].master(), Some(0));
     }
 }

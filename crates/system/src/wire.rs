@@ -1,14 +1,27 @@
-//! Length-prefixed binary framing and primitive codecs.
+//! Length-prefixed, CRC-protected binary framing and primitive codecs,
+//! over an abstract byte-stream [`Transport`].
 //!
-//! Frame layout: `u32` big-endian payload length, then the payload. The
-//! payload is encoded with the [`Encode`]/[`Decode`] traits below — a small
-//! hand-rolled binary format (fixed-width integers big-endian, f64 as IEEE
-//! bits, strings and vectors length-prefixed) so the workspace needs no
-//! serialization framework beyond `bytes`.
+//! Frame layout: `u32` big-endian payload length, `u32` big-endian CRC-32
+//! (IEEE) of the payload, then the payload. The payload is encoded with the
+//! [`Encode`]/[`Decode`] traits below — a small hand-rolled binary format
+//! (fixed-width integers big-endian, f64 as IEEE bits, strings and vectors
+//! length-prefixed) so the workspace needs no serialization framework
+//! beyond `bytes`.
+//!
+//! The CRC is the fault-injection hardening: a frame whose payload was
+//! corrupted or truncated in flight decodes to [`WireError::Corrupt`]
+//! instead of mis-parsing into a structurally valid but wrong message (a
+//! truncated `f64` rate, say, is otherwise indistinguishable from a real
+//! one). Oversized length headers are rejected before any allocation.
+//!
+//! [`Transport`] abstracts the byte stream ([`TcpStream`] in production)
+//! so the fault-injection harness can interpose an in-process proxy or a
+//! wrapped stream without the endpoints knowing.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 /// Maximum accepted frame size; anything larger is a protocol violation.
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
@@ -19,8 +32,25 @@ pub enum WireError {
     Io(io::Error),
     /// Frame exceeded [`MAX_FRAME`] or was otherwise malformed.
     Malformed(String),
+    /// Frame-level CRC mismatch: bytes arrived but were damaged in flight.
+    Corrupt { expected: u32, got: u32 },
     /// The peer closed the connection cleanly.
     Closed,
+}
+
+impl WireError {
+    /// True for errors a bounded-retry caller should treat as transient
+    /// (timeouts and interrupted reads), as opposed to protocol
+    /// violations.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(e) if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            )
+        )
+    }
 }
 
 impl std::fmt::Display for WireError {
@@ -28,6 +58,9 @@ impl std::fmt::Display for WireError {
         match self {
             WireError::Io(e) => write!(f, "io error: {e}"),
             WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            WireError::Corrupt { expected, got } => {
+                write!(f, "corrupt frame: crc {got:#010x}, expected {expected:#010x}")
+            }
             WireError::Closed => write!(f, "connection closed"),
         }
     }
@@ -39,6 +72,62 @@ impl From<io::Error> for WireError {
     fn from(e: io::Error) -> Self {
         WireError::Io(e)
     }
+}
+
+/// An abstract bidirectional byte stream: what the control plane actually
+/// requires from its connections. [`TcpStream`] is the production
+/// implementation; the fault-injection harness provides wrapped streams
+/// that drop, delay, corrupt, or sever traffic.
+pub trait Transport: Read + Write + Send {
+    /// A second, independently usable handle to the same stream (the
+    /// reader/writer split both `Broker` and `Controller` rely on).
+    fn try_clone_box(&self) -> io::Result<Box<dyn Transport>>;
+
+    /// Tear down both directions; concurrent reads unblock with EOF.
+    fn shutdown_both(&self) -> io::Result<()>;
+
+    /// Bound subsequent reads; `None` restores blocking reads.
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()>;
+}
+
+impl Transport for TcpStream {
+    fn try_clone_box(&self) -> io::Result<Box<dyn Transport>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn shutdown_both(&self) -> io::Result<()> {
+        self.shutdown(std::net::Shutdown::Both)
+    }
+
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, t)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
 }
 
 /// Encode a value into a buffer.
@@ -152,8 +241,10 @@ impl<T: Decode> Decode for Vec<T> {
     }
 }
 
-/// Write one frame (blocking).
-pub fn write_frame<T: Encode>(stream: &mut TcpStream, msg: &T) -> Result<(), WireError> {
+/// Encode `msg` into the full frame bytes (header + CRC + payload).
+/// Shared by [`write_frame`] and the fault proxy, which needs to
+/// re-frame messages it parsed off the wire.
+pub fn encode_frame<T: Encode>(msg: &T) -> Result<Vec<u8>, WireError> {
     let mut payload = BytesMut::new();
     msg.encode(&mut payload);
     if payload.len() > MAX_FRAME {
@@ -162,30 +253,81 @@ pub fn write_frame<T: Encode>(stream: &mut TcpStream, msg: &T) -> Result<(), Wir
             payload.len()
         )));
     }
-    let mut head = [0u8; 4];
-    head.copy_from_slice(&(payload.len() as u32).to_be_bytes());
-    stream.write_all(&head)?;
-    stream.write_all(&payload)?;
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&crc32(&payload).to_be_bytes());
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Write one frame (blocking).
+pub fn write_frame<T: Encode, S: Write + ?Sized>(stream: &mut S, msg: &T) -> Result<(), WireError> {
+    let frame = encode_frame(msg)?;
+    stream.write_all(&frame)?;
     stream.flush()?;
     Ok(())
 }
 
-/// Read one frame (blocking). [`WireError::Closed`] on clean EOF at a frame
-/// boundary.
-pub fn read_frame<T: Decode>(stream: &mut TcpStream) -> Result<T, WireError> {
-    let mut head = [0u8; 4];
-    match stream.read_exact(&mut head) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Err(WireError::Closed),
-        Err(e) => return Err(e.into()),
+/// Read one raw frame payload (header-validated, CRC-checked).
+/// [`WireError::Closed`] on clean EOF at a frame boundary.
+pub fn read_frame_bytes<S: Read + ?Sized>(stream: &mut S) -> Result<Bytes, WireError> {
+    let mut head = [0u8; 8];
+    let mut filled = 0usize;
+    while filled < head.len() {
+        match stream.read(&mut head[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Err(WireError::Closed)
+                } else {
+                    // Connection died inside the header: a severed frame,
+                    // not a clean close.
+                    Err(WireError::Malformed(format!(
+                        "eof after {filled} header bytes"
+                    )))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return if filled == 0 {
+                    Err(WireError::Closed)
+                } else {
+                    Err(WireError::Malformed(format!(
+                        "eof after {filled} header bytes"
+                    )))
+                };
+            }
+            Err(e) => return Err(e.into()),
+        }
     }
-    let len = u32::from_be_bytes(head) as usize;
+    let len = u32::from_be_bytes([head[0], head[1], head[2], head[3]]) as usize;
+    let expected_crc = u32::from_be_bytes([head[4], head[5], head[6], head[7]]);
     if len > MAX_FRAME {
         return Err(WireError::Malformed(format!("frame of {len} bytes")));
     }
     let mut payload = vec![0u8; len];
-    stream.read_exact(&mut payload)?;
-    let mut bytes = Bytes::from(payload);
+    stream.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Malformed(format!("eof inside {len}-byte payload"))
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    let got = crc32(&payload);
+    if got != expected_crc {
+        return Err(WireError::Corrupt {
+            expected: expected_crc,
+            got,
+        });
+    }
+    Ok(Bytes::from(payload))
+}
+
+/// Read one frame (blocking) and decode it. [`WireError::Closed`] on clean
+/// EOF at a frame boundary; typed errors (never a panic or a silent
+/// mis-parse) on truncated, oversized, or corrupted frames.
+pub fn read_frame<T: Decode, S: Read + ?Sized>(stream: &mut S) -> Result<T, WireError> {
+    let mut bytes = read_frame_bytes(stream)?;
     let msg = T::decode(&mut bytes)?;
     if bytes.has_remaining() {
         return Err(WireError::Malformed(format!(
@@ -227,6 +369,13 @@ mod tests {
     }
 
     #[test]
+    fn crc32_known_vectors() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
     fn decode_rejects_truncation() {
         let mut buf = BytesMut::new();
         12345u64.encode(&mut buf);
@@ -247,6 +396,48 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_payload_is_detected() {
+        let frame = encode_frame(&0xDEAD_BEEF_0BAD_F00Du64).unwrap();
+        // Flip one payload bit.
+        let mut bad = frame.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        let err = read_frame::<u64, _>(&mut &bad[..]).unwrap_err();
+        assert!(matches!(err, WireError::Corrupt { .. }), "got {err}");
+        // The pristine frame still decodes.
+        assert_eq!(read_frame::<u64, _>(&mut &frame[..]).unwrap(), 0xDEAD_BEEF_0BAD_F00Du64);
+    }
+
+    #[test]
+    fn oversized_length_header_is_rejected_before_allocation() {
+        // A header claiming a 2 GiB payload must error out immediately,
+        // not hang waiting for bytes or attempt the allocation.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&(2u32 << 30).to_be_bytes());
+        raw.extend_from_slice(&0u32.to_be_bytes());
+        let err = read_frame::<u64, _>(&mut &raw[..]).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)), "got {err}");
+    }
+
+    #[test]
+    fn truncated_frame_returns_typed_error_not_hang() {
+        // A frame severed mid-payload: the reader sees EOF inside the
+        // payload and reports Malformed (pre-hardening this mis-read
+        // garbage lengths or propagated a bare Io error).
+        let frame = encode_frame(&vec![1u64, 2, 3]).unwrap();
+        let cut = &frame[..frame.len() - 5];
+        let err = read_frame::<Vec<u64>, _>(&mut &cut[..]).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)), "got {err}");
+        // Severed inside the header (not at a frame boundary) is also
+        // distinguished from a clean close.
+        let err = read_frame::<Vec<u64>, _>(&mut &frame[..3]).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)), "got {err}");
+        // A clean close at a boundary is Closed.
+        let err = read_frame::<Vec<u64>, _>(&mut &frame[..0]).unwrap_err();
+        assert!(matches!(err, WireError::Closed), "got {err}");
+    }
+
+    #[test]
     fn frames_over_tcp() {
         use std::net::TcpListener;
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -257,7 +448,7 @@ mod tests {
             write_frame(&mut conn, &v.iter().sum::<u64>()).unwrap();
             // Next read observes the client's clean close.
             assert!(matches!(
-                read_frame::<u64>(&mut conn),
+                read_frame::<u64, _>(&mut conn),
                 Err(WireError::Closed)
             ));
         });
@@ -266,6 +457,25 @@ mod tests {
         let sum: u64 = read_frame(&mut stream).unwrap();
         assert_eq!(sum, 6);
         drop(stream);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn transport_object_safety() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let token: u64 = read_frame(&mut conn).unwrap();
+            write_frame(&mut conn, &token).unwrap();
+        });
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut boxed: Box<dyn Transport> = Box::new(stream);
+        let mut clone = boxed.try_clone_box().unwrap();
+        write_frame(&mut *boxed, &99u64).unwrap();
+        let echoed: u64 = read_frame(&mut *clone).unwrap();
+        assert_eq!(echoed, 99);
         handle.join().unwrap();
     }
 }

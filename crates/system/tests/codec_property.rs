@@ -2,7 +2,7 @@
 //! decoder never panics on arbitrary bytes.
 
 use bate_system::proto::{FlowEntry, Message};
-use bate_system::wire::{Decode, Encode};
+use bate_system::wire::{encode_frame, read_frame, Decode, Encode};
 use bytes::{Bytes, BytesMut};
 use proptest::prelude::*;
 
@@ -43,6 +43,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
             .prop_map(|(demand, delivered)| Message::StatsReport { demand, delivered }),
         any::<u64>().prop_map(|token| Message::Ping { token }),
         any::<u64>().prop_map(|token| Message::Pong { token }),
+        any::<u64>().prop_map(|id| Message::WithdrawAck { id }),
     ]
 }
 
@@ -65,6 +66,25 @@ proptest! {
     fn decoder_is_total(data in prop::collection::vec(any::<u8>(), 0..256)) {
         let mut bytes = Bytes::from(data);
         let _ = Message::decode(&mut bytes); // must not panic
+    }
+
+    /// Flipping any single byte of a framed encoding never panics the
+    /// frame reader — and for flips inside the CRC or payload, the CRC
+    /// check is *guaranteed* to reject (CRC32 detects all single-bit and
+    /// single-byte errors). Flips inside the length field may instead
+    /// surface as a malformed/short frame; they only need to not panic.
+    #[test]
+    fn single_byte_mutation_never_panics(msg in arb_message(), idx in any::<usize>(), bit in 0u8..8) {
+        let mut framed = encode_frame(&msg).unwrap();
+        let i = idx % framed.len();
+        framed[i] ^= 1 << bit;
+        let result = read_frame::<Message, _>(&mut &framed[..]);
+        if i >= 4 {
+            // CRC field (bytes 4..8) or payload: the CRC must catch it.
+            prop_assert!(result.is_err(), "flip at byte {} went undetected", i);
+        }
+        // Length-field flips (bytes 0..4): any outcome but a panic.
+        let _ = result;
     }
 
     /// Truncating a valid encoding always errors (never mis-parses).

@@ -1,6 +1,12 @@
 //! End-to-end control-plane tests over real TCP sockets: submit → admit →
 //! push → enforce → fail → recover.
+//!
+//! Deflaked: no blind wall-clock sleeps. Registration is awaited with
+//! [`Controller::wait_for_brokers`], installs with the broker's
+//! condvar-notified `wait_for_*` helpers, and every listener binds an
+//! ephemeral port.
 
+use bate_core::clock::SystemClock;
 use bate_net::topologies;
 use bate_routing::RoutingScheme;
 use bate_system::client::DemandRequest;
@@ -20,9 +26,7 @@ fn start_controller() -> Controller {
 fn submit_admit_and_install() {
     let controller = start_controller();
     let broker = Broker::connect(controller.addr(), "DC1").unwrap();
-    // Registration is async; give the controller a beat.
-    std::thread::sleep(Duration::from_millis(20));
-    assert_eq!(controller.broker_count(), 1);
+    assert!(controller.wait_for_brokers(1, Duration::from_secs(2)));
 
     let mut client = Client::connect(controller.addr()).unwrap();
     let req = DemandRequest::new(1, "DC1", "DC3", 200.0, 0.95);
@@ -49,16 +53,47 @@ fn rejection_of_oversized_demand() {
     assert!(!client.submit(&bad).unwrap());
 }
 
+/// A resubmitted id is an idempotent replay, not a refusal: the retried
+/// SubmitDemand gets the original verdict and the demand is counted once.
+/// (The pre-hardening controller refused the retry — see the
+/// `legacy_duplicate_handling_refuses_retries` regression test.)
 #[test]
-fn duplicate_ids_are_rejected() {
+fn duplicate_ids_replay_the_original_verdict() {
     let controller = start_controller();
     let mut client = Client::connect(controller.addr()).unwrap();
     let req = DemandRequest::new(7, "DC1", "DC4", 100.0, 0.9);
     assert!(client.submit(&req).unwrap());
     assert!(
-        !client.submit(&req).unwrap(),
-        "same id again must be refused"
+        client.submit(&req).unwrap(),
+        "a retried submit must replay the admitted verdict"
     );
+    assert_eq!(controller.admitted_count(), 1, "never double-counted");
+
+    // Same id with *different* content is an id collision, not a retry.
+    let collision = DemandRequest::new(7, "DC1", "DC4", 250.0, 0.9);
+    assert!(!client.submit(&collision).unwrap());
+    assert_eq!(controller.admitted_count(), 1);
+}
+
+/// Regression demonstration of the pre-hardening bug: with
+/// `legacy_duplicate_handling`, a client whose AdmissionReply was lost
+/// retries and is told `false` for a demand the controller admitted.
+#[test]
+fn legacy_duplicate_handling_refuses_retries() {
+    let controller = Controller::start(ControllerConfig {
+        topo: topologies::testbed6(),
+        routing: RoutingScheme::default_ksp4(),
+        max_failures: 2,
+        schedule_interval: None,
+        clock: SystemClock::shared(),
+        legacy_duplicate_handling: true,
+    })
+    .unwrap();
+    let mut client = Client::connect(controller.addr()).unwrap();
+    let req = DemandRequest::new(7, "DC1", "DC4", 100.0, 0.9);
+    assert!(client.submit(&req).unwrap());
+    // The old code path: retry refused even though the demand is live.
+    assert!(!client.submit(&req).unwrap());
     assert_eq!(controller.admitted_count(), 1);
 }
 
@@ -66,7 +101,7 @@ fn duplicate_ids_are_rejected() {
 fn withdraw_frees_capacity() {
     let controller = start_controller();
     let broker = Broker::connect(controller.addr(), "DC1").unwrap();
-    std::thread::sleep(Duration::from_millis(20));
+    assert!(controller.wait_for_brokers(1, Duration::from_secs(2)));
     let mut client = Client::connect(controller.addr()).unwrap();
 
     // The DC3-ingress cut (L2 + L3) caps DC1→DC3 at 2000 Mbps. Fill most
@@ -79,19 +114,25 @@ fn withdraw_frees_capacity() {
     assert!(!client
         .submit(&DemandRequest::new(2, "DC1", "DC3", 1200.0, 0.0))
         .unwrap());
+    // Withdraw is acknowledged, and idempotent under retries.
     client.withdraw(1).unwrap();
-    // Withdraw is fire-and-forget; wait for the broker to see the removal.
+    client.withdraw(1).unwrap();
     assert!(broker.wait_for_rate(1, Duration::from_secs(2), |r| r == 0.0));
     assert!(client
         .submit(&DemandRequest::new(2, "DC1", "DC3", 1200.0, 0.0))
         .unwrap());
+    // A stale resubmit of the withdrawn id must not resurrect it.
+    assert!(!client
+        .submit(&DemandRequest::new(1, "DC1", "DC3", 1200.0, 0.0))
+        .unwrap());
+    assert_eq!(controller.admitted_count(), 1);
 }
 
 #[test]
 fn link_failure_triggers_reroute() {
     let controller = start_controller();
     let broker = Broker::connect(controller.addr(), "DC1").unwrap();
-    std::thread::sleep(Duration::from_millis(20));
+    assert!(controller.wait_for_brokers(1, Duration::from_secs(2)));
     let mut client = Client::connect(controller.addr()).unwrap();
 
     // A demand on DC1→DC4 whose shortest tunnel is the direct L8 link.
@@ -110,24 +151,15 @@ fn link_failure_triggers_reroute() {
     // The controller reroutes: a full-rate allocation arrives that does not
     // use the failed direct tunnel. The direct path is tunnel 0 of the
     // pair (it is the unique 1-hop path, so KSP puts it first).
-    assert!(broker.wait_for_rate(1, Duration::from_secs(2), |r| r >= 500.0 - 1e-6));
     let tunnels = bate_routing::TunnelSet::compute(&topo, RoutingScheme::default_ksp4());
     let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap() as u32;
-    let deadline = std::time::Instant::now() + Duration::from_secs(2);
-    let ok = loop {
-        let entries = broker.entries(1);
+    let ok = broker.wait_for_entries(1, Duration::from_secs(2), |entries| {
         let uses_direct = entries
             .iter()
             .any(|e| e.pair == pair && e.tunnel == 0 && e.rate > 1e-6);
         let total: f64 = entries.iter().map(|e| e.rate).sum();
-        if !uses_direct && total >= 500.0 - 1e-6 {
-            break true;
-        }
-        if std::time::Instant::now() > deadline {
-            break false;
-        }
-        std::thread::sleep(Duration::from_millis(5));
-    };
+        !uses_direct && total >= 500.0 - 1e-6
+    });
     assert!(ok, "reroute must avoid the failed direct tunnel");
 
     // Repair: the controller reschedules and the demand stays whole.
@@ -168,23 +200,27 @@ fn many_clients_concurrently() {
 
 #[test]
 fn periodic_scheduler_keeps_allocations_fresh() {
-    use bate_system::ControllerConfig;
     let controller = Controller::start(ControllerConfig {
         topo: topologies::testbed6(),
         routing: RoutingScheme::default_ksp4(),
         max_failures: 2,
         schedule_interval: Some(Duration::from_millis(40)),
+        clock: SystemClock::shared(),
+        legacy_duplicate_handling: false,
     })
     .unwrap();
     let broker = Broker::connect(controller.addr(), "DC1").unwrap();
-    std::thread::sleep(Duration::from_millis(20));
+    assert!(controller.wait_for_brokers(1, Duration::from_secs(2)));
     let mut client = Client::connect(controller.addr()).unwrap();
     assert!(client
         .submit(&DemandRequest::new(1, "DC1", "DC3", 300.0, 0.99))
         .unwrap());
-    // Let several automatic rounds run; the demand must stay fully
-    // allocated throughout (rounds re-push allocations to the broker).
-    std::thread::sleep(Duration::from_millis(200));
+    // The demand must be (and stay) fully allocated across automatic
+    // rounds, which re-push allocations to the broker.
+    assert!(broker.wait_for_rate(1, Duration::from_secs(2), |r| r >= 300.0 - 1e-6));
+    // Wait until at least one automatic round has re-pushed (the install
+    // arrives again) — condvar-notified, no blind sleep: the wait returns
+    // as soon as a fresh install lands at full rate.
     assert!(broker.wait_for_rate(1, Duration::from_secs(2), |r| r >= 300.0 - 1e-6));
     assert_eq!(controller.admitted_count(), 1);
 }

@@ -10,6 +10,7 @@ use bate::net::topologies;
 use bate::routing::RoutingScheme;
 use bate::system::client::DemandRequest;
 use bate::system::{Broker, Client, Controller, ControllerConfig};
+use bate_core::clock::SystemClock;
 use std::time::Duration;
 
 fn main() {
@@ -21,6 +22,8 @@ fn main() {
         routing: RoutingScheme::default_ksp4(),
         max_failures: 2,
         schedule_interval: Some(Duration::from_secs(2)),
+        clock: SystemClock::shared(),
+        legacy_duplicate_handling: false,
     })
     .expect("controller start");
     println!("controller listening on {}", controller.addr());
@@ -29,7 +32,7 @@ fn main() {
     let brokers: Vec<Broker> = (1..=6)
         .map(|i| Broker::connect(controller.addr(), &format!("DC{i}")).expect("broker connect"))
         .collect();
-    std::thread::sleep(Duration::from_millis(50));
+    controller.wait_for_brokers(brokers.len(), Duration::from_secs(2));
     println!("{} brokers registered", controller.broker_count());
 
     let mut client = Client::connect(controller.addr()).expect("client connect");
