@@ -16,6 +16,7 @@
 use bate_lp::dense_reference::solve_relaxation_dense;
 use bate_lp::simplex::{solve_relaxation, solve_with, Workspace};
 use bate_lp::{milp, Problem, Relation, Sense};
+use bate_obs::{NoopSubscriber, Registry, SystemClock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -203,6 +204,63 @@ fn main() {
         sparse_secs: sparse,
     });
 
+    // Telemetry overhead on the largest scheduling LP: the bare sparse
+    // solve vs the same solve plus the exact per-solve telemetry cost the
+    // bate-core schedule path pays — one Instant sample, three counter
+    // adds + one inc, one histogram observation, and one traced event
+    // dispatched through an installed subscriber (Noop, so the dispatch
+    // path runs but nothing is written). Acceptance: overhead < 2 %.
+    let (name, demands, states, links, _) = sizes[sizes.len() - 1];
+    let p = scheduling_instance(7, demands, states, links);
+    let overhead_reps = 15;
+
+    bate_obs::trace::install(NoopSubscriber::new(), SystemClock::shared());
+    let r = Registry::global();
+    let solves = r.counter("bench_overhead_solves_total");
+    let iters = r.counter("bench_overhead_iterations_total");
+    let pivots = r.counter("bench_overhead_pivots_total");
+    let solve_ms = r.histogram("bench_overhead_solve_ms");
+
+    // Interleaved best-of: alternate a bare rep and an instrumented rep so
+    // clock-speed drift and cache state hit both sides equally — two
+    // back-to-back best-of loops would attribute machine drift (which on
+    // this instance exceeds the telemetry cost by orders of magnitude) to
+    // whichever side ran second.
+    let mut ws = Workspace::new();
+    let mut base_secs = f64::INFINITY;
+    let mut instrumented_secs = f64::INFINITY;
+    ws.clear_warm();
+    solve_with(&p, &[], &mut ws).unwrap(); // warm-up
+    for _ in 0..overhead_reps {
+        let t = Instant::now();
+        ws.clear_warm();
+        std::hint::black_box(solve_with(&p, &[], &mut ws).unwrap());
+        base_secs = base_secs.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        let t0 = Instant::now();
+        ws.clear_warm();
+        let sol = solve_with(&p, &[], &mut ws).unwrap();
+        solves.inc();
+        iters.add(sol.stats.iterations());
+        pivots.add(sol.stats.pivots);
+        solve_ms.observe_ms(t0.elapsed());
+        bate_obs::info!(
+            "bench.solve",
+            iterations = sol.stats.iterations(),
+            pivots = sol.stats.pivots,
+        );
+        std::hint::black_box(sol);
+        instrumented_secs = instrumented_secs.min(t.elapsed().as_secs_f64());
+    }
+    bate_obs::trace::uninstall();
+    let overhead_pct = (instrumented_secs / base_secs - 1.0) * 100.0;
+    println!(
+        "telemetry_overhead   {name}: base {:>9.3} ms  instrumented {:>9.3} ms  overhead {overhead_pct:+.3}%",
+        base_secs * 1e3,
+        instrumented_secs * 1e3,
+    );
+
     for r in &out {
         match (r.dense_secs, r.speedup()) {
             (Some(d), Some(s)) => println!(
@@ -244,7 +302,11 @@ fn main() {
                 if i + 1 == out.len() { "" } else { "," }
             ));
         }
-        json.push_str("  ]\n}\n");
+        json.push_str("  ],\n");
+        json.push_str(&format!(
+            "  \"telemetry_overhead\": {{\"name\": \"{name}\", \"base_secs\": {base_secs:.9}, \"instrumented_secs\": {instrumented_secs:.9}, \"overhead_pct\": {overhead_pct:.3}}}\n"
+        ));
+        json.push_str("}\n");
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lp.json");
         std::fs::write(path, json).expect("write BENCH_lp.json");
         println!("wrote {path}");

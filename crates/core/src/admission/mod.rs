@@ -21,6 +21,8 @@ pub mod stats;
 use crate::allocation::Allocation;
 use crate::demand::BaDemand;
 use crate::TeContext;
+use bate_obs::{Counter, Histogram, Registry};
+use std::sync::{Arc, OnceLock};
 
 /// How a demand was admitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,11 +53,81 @@ impl AdmissionOutcome {
     }
 }
 
+/// Registry handles for the admission metric family.
+struct AdmissionMetrics {
+    checks: Arc<Counter>,
+    admitted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    via_fixed: Arc<Counter>,
+    via_conjecture: Arc<Counter>,
+    latency_ms: Arc<Histogram>,
+}
+
+fn admission_metrics() -> &'static AdmissionMetrics {
+    static M: OnceLock<AdmissionMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = Registry::global();
+        AdmissionMetrics {
+            checks: r.counter("bate_admission_checks_total"),
+            admitted: r.counter("bate_admission_admitted_total"),
+            rejected: r.counter("bate_admission_rejected_total"),
+            via_fixed: r.counter("bate_admission_via_fixed_total"),
+            via_conjecture: r.counter("bate_admission_via_conjecture_total"),
+            latency_ms: r.histogram("bate_admission_latency_ms"),
+        }
+    })
+}
+
 /// BATE's full admission pipeline (§3.2 steps 1–3).
 ///
 /// `admitted` are the currently admitted demands with their current
 /// allocation `current`; `new` is the arriving demand.
 pub fn admit(
+    ctx: &TeContext,
+    admitted: &[BaDemand],
+    current: &Allocation,
+    new: &BaDemand,
+) -> AdmissionOutcome {
+    let m = admission_metrics();
+    let t0 = std::time::Instant::now();
+    let outcome = admit_inner(ctx, admitted, current, new);
+    m.checks.inc();
+    m.latency_ms.observe_ms(t0.elapsed());
+    let verdict = match &outcome {
+        AdmissionOutcome::Admitted {
+            path: AdmitPath::Fixed,
+            ..
+        } => {
+            m.admitted.inc();
+            m.via_fixed.inc();
+            "fixed"
+        }
+        AdmissionOutcome::Admitted {
+            path: AdmitPath::Conjecture,
+            ..
+        } => {
+            m.admitted.inc();
+            m.via_conjecture.inc();
+            "conjecture"
+        }
+        AdmissionOutcome::Rejected => {
+            m.rejected.inc();
+            "rejected"
+        }
+    };
+    // Deterministic fields only (verdict latency goes to the histogram,
+    // never into the trace).
+    bate_obs::info!(
+        "admission.verdict",
+        demand = new.id.0,
+        beta = new.beta,
+        pool = admitted.len(),
+        verdict = verdict,
+    );
+    outcome
+}
+
+fn admit_inner(
     ctx: &TeContext,
     admitted: &[BaDemand],
     current: &Allocation,

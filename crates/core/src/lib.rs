@@ -57,13 +57,18 @@
 
 pub mod admission;
 pub mod allocation;
-pub mod clock;
 pub mod demand;
 pub mod pricing;
 pub mod profile;
 pub mod recovery;
 pub mod reservation;
 pub mod scheduling;
+
+/// Time as a capability. The implementation moved to `bate-obs` (the
+/// workspace's dependency-free bottom layer) so telemetry timestamps can
+/// share the components' time source; this re-export keeps the original
+/// `bate_core::clock` paths working.
+pub use bate_obs::clock;
 
 pub use allocation::Allocation;
 pub use clock::{Clock, SimClock, SystemClock};

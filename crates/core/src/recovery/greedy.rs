@@ -18,8 +18,47 @@ use crate::TeContext;
 use bate_net::Scenario;
 use bate_routing::TunnelId;
 
+/// Registry handles for the recovery metric family. Metrics only, no
+/// trace events: recovery runs fan out in parallel when backup plans are
+/// precomputed, and counter adds commute.
+struct RecoveryMetrics {
+    runs: std::sync::Arc<bate_obs::Counter>,
+    satisfied: std::sync::Arc<bate_obs::Counter>,
+    forfeited: std::sync::Arc<bate_obs::Counter>,
+    run_ms: std::sync::Arc<bate_obs::Histogram>,
+}
+
+fn recovery_metrics() -> &'static RecoveryMetrics {
+    static M: std::sync::OnceLock<RecoveryMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        let r = bate_obs::Registry::global();
+        RecoveryMetrics {
+            runs: r.counter("bate_recovery_greedy_runs_total"),
+            satisfied: r.counter("bate_recovery_satisfied_total"),
+            forfeited: r.counter("bate_recovery_forfeited_total"),
+            run_ms: r.histogram("bate_recovery_greedy_ms"),
+        }
+    })
+}
+
 /// Run Algorithm 2 for the given failure scenario.
 pub fn greedy_recovery(
+    ctx: &TeContext,
+    demands: &[BaDemand],
+    scenario: &Scenario,
+) -> RecoveryOutcome {
+    let m = recovery_metrics();
+    let t0 = std::time::Instant::now();
+    let outcome = greedy_recovery_inner(ctx, demands, scenario);
+    m.runs.inc();
+    m.satisfied.add(outcome.satisfied.len() as u64);
+    m.forfeited
+        .add(demands.len().saturating_sub(outcome.satisfied.len()) as u64);
+    m.run_ms.observe_ms(t0.elapsed());
+    outcome
+}
+
+fn greedy_recovery_inner(
     ctx: &TeContext,
     demands: &[BaDemand],
     scenario: &Scenario,

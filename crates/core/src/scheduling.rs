@@ -23,8 +23,10 @@ use crate::allocation::Allocation;
 use crate::demand::BaDemand;
 use crate::profile::DemandProfile;
 use crate::TeContext;
-use bate_lp::{Problem, Relation, Sense, SolveError, VarId};
+use bate_lp::{Problem, Relation, Sense, SolveError, SolveStats, VarId};
+use bate_obs::{Counter, Histogram, Registry};
 use bate_routing::TunnelId;
+use std::sync::{Arc, OnceLock};
 
 /// Result of a scheduling round.
 #[derive(Debug, Clone)]
@@ -37,6 +39,42 @@ pub struct ScheduleResult {
     /// the LP duals). Zero for uncongested links; reset to zeros by
     /// [`harden`] (the repaired allocation is no longer an LP vertex).
     pub link_prices: Vec<f64>,
+    /// Kernel counters from the scheduling LP solve that produced this
+    /// result. Hardening re-placements are separate single-demand solves
+    /// and are not reflected here, so the counts are pinnable goldens for
+    /// the round's main LP.
+    pub solve_stats: SolveStats,
+}
+
+/// Registry handles for the solver/scheduling metric family, registered
+/// once and shared by every solve (including parallel hardening
+/// speculation — counter adds commute, so totals stay deterministic).
+struct SchedMetrics {
+    solves: Arc<Counter>,
+    solve_errors: Arc<Counter>,
+    lp_iterations: Arc<Counter>,
+    lp_pivots: Arc<Counter>,
+    solve_ms: Arc<Histogram>,
+    rounds: Arc<Counter>,
+    round_violations: Arc<Counter>,
+    round_ms: Arc<Histogram>,
+}
+
+fn sched_metrics() -> &'static SchedMetrics {
+    static M: OnceLock<SchedMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = Registry::global();
+        SchedMetrics {
+            solves: r.counter("bate_solver_solves_total"),
+            solve_errors: r.counter("bate_solver_errors_total"),
+            lp_iterations: r.counter("bate_solver_iterations_total"),
+            lp_pivots: r.counter("bate_solver_pivots_total"),
+            solve_ms: r.histogram("bate_solver_solve_ms"),
+            rounds: r.counter("bate_sched_rounds_total"),
+            round_violations: r.counter("bate_sched_hard_violations_total"),
+            round_ms: r.histogram("bate_sched_round_ms"),
+        }
+    })
 }
 
 /// Schedule all demands on the full link capacities.
@@ -59,8 +97,24 @@ pub fn schedule_hardened(
     ctx: &TeContext,
     demands: &[BaDemand],
 ) -> Result<ScheduleResult, SolveError> {
+    let m = sched_metrics();
+    let t0 = std::time::Instant::now();
     let mut result = schedule(ctx, demands)?;
-    harden(ctx, demands, &mut result);
+    let violations = harden(ctx, demands, &mut result);
+    m.rounds.inc();
+    m.round_violations.add(violations as u64);
+    m.round_ms.observe_ms(t0.elapsed());
+    // Trace contract: this event fires from the caller's (sequential)
+    // context; the parallel hardening internals above record only to the
+    // registry. Fields carry deterministic values only.
+    bate_obs::info!(
+        "sched.round",
+        demands = demands.len(),
+        violations = violations,
+        total_bandwidth = result.total_bandwidth,
+        lp_iterations = result.solve_stats.iterations(),
+        lp_pivots = result.solve_stats.pivots,
+    );
     Ok(result)
 }
 
@@ -287,7 +341,19 @@ pub fn schedule_with_capacities(
         }
     }
 
-    let sol = p.solve()?;
+    let m = sched_metrics();
+    let t0 = std::time::Instant::now();
+    let sol = match p.solve() {
+        Ok(sol) => sol,
+        Err(e) => {
+            m.solve_errors.inc();
+            return Err(e);
+        }
+    };
+    m.solves.inc();
+    m.lp_iterations.add(sol.stats.iterations());
+    m.lp_pivots.add(sol.stats.pivots);
+    m.solve_ms.observe_ms(t0.elapsed());
 
     // Link shadow prices from the LP duals. For this minimization the dual
     // of a Le capacity row is ≤ 0 (more capacity can only reduce the total
@@ -315,6 +381,7 @@ pub fn schedule_with_capacities(
         total_bandwidth: sol.objective,
         allocation,
         link_prices,
+        solve_stats: sol.stats,
     })
 }
 

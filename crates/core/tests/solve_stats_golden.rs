@@ -1,0 +1,86 @@
+//! Golden pins for the scheduling LP's kernel counters (ISSUE 3
+//! satellite).
+//!
+//! The simplex pivot sequence is fully deterministic for a given problem,
+//! so iteration/pivot counts are stable facts about the kernel. Pinning
+//! them here makes pivot-behavior changes (pricing rules, tie-breaks,
+//! tableau construction order) *explicit*: a legitimate solver change
+//! updates these numbers in the same commit, with the diff showing
+//! exactly how much the pivot path moved. Objective-value equality alone
+//! would hide such changes entirely.
+//!
+//! If this test fails after an intentional solver change: verify the
+//! golden equivalence suite (`crates/lp/tests/golden.rs`) still passes,
+//! then update the pinned tuples below to the new counts.
+
+use bate_core::{scheduling, BaDemand, TeContext};
+use bate_net::{topologies, ScenarioSet};
+use bate_routing::{RoutingScheme, TunnelSet};
+
+/// The pinnable subset of `SolveStats`: everything deterministic.
+/// (Wall-clock phase timings are excluded by construction.)
+fn pin(stats: &bate_lp::SolveStats) -> (u32, u32, u64, u64, u64, u64, u64, u64, bool) {
+    (
+        stats.rows,
+        stats.cols,
+        stats.phase1_iterations,
+        stats.phase2_iterations,
+        stats.pivots,
+        stats.bound_flips,
+        stats.bland_iterations,
+        stats.full_price_scans,
+        stats.warm_start,
+    )
+}
+
+#[test]
+fn toy4_scheduling_lp_pivot_counts_are_pinned() {
+    // The Fig. 2 motivating instance: toy 4-DC topology, 2-shortest-path
+    // tunnels, scenarios pruned at two concurrent failures, the two
+    // motivating demands (6 Gbps @ 99%, 12 Gbps @ 90%).
+    let topo = topologies::toy4();
+    let tunnels = TunnelSet::compute(&topo, RoutingScheme::Ksp(2));
+    let scenarios = ScenarioSet::enumerate(&topo, 2);
+    let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+    let n = |s: &str| topo.find_node(s).unwrap();
+    let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+    let demands = vec![
+        BaDemand::single(1, pair, 6000.0, 0.99),
+        BaDemand::single(2, pair, 12_000.0, 0.90),
+    ];
+
+    let res = scheduling::schedule(&ctx, &demands).unwrap();
+    assert_eq!(
+        pin(&res.solve_stats),
+        (16, 44, 7, 0, 7, 0, 0, 9, false),
+        "toy4 scheduling LP pivot counts changed — if the solver change \
+         is intentional, update this pin (see module docs)"
+    );
+}
+
+#[test]
+fn testbed6_scheduling_lp_pivot_counts_are_pinned() {
+    // The §5 testbed: 6 DCs, default 4-shortest-path tunnels, single-
+    // failure scenarios, a three-demand mix across availability classes.
+    let topo = topologies::testbed6();
+    let tunnels = TunnelSet::compute(&topo, RoutingScheme::default_ksp4());
+    let scenarios = ScenarioSet::enumerate(&topo, 1);
+    let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+    let n = |s: &str| topo.find_node(s).unwrap();
+    let p13 = tunnels.pair_index(n("DC1"), n("DC3")).unwrap();
+    let p25 = tunnels.pair_index(n("DC2"), n("DC5")).unwrap();
+    let p46 = tunnels.pair_index(n("DC4"), n("DC6")).unwrap();
+    let demands = vec![
+        BaDemand::single(1, p13, 900.0, 0.99),
+        BaDemand::single(2, p25, 1500.0, 0.95),
+        BaDemand::single(3, p46, 600.0, 0.999),
+    ];
+
+    let res = scheduling::schedule(&ctx, &demands).unwrap();
+    assert_eq!(
+        pin(&res.solve_stats),
+        (44, 123, 9, 0, 9, 0, 0, 11, false),
+        "testbed6 scheduling LP pivot counts changed — if the solver \
+         change is intentional, update this pin (see module docs)"
+    );
+}

@@ -66,6 +66,9 @@ pub fn solve_relaxation_dense(
         objective,
         values,
         duals: Some(tab.duals(problem.sense)),
+        // The reference kernel is uninstrumented by design (it exists to
+        // cross-check arithmetic, not to be observed).
+        stats: crate::stats::SolveStats::default(),
     })
 }
 

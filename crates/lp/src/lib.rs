@@ -45,12 +45,14 @@ pub mod par;
 pub mod problem;
 pub mod simplex;
 pub mod solution;
+pub mod stats;
 
 pub use error::SolveError;
 pub use par::{par_map, par_map_with, thread_count};
 pub use problem::{Problem, Relation, Sense, VarId, VarKind};
 pub use simplex::{Basis, Workspace};
 pub use solution::Solution;
+pub use stats::{IncumbentPoint, MilpStats, SolveStats};
 
 /// Default numerical tolerance used across the solver for feasibility and
 /// optimality tests.

@@ -32,6 +32,7 @@ use crate::par::par_map_with;
 use crate::problem::{Problem, Sense, VarKind};
 use crate::simplex::{self, Basis, BoundOverride};
 use crate::solution::Solution;
+use crate::stats::{IncumbentPoint, MilpStats};
 use crate::INT_EPS;
 
 /// Nodes evaluated per parallel batch. Fixed (not derived from the thread
@@ -59,6 +60,17 @@ impl Default for BnbConfig {
 
 /// Solve a mixed-integer problem by branch-and-bound.
 pub fn solve(problem: &Problem, config: BnbConfig) -> Result<Solution, SolveError> {
+    solve_traced(problem, config).map(|(s, _)| s)
+}
+
+/// [`solve`], additionally returning the search statistics — node count,
+/// maximum depth, aggregate LP work, and the incumbent trajectory. All
+/// accounting happens in the sequential batch-processing loop, so the
+/// stats are byte-identical across thread counts.
+pub fn solve_traced(
+    problem: &Problem,
+    config: BnbConfig,
+) -> Result<(Solution, MilpStats), SolveError> {
     let int_vars: Vec<usize> = problem
         .vars
         .iter()
@@ -67,7 +79,18 @@ pub fn solve(problem: &Problem, config: BnbConfig) -> Result<Solution, SolveErro
         .map(|(i, _)| i)
         .collect();
     if int_vars.is_empty() {
-        return simplex::solve_relaxation(problem, &[]);
+        let sol = simplex::solve_relaxation(problem, &[])?;
+        let stats = MilpStats {
+            nodes: 1,
+            max_depth: 0,
+            lp_iterations: sol.stats.iterations(),
+            lp_pivots: sol.stats.pivots,
+            incumbents: vec![IncumbentPoint {
+                node: 1,
+                objective: sol.objective,
+            }],
+        };
+        return Ok((sol, stats));
     }
 
     // Internally treat everything as minimization.
@@ -79,6 +102,7 @@ pub fn solve(problem: &Problem, config: BnbConfig) -> Result<Solution, SolveErro
     let mut incumbent: Option<Solution> = None;
     let mut incumbent_cost = f64::INFINITY; // sign * objective
     let mut nodes = 0usize;
+    let mut stats = MilpStats::default();
     // DFS stack of nodes: tightened bounds plus the parent's final basis
     // for warm-starting the child relaxation.
     struct Node {
@@ -129,15 +153,21 @@ pub fn solve(problem: &Problem, config: BnbConfig) -> Result<Solution, SolveErro
         for (node, (relax, basis)) in batch.drain(..).zip(evaluated) {
             if nodes >= config.max_nodes {
                 // Out of budget: report the incumbent if we have one.
-                return incumbent.ok_or(SolveError::NodeLimit);
+                return incumbent
+                    .map(|s| (s, stats))
+                    .ok_or(SolveError::NodeLimit);
             }
             nodes += 1;
+            stats.nodes = nodes as u64;
+            stats.max_depth = stats.max_depth.max(node.bounds.len() as u32);
 
             let relax = match relax {
                 Ok(s) => s,
                 Err(SolveError::Infeasible) => continue,
                 Err(e) => return Err(e),
             };
+            stats.lp_iterations += relax.stats.iterations();
+            stats.lp_pivots += relax.stats.pivots;
             let relax_cost = sign * relax.objective;
             if relax_cost >= incumbent_cost - config.gap {
                 continue; // cannot beat the incumbent
@@ -166,10 +196,17 @@ pub fn solve(problem: &Problem, config: BnbConfig) -> Result<Solution, SolveErro
                     let cost = sign * obj;
                     if cost < incumbent_cost {
                         incumbent_cost = cost;
+                        stats.incumbents.push(IncumbentPoint {
+                            node: nodes as u64,
+                            objective: obj,
+                        });
                         incumbent = Some(Solution {
                             objective: obj,
                             values: vals,
                             duals: None,
+                            // The incumbent inherits the kernel counters of
+                            // the node relaxation that produced it.
+                            stats: relax.stats.clone(),
                         });
                     }
                 }
@@ -205,7 +242,7 @@ pub fn solve(problem: &Problem, config: BnbConfig) -> Result<Solution, SolveErro
         }
     }
 
-    incumbent.ok_or(SolveError::Infeasible)
+    incumbent.map(|s| (s, stats)).ok_or(SolveError::Infeasible)
 }
 
 #[cfg(test)]
@@ -319,11 +356,20 @@ mod tests {
         p.add_constraint(&w2, Relation::Le, 11.0);
 
         let solve_at = |threads: usize| {
-            crate::par::with_thread_count(threads, || solve(&p, BnbConfig::default()).unwrap())
+            crate::par::with_thread_count(threads, || {
+                solve_traced(&p, BnbConfig::default()).unwrap()
+            })
         };
-        let base = solve_at(1);
+        let (base, base_stats) = solve_at(1);
+        assert!(base_stats.nodes > 1, "instance must branch");
+        assert!(base_stats.max_depth > 0);
+        assert_eq!(
+            base_stats.incumbents.last().map(|i| i.objective),
+            Some(base.objective),
+            "the incumbent trajectory must end at the returned optimum"
+        );
         for threads in [2, 3, 8] {
-            let s = solve_at(threads);
+            let (s, stats) = solve_at(threads);
             assert_eq!(
                 base.objective.to_bits(),
                 s.objective.to_bits(),
@@ -333,6 +379,8 @@ mod tests {
             for (a, b) in base.values.iter().zip(&s.values) {
                 assert_eq!(a.to_bits(), b.to_bits(), "values differ at {threads} threads");
             }
+            // Node accounting is sequential, so stats are identical too.
+            assert_eq!(base_stats, stats, "search stats differ at {threads} threads");
         }
     }
 

@@ -52,6 +52,7 @@
 use crate::error::SolveError;
 use crate::problem::{Problem, Relation, Sense};
 use crate::solution::Solution;
+use crate::stats::SolveStats;
 use crate::EPS;
 
 /// Feasibility tolerance for phase-1 termination.
@@ -260,6 +261,12 @@ pub fn solve_with(
             ws.tab.build(prepared, &lo, &hi);
         }
     }
+    ws.tab.stats = SolveStats {
+        rows: ws.tab.rows as u32,
+        cols: ws.tab.cols as u32,
+        warm_start: warmed,
+        ..SolveStats::default()
+    };
     let run = (|| {
         if !warmed {
             ws.tab.phase1()?;
@@ -290,6 +297,7 @@ pub fn solve_with(
         objective,
         values,
         duals: Some(tab.duals(problem.sense)),
+        stats: tab.stats.clone(),
     })
 }
 
@@ -377,6 +385,9 @@ struct Tableau {
     /// (degenerate optima are common in the scheduling LPs, and callers
     /// observe which vertex they get through the extracted allocation).
     partial: bool,
+    /// Kernel counters for the solve in progress (reset per solve by
+    /// [`solve_with`], attached to the returned [`Solution`]).
+    stats: SolveStats,
 }
 
 /// Hint the CPU to start loading the cache line holding `p`. The
@@ -677,7 +688,10 @@ impl Tableau {
         }
 
         self.reset_pricing();
-        self.iterate()?;
+        let t0 = std::time::Instant::now();
+        let run = self.iterate();
+        self.stats.phase1_secs += t0.elapsed().as_secs_f64();
+        self.stats.phase1_iterations += run?;
 
         if self.objval > PHASE1_TOL {
             return Err(SolveError::Infeasible);
@@ -747,11 +761,16 @@ impl Tableau {
         self.objval = val;
 
         self.reset_pricing();
-        self.iterate()
+        let t0 = std::time::Instant::now();
+        let run = self.iterate();
+        self.stats.phase2_secs += t0.elapsed().as_secs_f64();
+        self.stats.phase2_iterations += run?;
+        Ok(())
     }
 
-    /// Main pivot loop.
-    fn iterate(&mut self) -> Result<(), SolveError> {
+    /// Main pivot loop. Returns the number of iterations performed (the
+    /// caller attributes them to its phase).
+    fn iterate(&mut self) -> Result<u64, SolveError> {
         let max_iters = 400 * (self.rows + self.cols) + 20_000;
         let mut bland = false;
         let mut stall = 0usize;
@@ -769,8 +788,11 @@ impl Tableau {
                 return Err(SolveError::IterationLimit);
             }
             let Some(e) = self.choose_entering(bland) else {
-                return Ok(()); // optimal (verified by a full pricing scan)
+                return Ok(it as u64); // optimal (verified by a full pricing scan)
             };
+            if bland {
+                self.stats.bland_iterations += 1;
+            }
             // Direction: +1 if entering rises from its lower bound, -1 if
             // it falls from its upper bound.
             let delta = if self.at_upper[e] { -1.0 } else { 1.0 };
@@ -835,6 +857,7 @@ impl Tableau {
                         self.set(i, self.cols, nv);
                     }
                     self.at_upper[e] = !self.at_upper[e];
+                    self.stats.bound_flips += 1;
                 }
                 Some((pk, leaves_at_upper)) => {
                     let r = self.ecol_rows[pk] as usize;
@@ -851,6 +874,7 @@ impl Tableau {
                     self.is_basic[e] = true;
                     self.basis[r] = e;
                     self.set(r, self.cols, new_value.max(0.0));
+                    self.stats.pivots += 1;
                 }
             }
 
@@ -929,6 +953,7 @@ impl Tableau {
             self.candidates.truncate(w);
             self.cand_v.truncate(w);
             if best.is_some() {
+                self.stats.candidate_hits += 1;
                 return best;
             }
         }
@@ -937,6 +962,7 @@ impl Tableau {
 
     /// Full Dantzig scan; rebuilds the candidate list as a side effect.
     fn full_price(&mut self) -> Option<usize> {
+        self.stats.full_price_scans += 1;
         self.refresh_in = PRICE_REFRESH;
         self.candidates.clear();
         self.cand_v.clear();

@@ -1,11 +1,12 @@
 //! Optimal solutions returned by the solvers.
 
 use crate::problem::VarId;
+use crate::stats::SolveStats;
 use std::ops::Index;
 
 /// An optimal solution: the objective value (in the problem's own sense) and
 /// one value per variable, indexed by [`VarId`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Solution {
     /// Optimal objective value.
     pub objective: f64,
@@ -15,6 +16,19 @@ pub struct Solution {
     /// optimization sense. `Some` for pure LP solves; `None` for MILP
     /// solutions (duals are not defined at integer optima).
     pub duals: Option<Vec<f64>>,
+    /// Kernel counters from the solve that produced this solution (for a
+    /// MILP, from the node relaxation that became the incumbent).
+    /// Excluded from equality: stats describe *how* the optimum was
+    /// reached, not *what* it is.
+    pub stats: SolveStats,
+}
+
+impl PartialEq for Solution {
+    fn eq(&self, other: &Solution) -> bool {
+        self.objective == other.objective
+            && self.values == other.values
+            && self.duals == other.duals
+    }
 }
 
 impl Solution {
@@ -51,6 +65,7 @@ mod tests {
             objective: 1.0,
             values: vec![0.999_999_9],
             duals: None,
+            stats: SolveStats::default(),
         };
         assert_eq!(s.int_value(x), 1);
         assert!((s[x] - 0.999_999_9).abs() < 1e-12);

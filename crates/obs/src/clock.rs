@@ -9,6 +9,12 @@
 //! substitute [`SimClock`] and become deterministic and sleep-free; the
 //! default everywhere is [`SystemClock`].
 //!
+//! The trait lives in `bate-obs` (the bottom of the workspace dependency
+//! graph) so that trace timestamps and metric timings can share the same
+//! time source as the components they observe; `bate-core` re-exports it
+//! under the original `bate_core::clock` path, so downstream imports are
+//! unaffected by the move.
+//!
 //! ## `SimClock` semantics
 //!
 //! `SimClock` is a *virtual-time* clock designed for multi-threaded
@@ -23,7 +29,9 @@
 //!   instant in real time while preserving a monotone, causally ordered
 //!   virtual timeline.
 //! * `advance(d)` lets a test driver inject time directly (lease expiry,
-//!   scheduler periods).
+//!   scheduler periods); `advance_to(t)` jumps to an absolute virtual
+//!   instant without ever moving backwards (the sim engine drives event
+//!   time this way).
 //!
 //! The one behavior `SimClock` deliberately does not reproduce is "a sleep
 //! blocks until someone advances time": with real sockets in the loop there
@@ -106,6 +114,23 @@ impl SimClock {
         self.nanos
             .fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::SeqCst);
     }
+
+    /// Jump to the absolute virtual instant `t`, never moving backwards.
+    /// Drivers replaying a timestamped event stream (the sim engine) call
+    /// this at each event so `now()` tracks event time monotonically.
+    pub fn advance_to(&self, t: Duration) {
+        let target = t.as_nanos().min(u64::MAX as u128) as u64;
+        let mut cur = self.nanos.load(Ordering::SeqCst);
+        while cur < target {
+            match self
+                .nanos
+                .compare_exchange(cur, target, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
 }
 
 impl Clock for SimClock {
@@ -179,5 +204,17 @@ mod tests {
         c.advance(Duration::from_secs(5));
         c.sleep(Duration::from_millis(1));
         assert!(c.now() >= Duration::from_secs(5));
+    }
+
+    #[test]
+    fn sim_clock_advance_to_is_monotone() {
+        let c = SimClock::new();
+        c.advance_to(Duration::from_secs(3));
+        assert_eq!(c.now(), Duration::from_secs(3));
+        // Backwards jumps are ignored.
+        c.advance_to(Duration::from_secs(1));
+        assert_eq!(c.now(), Duration::from_secs(3));
+        c.advance_to(Duration::from_secs(7));
+        assert_eq!(c.now(), Duration::from_secs(7));
     }
 }

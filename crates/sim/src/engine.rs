@@ -10,12 +10,14 @@ use bate_core::admission::{self, optimal::optimal_feasible, AdmissionOutcome};
 use bate_core::recovery::backup::BackupPlan;
 use bate_core::recovery::greedy::greedy_recovery;
 use bate_core::recovery::milp::optimal_recovery;
+use bate_core::clock::{Clock, SimClock, SystemClock};
 use bate_core::{Allocation, BaDemand, TeContext};
 use bate_net::GroupId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Which admission strategy the run uses (Fig. 7(a)/12 compare all three).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,6 +142,12 @@ struct State<'a> {
     /// Demand ids the current backup plan was computed for; arrivals after
     /// the last round make the plan stale.
     backup_for: Vec<u64>,
+    /// The engine's time source for solver-latency measurements
+    /// ([`TimingMode::Measured`] → system clock; `Fixed` → a [`SimClock`]
+    /// driven to event times, so measured deltas are exactly zero and the
+    /// charged constants are the whole delay — making
+    /// [`DemandRecord::admission_delay_ms`] a pure function of the seed).
+    clock: Arc<dyn Clock>,
 }
 
 impl<'a> State<'a> {
@@ -188,6 +196,16 @@ impl<'a> Simulation<'a> {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut queue = EventQueue::new();
+        // Internal time source: under Fixed timing a SimClock is driven to
+        // each event's time below, so the run never reads the wall clock.
+        let sim_clock: Option<Arc<SimClock>> = match cfg.timing {
+            TimingMode::Measured => None,
+            TimingMode::Fixed { .. } => Some(SimClock::shared()),
+        };
+        let clock: Arc<dyn Clock> = match &sim_clock {
+            Some(sc) => Arc::clone(sc) as Arc<dyn Clock>,
+            None => SystemClock::shared(),
+        };
         let mut st = State {
             ctx: self.ctx,
             active: Vec::new(),
@@ -208,6 +226,7 @@ impl<'a> Simulation<'a> {
             demand_integral: 0.0,
             backup: None,
             backup_for: Vec::new(),
+            clock,
         };
 
         // Seed events: arrivals, schedule rounds, first failure per group.
@@ -236,6 +255,9 @@ impl<'a> Simulation<'a> {
             if time > cfg.horizon_secs {
                 break;
             }
+            if let Some(sc) = &sim_clock {
+                sc.advance_to(Duration::from_secs_f64(time));
+            }
             st.accrue(time);
             match event {
                 Event::Arrival(demand) => {
@@ -248,7 +270,7 @@ impl<'a> Simulation<'a> {
                         o.remove_demand(id);
                     }
                 }
-                Event::ScheduleRound => self.handle_schedule_round(&mut st),
+                Event::ScheduleRound => self.handle_schedule_round(&mut st, time),
                 Event::LinkFailure(g) => {
                     self.handle_failure(&mut st, &mut queue, &mut rng, time, g)
                 }
@@ -291,9 +313,16 @@ impl<'a> Simulation<'a> {
         demand: BaDemand,
     ) {
         st.report.arrived += 1;
-        let started = Instant::now();
-        let admission_cost_ms = |started: Instant| match self.config.timing {
-            TimingMode::Measured => started.elapsed().as_secs_f64() * 1000.0,
+        // Decision latency on the engine's clock: wall time under Measured,
+        // zero virtual elapsed plus the charged constant under Fixed (the
+        // SimClock only moves between events), so Fixed-mode records are
+        // identical across hosts and runs.
+        let started = st.clock.now();
+        let clock = Arc::clone(&st.clock);
+        let admission_cost_ms = move |started: Duration| match self.config.timing {
+            TimingMode::Measured => {
+                clock.now().saturating_sub(started).as_secs_f64() * 1000.0
+            }
             TimingMode::Fixed { admission_ms, .. } => admission_ms,
         };
         let outcome = match self.config.admission {
@@ -378,7 +407,7 @@ impl<'a> Simulation<'a> {
         st.report.demands.push(record);
     }
 
-    fn handle_schedule_round(&self, st: &mut State) {
+    fn handle_schedule_round(&self, st: &mut State, time: f64) {
         if st.active.is_empty() {
             return;
         }
@@ -389,9 +418,22 @@ impl<'a> Simulation<'a> {
         // link state.
         let scenario = st.fp.current_scenario(self.ctx.topo);
         let eff = st.effective_alloc().clone();
+        let mut satisfied = 0usize;
         for del in deliveries(&st.ctx, &eff, &st.active, &scenario) {
+            if del.satisfied() {
+                satisfied += 1;
+            }
             st.report.bw_ratio_samples.push(del.ratio());
         }
+        // Sequential context, deterministic fields only: the sim time is
+        // event time, never the wall clock.
+        bate_obs::info!(
+            "sim.round",
+            sim_time = time,
+            active = st.active.len(),
+            satisfied = satisfied,
+            failed_groups = st.fp.failed_groups().len(),
+        );
         // Refresh backup plans (§3.4: the online scheduler precomputes
         // backups each round).
         if self.config.recovery == RecoveryPolicy::Backup {
@@ -430,9 +472,16 @@ impl<'a> Simulation<'a> {
             return;
         }
         let scenario = st.fp.current_scenario(self.ctx.topo);
-        // The outage window charged for an on-the-spot recovery solve.
-        let recovery_cost = |started: Instant| match self.config.timing {
-            TimingMode::Measured => started.elapsed().as_secs_f64().max(0.05),
+        // The outage window charged for an on-the-spot recovery solve,
+        // measured on the engine's clock (zero virtual elapsed under Fixed
+        // timing, so the charged constant is the whole window).
+        let clock = Arc::clone(&st.clock);
+        let recovery_cost = move |started: Duration| match self.config.timing {
+            TimingMode::Measured => clock
+                .now()
+                .saturating_sub(started)
+                .as_secs_f64()
+                .max(0.05),
             TimingMode::Fixed { recovery_secs, .. } => recovery_secs,
         };
         let (outcome, compute_secs) = match self.config.recovery {
@@ -450,23 +499,23 @@ impl<'a> Simulation<'a> {
                         // Precomputed: activation is near-instant.
                         (out.clone(), 0.1)
                     } else {
-                        let started = Instant::now();
+                        let started = st.clock.now();
                         let out = greedy_recovery(&st.ctx, &st.active, &scenario);
                         (out, recovery_cost(started))
                     }
                 } else {
-                    let started = Instant::now();
+                    let started = st.clock.now();
                     let out = greedy_recovery(&st.ctx, &st.active, &scenario);
                     (out, recovery_cost(started))
                 }
             }
             RecoveryPolicy::Greedy => {
-                let started = Instant::now();
+                let started = st.clock.now();
                 let out = greedy_recovery(&st.ctx, &st.active, &scenario);
                 (out, recovery_cost(started))
             }
             RecoveryPolicy::Optimal => {
-                let started = Instant::now();
+                let started = st.clock.now();
                 match optimal_recovery(&st.ctx, &st.active, &scenario) {
                     Ok(out) => (out, recovery_cost(started)),
                     Err(_) => {
@@ -477,6 +526,16 @@ impl<'a> Simulation<'a> {
             }
         };
         st.recovery_seq += 1;
+        // Per-failure recovery convergence: how many demands survive the
+        // reroute and how long the outage window is, keyed by sim time.
+        bate_obs::warn!(
+            "sim.recovery",
+            sim_time = time,
+            group = g.index(),
+            active = st.active.len(),
+            survivors = outcome.satisfied.len(),
+            outage_secs = compute_secs,
+        );
         st.pending = Some((st.recovery_seq, outcome.allocation));
         queue.push(time + compute_secs, Event::ApplyRecovery(st.recovery_seq));
     }
@@ -578,6 +637,33 @@ mod tests {
             assert_eq!(x.satisfied_secs.to_bits(), y.satisfied_secs.to_bits());
         }
         assert_eq!(a.bw_ratio_samples.len(), b.bw_ratio_samples.len());
+    }
+
+    /// Satellite regression for the admission-latency fix: under
+    /// `TimingMode::Fixed` the per-demand records — including
+    /// `admission_delay_ms`, which used to read the host wall clock — are
+    /// identical between same-seed runs, and the delay is exactly the
+    /// charged constant.
+    #[test]
+    fn fixed_timing_admission_delay_is_deterministic() {
+        let a = run_small(AdmissionStrategy::Bate, RecoveryPolicy::Backup, 23);
+        let b = run_small(AdmissionStrategy::Bate, RecoveryPolicy::Backup, 23);
+        assert_eq!(
+            format!("{:?}", a.demands),
+            format!("{:?}", b.demands),
+            "same-seed Fixed-timing runs must produce identical records"
+        );
+        let charged = match SimConfig::testbed(1.0, 0).timing {
+            TimingMode::Fixed { admission_ms, .. } => admission_ms,
+            TimingMode::Measured => unreachable!("testbed default is Fixed"),
+        };
+        for d in &a.demands {
+            assert_eq!(
+                d.admission_delay_ms.to_bits(),
+                charged.to_bits(),
+                "Fixed timing must charge exactly the configured constant"
+            );
+        }
     }
 
     #[test]

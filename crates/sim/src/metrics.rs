@@ -17,7 +17,11 @@ pub struct DemandRecord {
     /// Total demanded bandwidth.
     pub bandwidth: f64,
     pub admitted: bool,
-    /// Wall-clock admission decision latency, milliseconds.
+    /// Admission decision latency in milliseconds, measured on the
+    /// engine's [`Clock`](bate_core::clock::Clock): real wall time under
+    /// [`TimingMode::Measured`](crate::engine::TimingMode), the charged
+    /// deterministic constant under `TimingMode::Fixed` (the sim clock
+    /// does not advance inside a solver call).
     pub admission_delay_ms: f64,
     /// Seconds the demand was active.
     pub total_secs: f64,

@@ -5,12 +5,19 @@
 //! batectl submit <addr> --id N --src DC1 --dst DC3 --mbps 400 --beta 0.999
 //! batectl withdraw <addr> --id N
 //! batectl ping <addr>
+//! batectl stats <addr>
 //! ```
 //!
 //! `<topology>` is a builtin name (`toy4`, `testbed6`, `b4`, `ibm`, `att`,
 //! `fiti`) or a path to a topology file (`bate_net::fileio` format).
+//!
+//! Diagnostics go through the tracing facade with a stderr subscriber
+//! rather than ad-hoc `eprintln!`, so every error carries a structured
+//! event (level + name + fields) while printing the same `error: <msg>`
+//! text and keeping the same exit codes as before.
 
 use bate_net::{fileio, topologies, Topology};
+use bate_obs::{Level, StderrSubscriber, SystemClock};
 use bate_routing::RoutingScheme;
 use bate_system::client::DemandRequest;
 use bate_system::{Client, Controller, ControllerConfig};
@@ -20,7 +27,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  batectl serve <topology> [--interval SECS] [--prune Y]\n  \
          batectl submit <addr> --id N --src A --dst B --mbps F --beta F [--price F] [--refund F]\n  \
-         batectl withdraw <addr> --id N\n  batectl ping <addr>"
+         batectl withdraw <addr> --id N\n  batectl ping <addr>\n  batectl stats <addr>"
     );
     std::process::exit(2)
 }
@@ -34,7 +41,10 @@ fn load_topology(spec: &str) -> Topology {
         "att" => topologies::att(),
         "fiti" => topologies::fiti(),
         path => fileio::load_topology(std::path::Path::new(path)).unwrap_or_else(|e| {
-            eprintln!("cannot load topology {path}: {e}");
+            bate_obs::error!(
+                "batectl.topology_error",
+                msg = format!("cannot load topology {path}: {e}"),
+            );
             std::process::exit(1)
         }),
     }
@@ -73,7 +83,10 @@ impl Flags {
         match self.num(key) {
             Some(v) => v,
             None => {
-                eprintln!("missing or invalid --{key}");
+                bate_obs::error!(
+                    "batectl.flag_error",
+                    msg = format!("missing or invalid --{key}"),
+                );
                 usage()
             }
         }
@@ -81,6 +94,10 @@ impl Flags {
 }
 
 fn main() {
+    // Structured diagnostics to stderr: `error: <msg> (...)` lines, same
+    // text the pre-telemetry eprintln! calls produced.
+    bate_obs::trace::install(StderrSubscriber::new(Level::Warn), SystemClock::shared());
+
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
 
@@ -149,19 +166,33 @@ fn main() {
                 Err(e) => fail(&e.to_string()),
             }
         }
+        "stats" => {
+            let Some(addr) = args.get(1) else { usage() };
+            let mut client = connect(addr);
+            match client.stats() {
+                Ok(text) => print!("{text}"),
+                Err(e) => fail(&e.to_string()),
+            }
+        }
         _ => usage(),
     }
 }
 
 fn connect(addr: &str) -> Client {
     let sock = addr.parse().unwrap_or_else(|_| {
-        eprintln!("bad address {addr}");
+        bate_obs::error!(
+            "batectl.address_error",
+            msg = format!("bad address {addr}"),
+        );
         std::process::exit(2)
     });
     Client::connect(sock).unwrap_or_else(|e| fail(&e.to_string()))
 }
 
+/// Structured fatal error: emits a `batectl.error` event whose stderr
+/// rendering is exactly the pre-telemetry `error: <msg>` line, then exits
+/// with the same code as before.
 fn fail(msg: &str) -> ! {
-    eprintln!("error: {msg}");
+    bate_obs::error!("batectl.error", msg = msg);
     std::process::exit(1)
 }

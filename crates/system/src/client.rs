@@ -16,8 +16,27 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::io;
 use std::net::{SocketAddr, TcpStream};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+/// Registry handles for the client retry family.
+struct ClientMetrics {
+    retries: Arc<bate_obs::Counter>,
+    exhausted: Arc<bate_obs::Counter>,
+    backoff_ms: Arc<bate_obs::Histogram>,
+}
+
+fn client_metrics() -> &'static ClientMetrics {
+    static M: OnceLock<ClientMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = bate_obs::Registry::global();
+        ClientMetrics {
+            retries: r.counter("bate_client_retries_total"),
+            exhausted: r.counter("bate_client_retries_exhausted_total"),
+            backoff_ms: r.histogram("bate_client_backoff_ms"),
+        }
+    })
+}
 
 /// How a client retries a request whose reply did not arrive.
 #[derive(Debug, Clone)]
@@ -156,6 +175,7 @@ impl Client {
         let step = exp.min(self.policy.max_delay);
         let jitter_frac: f64 = self.jitter.gen_range(0.0..0.5);
         let total = step + step.mul_f64(jitter_frac);
+        client_metrics().backoff_ms.observe_ms(total);
         if !total.is_zero() {
             self.clock.sleep(total);
         }
@@ -172,6 +192,8 @@ impl Client {
         let mut last_err: Option<io::Error> = None;
         for attempt in 0..self.policy.max_attempts {
             if attempt > 0 {
+                client_metrics().retries.inc();
+                bate_obs::warn!("client.retry", attempt = attempt);
                 self.backoff(attempt);
             }
             match self.try_once(msg, &mut matches) {
@@ -185,6 +207,8 @@ impl Client {
                 }
             }
         }
+        client_metrics().exhausted.inc();
+        bate_obs::error!("client.retries_exhausted", attempts = self.policy.max_attempts);
         Err(last_err.unwrap_or_else(|| {
             io::Error::new(io::ErrorKind::TimedOut, "retries exhausted")
         }))
@@ -239,6 +263,15 @@ impl Client {
         let msg = Message::WithdrawDemand { id };
         self.request(&msg, |m| matches!(m, Message::WithdrawAck { id: i } if *i == id))?;
         Ok(())
+    }
+
+    /// Fetch the controller's metrics registry as Prometheus text-format
+    /// exposition (what `batectl stats` prints).
+    pub fn stats(&mut self) -> io::Result<String> {
+        match self.request(&Message::StatsQuery, |m| matches!(m, Message::StatsText { .. }))? {
+            Message::StatsText { text } => Ok(text),
+            other => Err(io::Error::other(format!("unexpected reply: {other:?}"))),
+        }
     }
 
     /// Round-trip liveness probe; returns the measured RTT (on the

@@ -23,9 +23,36 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Registry handles for the controller metric family. Connection handlers
+/// run on per-connection threads, so these are process-wide counters; the
+/// trace events below them carry the per-message detail.
+struct CtrlMetrics {
+    submits: Arc<bate_obs::Counter>,
+    replay_hits: Arc<bate_obs::Counter>,
+    withdraws: Arc<bate_obs::Counter>,
+    link_reports: Arc<bate_obs::Counter>,
+    rounds: Arc<bate_obs::Counter>,
+    stats_queries: Arc<bate_obs::Counter>,
+}
+
+fn ctrl_metrics() -> &'static CtrlMetrics {
+    static M: OnceLock<CtrlMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = bate_obs::Registry::global();
+        CtrlMetrics {
+            submits: r.counter("bate_ctrl_submits_total"),
+            replay_hits: r.counter("bate_ctrl_idempotent_replay_hits_total"),
+            withdraws: r.counter("bate_ctrl_withdraws_total"),
+            link_reports: r.counter("bate_ctrl_link_reports_total"),
+            rounds: r.counter("bate_ctrl_schedule_rounds_total"),
+            stats_queries: r.counter("bate_ctrl_stats_queries_total"),
+        }
+    })
+}
 
 /// Controller parameters.
 pub struct ControllerConfig {
@@ -245,6 +272,13 @@ fn schedule_round(shared: &Arc<Shared>) {
         return;
     }
     if let Ok(res) = schedule(&ctx, &state.demands) {
+        ctrl_metrics().rounds.inc();
+        bate_obs::info!(
+            "ctrl.schedule_round",
+            demands = state.demands.len(),
+            lp_iterations = res.solve_stats.iterations(),
+            lp_pivots = res.solve_stats.pivots,
+        );
         state.allocation = res.allocation;
         push_all_allocations(&ctx, &mut state);
     }
@@ -322,6 +356,7 @@ fn connection_loop(shared: Arc<Shared>, mut stream: TcpStream) {
             Message::WithdrawDemand { id } => {
                 let ctx = shared.ctx();
                 {
+                    ctrl_metrics().withdraws.inc();
                     let mut state = shared.state.lock();
                     let was_present = state.demands.iter().any(|d| d.id.0 == id);
                     state.demands.retain(|d| d.id.0 != id);
@@ -367,10 +402,19 @@ fn connection_loop(shared: Arc<Shared>, mut stream: TcpStream) {
                 }
             }
             Message::LinkReport { group, up } => {
+                ctrl_metrics().link_reports.inc();
+                bate_obs::warn!("ctrl.link_report", group = group, up = up);
                 handle_link_report(&shared, group as usize, up);
             }
             Message::Ping { token } => {
                 if write_frame(&mut stream, &Message::Pong { token }).is_err() {
+                    return;
+                }
+            }
+            Message::StatsQuery => {
+                ctrl_metrics().stats_queries.inc();
+                let text = bate_obs::Registry::global().render_prometheus();
+                if write_frame(&mut stream, &Message::StatsText { text }).is_err() {
                     return;
                 }
             }
@@ -382,6 +426,7 @@ fn connection_loop(shared: Arc<Shared>, mut stream: TcpStream) {
             | Message::WithdrawAck { .. }
             | Message::InstallAllocation { .. }
             | Message::RemoveAllocation { .. }
+            | Message::StatsText { .. }
             | Message::Pong { .. } => {}
         }
     }
@@ -399,6 +444,7 @@ fn handle_submit(
     refund_ratio: f64,
 ) -> bool {
     let fingerprint = submit_fingerprint(src, dst, bandwidth, beta, price, refund_ratio);
+    ctrl_metrics().submits.inc();
 
     let (Some(s), Some(d)) = (shared.topo.find_node(src), shared.topo.find_node(dst)) else {
         return false;
@@ -436,6 +482,8 @@ fn handle_submit(
         }
         // Idempotent replay: same verdict, and re-push the allocation in
         // case the broker installs were lost alongside the reply.
+        ctrl_metrics().replay_hits.inc();
+        bate_obs::info!("ctrl.submit_replay", demand = id, admitted = rec.admitted);
         if rec.admitted {
             push_demand_allocation(&ctx, &mut state, DemandId(id));
         }

@@ -91,6 +91,13 @@ pub enum Message {
     Pong {
         token: u64,
     },
+    /// client → controller: request the telemetry registry.
+    StatsQuery,
+    /// controller → client: Prometheus text-format exposition of the
+    /// controller's metrics registry.
+    StatsText {
+        text: String,
+    },
 }
 
 // Message tags.
@@ -105,6 +112,8 @@ const T_STATS: u8 = 8;
 const T_PING: u8 = 9;
 const T_PONG: u8 = 10;
 const T_WITHDRAW_ACK: u8 = 11;
+const T_STATS_QUERY: u8 = 12;
+const T_STATS_TEXT: u8 = 13;
 
 impl Encode for Message {
     fn encode(&self, buf: &mut BytesMut) {
@@ -171,6 +180,13 @@ impl Encode for Message {
                 T_PONG.encode(buf);
                 token.encode(buf);
             }
+            Message::StatsQuery => {
+                T_STATS_QUERY.encode(buf);
+            }
+            Message::StatsText { text } => {
+                T_STATS_TEXT.encode(buf);
+                text.encode(buf);
+            }
         }
     }
 }
@@ -221,6 +237,10 @@ impl Decode for Message {
             },
             T_PONG => Message::Pong {
                 token: u64::decode(buf)?,
+            },
+            T_STATS_QUERY => Message::StatsQuery,
+            T_STATS_TEXT => Message::StatsText {
+                text: String::decode(buf)?,
             },
             other => return Err(WireError::Malformed(format!("unknown tag {other}"))),
         })
@@ -284,6 +304,11 @@ mod tests {
         });
         roundtrip(Message::Ping { token: 1 });
         roundtrip(Message::Pong { token: 1 });
+        roundtrip(Message::StatsQuery);
+        roundtrip(Message::StatsText {
+            text: "# TYPE bate_solver_solves_total counter\nbate_solver_solves_total 3\n"
+                .into(),
+        });
     }
 
     #[test]

@@ -33,9 +33,32 @@ use rand::{Rng, SeedableRng};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Registry handles for the election metric family.
+struct ElectionMetrics {
+    attempts: Arc<bate_obs::Counter>,
+    won: Arc<bate_obs::Counter>,
+    ballot_races: Arc<bate_obs::Counter>,
+    no_quorum: Arc<bate_obs::Counter>,
+    exhausted: Arc<bate_obs::Counter>,
+}
+
+fn election_metrics() -> &'static ElectionMetrics {
+    static M: OnceLock<ElectionMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = bate_obs::Registry::global();
+        ElectionMetrics {
+            attempts: r.counter("bate_election_attempts_total"),
+            won: r.counter("bate_election_won_total"),
+            ballot_races: r.counter("bate_election_ballot_races_total"),
+            no_quorum: r.counter("bate_election_no_quorum_total"),
+            exhausted: r.counter("bate_election_retries_exhausted_total"),
+        }
+    })
+}
 
 /// Paxos wire messages.
 #[derive(Debug, Clone, PartialEq)]
@@ -359,8 +382,10 @@ impl Replica {
         let mut starved = false;
         for attempt in 0..self.config.max_attempts {
             if attempt > 0 {
+                election_metrics().ballot_races.inc();
                 self.backoff(attempt);
             }
+            election_metrics().attempts.inc();
             starved = false;
             let ballot = self.next_ballot(floor);
 
@@ -422,15 +447,31 @@ impl Replica {
                 let mut st = self.state.lock();
                 st.chosen = Some(value);
                 st.lease_expiry = self.clock.now() + self.config.lease;
+                election_metrics().won.inc();
+                bate_obs::info!(
+                    "election.won",
+                    replica = self.id,
+                    master = value,
+                    ballot = ballot,
+                );
                 return Ok(value);
             }
             floor = highest_seen;
         }
-        Err(if starved {
+        let err = if starved {
+            election_metrics().no_quorum.inc();
             ElectError::NoQuorum
         } else {
+            election_metrics().exhausted.inc();
             ElectError::RetriesExhausted
-        })
+        };
+        bate_obs::warn!(
+            "election.failed",
+            replica = self.id,
+            candidate = candidate,
+            no_quorum = (err == ElectError::NoQuorum),
+        );
+        Err(err)
     }
 
     /// Ask an acceptor what it has learned (default deadlines).

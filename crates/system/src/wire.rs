@@ -21,7 +21,36 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+/// Registry handles for the wire metric family. Frames move on many
+/// threads concurrently (controller per-connection handlers, broker
+/// reader/writer splits), so these are metrics only — counter adds
+/// commute, trace events would interleave nondeterministically.
+struct WireMetrics {
+    frames_sent: Arc<bate_obs::Counter>,
+    frames_received: Arc<bate_obs::Counter>,
+    bytes_sent: Arc<bate_obs::Counter>,
+    bytes_received: Arc<bate_obs::Counter>,
+    corrupt: Arc<bate_obs::Counter>,
+    malformed: Arc<bate_obs::Counter>,
+}
+
+fn wire_metrics() -> &'static WireMetrics {
+    static M: OnceLock<WireMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = bate_obs::Registry::global();
+        WireMetrics {
+            frames_sent: r.counter("bate_wire_frames_sent_total"),
+            frames_received: r.counter("bate_wire_frames_received_total"),
+            bytes_sent: r.counter("bate_wire_bytes_sent_total"),
+            bytes_received: r.counter("bate_wire_bytes_received_total"),
+            corrupt: r.counter("bate_wire_corrupt_frames_total"),
+            malformed: r.counter("bate_wire_malformed_frames_total"),
+        }
+    })
+}
 
 /// Maximum accepted frame size; anything larger is a protocol violation.
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
@@ -265,12 +294,38 @@ pub fn write_frame<T: Encode, S: Write + ?Sized>(stream: &mut S, msg: &T) -> Res
     let frame = encode_frame(msg)?;
     stream.write_all(&frame)?;
     stream.flush()?;
+    let m = wire_metrics();
+    m.frames_sent.inc();
+    m.bytes_sent.add(frame.len() as u64);
     Ok(())
 }
 
 /// Read one raw frame payload (header-validated, CRC-checked).
 /// [`WireError::Closed`] on clean EOF at a frame boundary.
 pub fn read_frame_bytes<S: Read + ?Sized>(stream: &mut S) -> Result<Bytes, WireError> {
+    let m = wire_metrics();
+    match read_frame_bytes_inner(stream) {
+        Ok(payload) => {
+            m.frames_received.inc();
+            // 8 header bytes + payload, mirroring what the peer counted
+            // as sent.
+            m.bytes_received.add(8 + payload.len() as u64);
+            Ok(payload)
+        }
+        Err(e) => {
+            match &e {
+                WireError::Corrupt { .. } => m.corrupt.inc(),
+                WireError::Malformed(_) => m.malformed.inc(),
+                // Io and Closed are connection-lifecycle outcomes, not
+                // frame damage; the retry layers count those.
+                _ => {}
+            }
+            Err(e)
+        }
+    }
+}
+
+fn read_frame_bytes_inner<S: Read + ?Sized>(stream: &mut S) -> Result<Bytes, WireError> {
     let mut head = [0u8; 8];
     let mut filled = 0usize;
     while filled < head.len() {

@@ -167,6 +167,55 @@ fn link_failure_triggers_reroute() {
     assert!(broker.wait_for_rate(1, Duration::from_secs(2), |r| r >= 500.0 - 1e-6));
 }
 
+/// The `StatsQuery` RPC (what `batectl stats` prints): the controller
+/// returns its registry as Prometheus text exposition, with the solver,
+/// admission, and wire metric families present and parseable.
+#[test]
+fn stats_query_returns_prometheus_exposition() {
+    let controller = start_controller();
+    let mut client = Client::connect(controller.addr()).unwrap();
+    // Drive at least one admission + solve so the families exist.
+    assert!(client
+        .submit(&DemandRequest::new(1, "DC1", "DC3", 200.0, 0.95))
+        .unwrap());
+
+    let text = client.stats().unwrap();
+    for family in [
+        "bate_solver_solves_total",
+        "bate_admission_checks_total",
+        "bate_wire_frames_received_total",
+        "bate_ctrl_submits_total",
+    ] {
+        assert!(text.contains(family), "missing family {family} in:\n{text}");
+    }
+    // Parseable: every non-comment line is `name[{labels}] value` with a
+    // numeric value; TYPE comments name a known metric kind.
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let kind = rest.split_whitespace().nth(1).unwrap_or("");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "bad TYPE line: {line}"
+            );
+            continue;
+        }
+        let (_, value) = line.rsplit_once(' ').expect("sample line has a value");
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf",
+            "unparseable sample value in line: {line}"
+        );
+    }
+
+    // The idempotent-replay counter is fed by the retry path.
+    let req = DemandRequest::new(1, "DC1", "DC3", 200.0, 0.95);
+    assert!(client.submit(&req).unwrap());
+    let text = client.stats().unwrap();
+    assert!(
+        text.contains("bate_ctrl_idempotent_replay_hits_total"),
+        "replay hit family missing after a resubmit:\n{text}"
+    );
+}
+
 #[test]
 fn ping_roundtrip() {
     let controller = start_controller();

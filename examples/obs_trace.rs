@@ -1,0 +1,75 @@
+//! Deterministic telemetry capture: run a seeded testbed simulation with
+//! the JSONL trace subscriber installed and dump a filtered registry
+//! snapshot — the harness behind `scripts/obscheck.sh`, which runs this
+//! twice and diffs the outputs byte for byte.
+//!
+//! ```text
+//! cargo run --release --example obs_trace -- <trace_out> <metrics_out> [seed]
+//! ```
+//!
+//! Determinism contract:
+//! * the installed trace clock is a [`SimClock`] that is never advanced,
+//!   so event `t_ns` stamps are constant; real timing lives in the events'
+//!   explicit `sim_time` fields, which come from the (seed-deterministic)
+//!   event queue;
+//! * the run uses `TimingMode::Fixed`, so the event schedule itself is a
+//!   pure function of the seed;
+//! * the metrics snapshot keeps counters only — histograms hold wall-clock
+//!   latencies, the one thing that legitimately differs between runs.
+
+use bate_net::{topologies, ScenarioSet};
+use bate_obs::{JsonlSubscriber, MetricKind, Registry, SimClock};
+use bate_routing::{RoutingScheme, TunnelSet};
+use bate_sim::workload::generate;
+use bate_sim::{AdmissionStrategy, RecoveryPolicy, SimConfig, Simulation, WorkloadConfig};
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [trace_out, metrics_out] = &args[..2] else {
+        eprintln!("usage: obs_trace <trace_out> <metrics_out> [seed]");
+        std::process::exit(2);
+    };
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    let subscriber = JsonlSubscriber::to_file(Path::new(trace_out), "obs_trace")
+        .expect("create trace file");
+    bate_obs::trace::install(subscriber, SimClock::shared());
+
+    let topo = topologies::testbed6();
+    let tunnels = TunnelSet::compute(&topo, RoutingScheme::Ksp(3));
+    let scenarios = ScenarioSet::enumerate(&topo, 2);
+    let ctx = bate_core::TeContext::new(&topo, &tunnels, &scenarios);
+    let n = |s: &str| topo.find_node(s).unwrap();
+    let pairs = vec![
+        tunnels.pair_index(n("DC1"), n("DC3")).unwrap(),
+        tunnels.pair_index(n("DC1"), n("DC4")).unwrap(),
+        tunnels.pair_index(n("DC2"), n("DC6")).unwrap(),
+    ];
+    let horizon = 15.0 * 60.0;
+    let workload = generate(&WorkloadConfig::testbed(pairs, seed), &tunnels, horizon);
+    let mut cfg = SimConfig::testbed(horizon, seed);
+    cfg.admission = AdmissionStrategy::Bate;
+    cfg.recovery = RecoveryPolicy::Greedy;
+    let te = bate_baselines::traits::Bate;
+
+    let report = Simulation {
+        ctx,
+        te: &te,
+        config: cfg,
+        workload: &workload,
+    }
+    .run();
+
+    // Flush the trace before snapshotting (uninstall flushes the writer).
+    bate_obs::trace::uninstall();
+
+    let snapshot = Registry::global()
+        .snapshot_jsonl_filtered(|_, kind| kind == MetricKind::Counter);
+    std::fs::write(metrics_out, snapshot).expect("write metrics snapshot");
+
+    println!(
+        "seed {seed}: {} arrived, {} admitted, {} rejected -> {trace_out} + {metrics_out}",
+        report.arrived, report.admitted, report.rejected
+    );
+}

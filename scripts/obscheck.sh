@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Telemetry determinism check: run the seeded obs_trace example twice (two
+# separate processes, so the global registry starts from zero each time) and
+# require the JSONL trace and the counter-only metrics snapshot to be
+# byte-identical. Then sanity-check that the expected metric families and
+# event names actually appeared — an empty-but-identical pair of files
+# would otherwise pass.
+#
+# Usage: scripts/obscheck.sh [seed]
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${1:-42}"
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+STATUS=0
+
+run() {
+    echo "+ $*"
+    "$@"
+    local rc=$?
+    if [ $rc -ne 0 ]; then
+        echo "FAILED (exit $rc): $*"
+        STATUS=1
+    fi
+    return $rc
+}
+
+run cargo build --release --offline --example obs_trace || exit 1
+BIN=target/release/examples/obs_trace
+
+run "$BIN" "$OUT_DIR/trace1.jsonl" "$OUT_DIR/metrics1.jsonl" "$SEED" || exit 1
+run "$BIN" "$OUT_DIR/trace2.jsonl" "$OUT_DIR/metrics2.jsonl" "$SEED" || exit 1
+
+if diff -q "$OUT_DIR/trace1.jsonl" "$OUT_DIR/trace2.jsonl" >/dev/null; then
+    echo "trace: byte-identical across runs (seed $SEED)"
+else
+    echo "FAILED: trace JSONL differs between same-seed runs"
+    diff "$OUT_DIR/trace1.jsonl" "$OUT_DIR/trace2.jsonl" | head -20
+    STATUS=1
+fi
+
+if diff -q "$OUT_DIR/metrics1.jsonl" "$OUT_DIR/metrics2.jsonl" >/dev/null; then
+    echo "metrics: byte-identical across runs (seed $SEED)"
+else
+    echo "FAILED: metrics snapshot differs between same-seed runs"
+    diff "$OUT_DIR/metrics1.jsonl" "$OUT_DIR/metrics2.jsonl" | head -20
+    STATUS=1
+fi
+
+# Content sanity: the trace must contain the core event names and the
+# snapshot must contain the solver/admission counter families.
+for name in admission.verdict sched.round sim.round; do
+    if ! grep -q "\"name\":\"$name\"" "$OUT_DIR/trace1.jsonl"; then
+        echo "FAILED: trace missing event $name"
+        STATUS=1
+    fi
+done
+for family in bate_solver_ bate_admission_ bate_sched_; do
+    if ! grep -q "\"metric\":\"$family" "$OUT_DIR/metrics1.jsonl"; then
+        echo "FAILED: metrics snapshot missing family $family*"
+        STATUS=1
+    fi
+done
+
+if [ $STATUS -eq 0 ]; then
+    echo "obscheck: OK"
+else
+    echo "obscheck: FAILED"
+fi
+exit $STATUS
