@@ -66,7 +66,7 @@ impl TeAlgorithm for B4 {
                             .iter()
                             .map(|l| residual[l.index()])
                             .fold(f64::INFINITY, f64::min);
-                        if cap > 1e-9 && best.map_or(true, |(_, c)| cap > c) {
+                        if cap > 1e-9 && best.is_none_or(|(_, c)| cap > c) {
                             best = Some((ti, cap));
                         }
                     }
@@ -114,7 +114,7 @@ mod tests {
         let n = |s: &str| topo.find_node(s).unwrap();
         let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
         let d = BaDemand::single(1, pair, 5000.0, 0.9);
-        let alloc = B4.allocate(&ctx, &[d.clone()]).unwrap();
+        let alloc = B4.allocate(&ctx, std::slice::from_ref(&d)).unwrap();
         let total: f64 = alloc.flows_of(d.id).map(|(_, f)| f).sum();
         assert!((total - 5000.0).abs() < 1.0, "{total}");
         assert!(alloc.respects_capacity(&ctx, 1e-6));

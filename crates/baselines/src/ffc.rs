@@ -163,7 +163,7 @@ mod tests {
         let n = |s: &str| topo.find_node(s).unwrap();
         let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
         let d = BaDemand::single(1, pair, 4000.0, 0.99);
-        let alloc = Ffc::new(1).allocate(&ctx, &[d.clone()]).unwrap();
+        let alloc = Ffc::new(1).allocate(&ctx, std::slice::from_ref(&d)).unwrap();
         let g = guaranteed_bandwidth(&ctx, &alloc, &d, pair, 1);
         assert!(
             (g - 4000.0).abs() < 1.0,
@@ -183,7 +183,7 @@ mod tests {
         let n = |s: &str| topo.find_node(s).unwrap();
         let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
         let d = BaDemand::single(1, pair, 15_000.0, 0.9);
-        let alloc = Ffc::new(0).allocate(&ctx, &[d.clone()]).unwrap();
+        let alloc = Ffc::new(0).allocate(&ctx, std::slice::from_ref(&d)).unwrap();
         let total: f64 = alloc.flows_of(d.id).map(|(_, f)| f).sum();
         assert!((total - 15_000.0).abs() < 1.0, "{total}");
     }

@@ -105,7 +105,7 @@ mod tests {
         let n = |s: &str| topo.find_node(s).unwrap();
         let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
         let d = BaDemand::single(1, pair, 8000.0, 0.9);
-        let alloc = Smore.allocate(&ctx, &[d.clone()]).unwrap();
+        let alloc = Smore.allocate(&ctx, std::slice::from_ref(&d)).unwrap();
         let total: f64 = alloc.flows_of(d.id).map(|(_, f)| f).sum();
         assert!((total - 8000.0).abs() < 1e-6);
         // Both 10 Gbps paths must carry ~4 Gbps each (balanced), unlike a

@@ -117,7 +117,7 @@ mod tests {
         let n = |s: &str| topo.find_node(s).unwrap();
         let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
         let d = BaDemand::single(1, pair, 6000.0, 0.99);
-        let alloc = Swan.allocate(&ctx, &[d.clone()]).unwrap();
+        let alloc = Swan.allocate(&ctx, std::slice::from_ref(&d)).unwrap();
         let total: f64 = alloc.flows_of(d.id).map(|(_, f)| f).sum();
         assert!(
             (total - 6000.0).abs() < 1e-6,
@@ -135,7 +135,7 @@ mod tests {
         let n = |s: &str| topo.find_node(s).unwrap();
         let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
         let d = BaDemand::single(1, pair, 50_000.0, 0.5);
-        let alloc = Swan.allocate(&ctx, &[d.clone()]).unwrap();
+        let alloc = Swan.allocate(&ctx, std::slice::from_ref(&d)).unwrap();
         let total: f64 = alloc.flows_of(d.id).map(|(_, f)| f).sum();
         // DC1's egress cut is 20 Gbps.
         assert!((total - 20_000.0).abs() < 1e-6, "{total}");

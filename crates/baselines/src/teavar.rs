@@ -176,7 +176,7 @@ mod tests {
         // split allocations Fig. 2(c) shows for TEAVAR. Consequence: part
         // of the traffic rides the risky path and dies with it.
         let d = BaDemand::single(1, pair, 6000.0, 0.99);
-        let alloc = Teavar::new(0.999).allocate(&ctx, &[d.clone()]).unwrap();
+        let alloc = Teavar::new(0.999).allocate(&ctx, std::slice::from_ref(&d)).unwrap();
         let used_tunnels = alloc.flows_of(d.id).count();
         assert_eq!(used_tunnels, 2, "TEAVAR splits across both paths");
         let g = topo.link(topo.find_link(n("DC1"), n("DC2")).unwrap()).group;
@@ -195,7 +195,7 @@ mod tests {
         let n = |s: &str| topo.find_node(s).unwrap();
         let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
         let d = BaDemand::single(1, pair, 3000.0, 0.9);
-        let alloc = Teavar::new(0.99).allocate(&ctx, &[d.clone()]).unwrap();
+        let alloc = Teavar::new(0.99).allocate(&ctx, std::slice::from_ref(&d)).unwrap();
         let total: f64 = alloc.flows_of(d.id).map(|(_, f)| f).sum();
         assert!((total - 3000.0).abs() < 1.0, "{total}");
         assert!(alloc.respects_capacity(&ctx, 1e-6));

@@ -46,7 +46,7 @@ mod tests {
         let n = |s: &str| topo.find_node(s).unwrap();
         let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
         let d = BaDemand::single(1, pair, 1000.0, 0.9);
-        let alloc = Bate.allocate(&ctx, &[d.clone()]).unwrap();
+        let alloc = Bate.allocate(&ctx, std::slice::from_ref(&d)).unwrap();
         assert!(alloc.meets_target(&ctx, &d));
         assert_eq!(Bate.name(), "BATE");
     }

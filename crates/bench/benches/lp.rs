@@ -13,10 +13,14 @@
 //! cargo bench -p bate-bench --bench lp -- --emit-json
 //! ```
 
+use bate_core::scheduling::{self, SolveMode, ROWGEN_SEED_SINGLES};
+use bate_core::{BaDemand, DemandId, TeContext};
 use bate_lp::dense_reference::solve_relaxation_dense;
 use bate_lp::simplex::{solve_relaxation, solve_with, Workspace};
 use bate_lp::{milp, Problem, Relation, Sense};
+use bate_net::{topologies, traffic, ScenarioSet};
 use bate_obs::{NoopSubscriber, Registry, SystemClock};
+use bate_routing::{RoutingScheme, TunnelSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -124,6 +128,57 @@ fn bnb_instance(seed: u64, demands: usize, links: usize) -> Problem {
     p
 }
 
+/// Multi-pair gravity demands for the row-generation bench: the top
+/// `num_demands` source sites by gravity volume each become one BA demand
+/// spanning that site's `pairs_per` heaviest destinations. Multi-pair
+/// demands are what make the *full* formulation expensive — a demand's
+/// collapsed profile distinguishes availability patterns across all of its
+/// tunnels jointly, so spanning 6 pairs yields hundreds of states (and
+/// `states x pairs` qualification rows) where a single-pair demand caps
+/// out at 2^4.
+fn rowgen_demands(
+    topo: &bate_net::Topology,
+    tunnels: &TunnelSet,
+    num_demands: usize,
+    pairs_per: usize,
+    mean_total: f64,
+    seed: u64,
+    betas: &[f64],
+) -> Vec<BaDemand> {
+    let matrix = &traffic::generate_matrices(topo, 1, mean_total, seed)[0];
+    let mut by_src: Vec<Vec<(usize, f64)>> = vec![Vec::new(); topo.num_nodes()];
+    for (s, d, v) in matrix.entries() {
+        if let Some(pair) = tunnels.pair_index(s, d) {
+            if !tunnels.tunnels(pair).is_empty() {
+                by_src[s.0].push((pair, v));
+            }
+        }
+    }
+    let mut sources: Vec<(usize, f64)> = by_src
+        .iter()
+        .enumerate()
+        .map(|(s, e)| (s, e.iter().map(|&(_, v)| v).sum::<f64>()))
+        .collect();
+    sources.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    sources
+        .iter()
+        .take(num_demands)
+        .enumerate()
+        .map(|(i, &(s, _))| {
+            let mut pairs = by_src[s].clone();
+            pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            pairs.truncate(pairs_per);
+            BaDemand {
+                id: DemandId(i as u64 + 1),
+                bandwidth: pairs,
+                beta: betas[i % betas.len()],
+                price: 0.0,
+                refund_ratio: 0.0,
+            }
+        })
+        .collect()
+}
+
 /// Best-of-N wall-clock of `f`, with one untimed warm-up run. Minimum (not
 /// mean) because scheduler noise only ever adds time.
 fn best_of<R>(n: usize, mut f: impl FnMut() -> R) -> f64 {
@@ -203,6 +258,59 @@ fn main() {
         dense_secs: None,
         sparse_secs: sparse,
     });
+
+    // Full formulation vs row generation on a real >= 1k-scenario
+    // instance: ATT (25 sites, 56 physical links) pruned at y = 2 gives
+    // 1 + 56 + 1540 = 1597 scenarios. Multi-pair gravity demands blow the
+    // full formulation up to thousands of qualification rows; the rowgen
+    // master seeds only the all-up + top-single states and lets the
+    // separation oracle pull in the handful of binding rows. Both paths
+    // must land on the same objective; the ISSUE acceptance bar is a
+    // >= 3x wall-clock win for rowgen.
+    let topo = topologies::att();
+    let tunnels = TunnelSet::compute(&topo, RoutingScheme::default_ksp4());
+    let scenarios = ScenarioSet::enumerate(&topo, 2);
+    let num_scenarios = scenarios.scenarios.len();
+    let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+    // 6 demands x 6 pairs at betas {0.9, 0.95}: ~11.5k qualification rows
+    // in the full formulation, a few-second full solve, and an instance
+    // comfortably clear of the simplex wall-clock guard on both paths
+    // (higher betas push the full solve into guard territory, which makes
+    // the timing flaky rather than the comparison harder).
+    let demands = rowgen_demands(&topo, &tunnels, 6, 6, 10_000.0, 7, &[0.9, 0.95]);
+    let rowgen_mode = SolveMode::RowGen {
+        seed_singles: ROWGEN_SEED_SINGLES,
+    };
+
+    let full_secs = best_of(2, || {
+        scheduling::schedule_mode(&ctx, &demands, SolveMode::Full).unwrap()
+    });
+    let rowgen_secs = best_of(2, || {
+        scheduling::schedule_mode(&ctx, &demands, rowgen_mode).unwrap()
+    });
+    let res_full = scheduling::schedule_mode(&ctx, &demands, SolveMode::Full).unwrap();
+    let res_rg = scheduling::schedule_mode(&ctx, &demands, rowgen_mode).unwrap();
+    assert!(
+        (res_full.total_bandwidth - res_rg.total_bandwidth).abs()
+            <= 1e-9 * (1.0 + res_full.total_bandwidth.abs()),
+        "scheduling_rowgen: objectives diverged: {} (full) vs {} (rowgen)",
+        res_full.total_bandwidth,
+        res_rg.total_bandwidth
+    );
+    let rg = res_rg.rowgen.expect("rowgen path must report RowGenStats");
+    let rowgen_speedup = full_secs / rowgen_secs;
+    println!(
+        "scheduling_rowgen    {num_scenarios} scenarios  full {:>9.3} ms ({} rows)  rowgen {:>9.3} ms ({} rows, {} rounds)  speedup {rowgen_speedup:>5.2}x",
+        full_secs * 1e3,
+        rg.full_rows,
+        rowgen_secs * 1e3,
+        rg.master_rows,
+        rg.rounds,
+    );
+    assert!(
+        rowgen_speedup >= 3.0,
+        "scheduling_rowgen: speedup {rowgen_speedup:.2}x below the 3x acceptance bar"
+    );
 
     // Telemetry overhead on the largest scheduling LP: the bare sparse
     // solve vs the same solve plus the exact per-solve telemetry cost the
@@ -303,6 +411,10 @@ fn main() {
             ));
         }
         json.push_str("  ],\n");
+        json.push_str(&format!(
+            "  \"scheduling_rowgen\": {{\"scenarios\": {num_scenarios}, \"full_secs\": {full_secs:.9}, \"rowgen_secs\": {rowgen_secs:.9}, \"speedup\": {rowgen_speedup:.3}, \"full_rows\": {}, \"master_rows\": {}, \"rounds\": {}, \"rows_added\": {}}},\n",
+            rg.full_rows, rg.master_rows, rg.rounds, rg.rows_added
+        ));
         json.push_str(&format!(
             "  \"telemetry_overhead\": {{\"name\": \"{name}\", \"base_secs\": {base_secs:.9}, \"instrumented_secs\": {instrumented_secs:.9}, \"overhead_pct\": {overhead_pct:.3}}}\n"
         ));

@@ -174,7 +174,7 @@ mod tests {
         let n = |s: &str| topo.find_node(s).unwrap();
         let p14 = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
         let d = BaDemand::single(1, p14, 200.0, 0.99);
-        assert!(!conjecture(&ctx, &[d.clone()]), "worst tunnel crosses L4");
+        assert!(!conjecture(&ctx, std::slice::from_ref(&d)), "worst tunnel crosses L4");
         // ... but the LP schedules it fine — a false rejection.
         assert!(schedule(&ctx, &[d]).is_ok());
     }

@@ -16,9 +16,10 @@
 
 use crate::allocation::Allocation;
 use crate::demand::BaDemand;
-use crate::profile::DemandProfile;
+use crate::profile::MaskedProfile;
+use crate::scheduling::{SolveMode, ROWGEN_AUTO_THRESHOLD, ROWGEN_SEED_SINGLES};
 use crate::TeContext;
-use bate_lp::{milp, Problem, Relation, Sense, SolveError, VarId};
+use bate_lp::{milp, LazyRow, Problem, Relation, Sense, SolveError, VarId};
 use bate_routing::TunnelId;
 
 /// Result of the optimal admission MILP.
@@ -45,6 +46,17 @@ pub struct OptimalAdmission {
 ///
 /// Only the gray zone between them runs branch-and-bound.
 pub fn optimal_feasible(ctx: &TeContext, demands: &[BaDemand]) -> Result<bool, SolveError> {
+    optimal_feasible_mode(ctx, demands, SolveMode::Auto)
+}
+
+/// [`optimal_feasible`] with an explicit [`SolveMode`] for the MILP stage
+/// (the LP fast paths always use their own Auto gate). Goldens pin
+/// Full-vs-RowGen verdict equivalence through this.
+pub fn optimal_feasible_mode(
+    ctx: &TeContext,
+    demands: &[BaDemand],
+    mode: SolveMode,
+) -> Result<bool, SolveError> {
     // Fast reject: the continuous relaxation can't even cover everyone.
     match crate::scheduling::schedule(ctx, demands) {
         Err(SolveError::Infeasible) => return Ok(false),
@@ -90,7 +102,7 @@ pub fn optimal_feasible(ctx: &TeContext, demands: &[BaDemand]) -> Result<bool, S
             return Ok(true);
         }
     }
-    match solve_admission(ctx, demands, true) {
+    match solve_admission(ctx, demands, true, mode) {
         Ok(res) => Ok(res.accepted.iter().all(|&a| a)),
         Err(SolveError::Infeasible) => Ok(false),
         // A blown node budget means we could not *prove* feasibility;
@@ -106,14 +118,70 @@ pub fn maximize_admissions(
     ctx: &TeContext,
     demands: &[BaDemand],
 ) -> Result<OptimalAdmission, SolveError> {
-    solve_admission(ctx, demands, false)
+    solve_admission(ctx, demands, false, SolveMode::Auto)
 }
 
+/// [`maximize_admissions`] with an explicit [`SolveMode`] — the direct
+/// MILP entry the row-generation goldens compare through (no LP fast
+/// paths in front).
+pub fn maximize_admissions_mode(
+    ctx: &TeContext,
+    demands: &[BaDemand],
+    mode: SolveMode,
+) -> Result<OptimalAdmission, SolveError> {
+    solve_admission(ctx, demands, false, mode)
+}
+
+/// Build and solve the Appendix-A MILP.
+///
+/// Under [`SolveMode::RowGen`] (or Auto above the threshold) the
+/// per-(state, pair) qualification rows of Eq. 14 are generated lazily by
+/// branch-and-cut ([`milp::solve_lazy`]): the master starts with the
+/// seeded states' rows, a bitset separation oracle checks every candidate
+/// relaxation against all collapsed states, and violated rows join a
+/// global row pool every node inherits. Exactness argument mirrors the
+/// scheduling LP's: node relaxations are row-subset relaxations (pruning
+/// stays valid) and incumbents are only accepted after clean separation.
 fn solve_admission(
     ctx: &TeContext,
     demands: &[BaDemand],
     force_all: bool,
+    mode: SolveMode,
 ) -> Result<OptimalAdmission, SolveError> {
+    let seed_singles = match mode {
+        SolveMode::RowGen { seed_singles } => seed_singles,
+        _ => ROWGEN_SEED_SINGLES,
+    };
+    let tracked = ctx.scenarios.most_probable_singles(seed_singles);
+    let profiles: Vec<MaskedProfile> =
+        bate_lp::par_map(demands, |d| MaskedProfile::collapse(ctx, d, &tracked));
+    let full_qual_rows: usize = profiles
+        .iter()
+        .zip(demands)
+        .map(|(pr, d)| pr.len() * d.bandwidth.len())
+        .sum();
+    let use_rowgen = match mode {
+        SolveMode::Full => false,
+        SolveMode::RowGen { .. } => true,
+        SolveMode::Auto => full_qual_rows > ROWGEN_AUTO_THRESHOLD,
+    };
+    // Seed states for the lazy master: all-up plus the tracked singles.
+    let seeded: Option<Vec<Vec<bool>>> = use_rowgen.then(|| {
+        profiles
+            .iter()
+            .map(|pr| {
+                let mut flags = vec![false; pr.len()];
+                if !flags.is_empty() {
+                    flags[0] = true;
+                }
+                for &si in &pr.tracked_states {
+                    flags[si] = true;
+                }
+                flags
+            })
+            .collect()
+    });
+
     let mut p = Problem::new(Sense::Maximize);
 
     // Flow variables per demand / local pair / tunnel.
@@ -136,19 +204,27 @@ fn solve_admission(
     }
 
     // Per demand: q[state] binaries (Eq. 14 lower linkage), acceptance a_d.
+    // All binaries exist up front in every mode — the lazy path appends
+    // rows, never columns.
     let mut a_vars: Vec<Option<VarId>> = Vec::with_capacity(demands.len());
+    let mut q_vars_all: Vec<Vec<VarId>> = Vec::with_capacity(demands.len());
     for (di, demand) in demands.iter().enumerate() {
-        let profile = DemandProfile::collapse(ctx, demand);
+        let profile = &profiles[di];
         let q_vars: Vec<VarId> = (0..profile.len())
             .map(|s| p.add_binary_var(&format!("q[{}][{s}]", demand.id.0)))
             .collect();
 
         for (si, state) in profile.states.iter().enumerate() {
+            if let Some(flags) = &seeded {
+                if !flags[di][si] {
+                    continue;
+                }
+            }
             for (ki, &(_, b)) in demand.bandwidth.iter().enumerate() {
                 // Σ_t f v >= b q  (qualified scenarios deliver in full)
                 let mut terms: Vec<(VarId, f64)> = vec![(q_vars[si], -b)];
                 for (ti, &fv) in f_vars[di][ki].iter().enumerate() {
-                    if state.avail[ki][ti] {
+                    if state.masks[ki] >> ti & 1 == 1 {
                         terms.push((fv, 1.0));
                     }
                 }
@@ -174,6 +250,7 @@ fn solve_admission(
             p.add_constraint(&terms, Relation::Ge, 0.0);
             a_vars.push(Some(a));
         }
+        q_vars_all.push(q_vars);
     }
 
     // Capacity (Eq. 18).
@@ -208,7 +285,82 @@ fn solve_admission(
         max_nodes: 400,
         gap: 1e-6,
     };
-    let sol = milp::solve(&p, cfg)?;
+    let sol = match seeded {
+        None => milp::solve(&p, cfg)?,
+        Some(flags) => {
+            // Branch-and-cut: `added[di][si*pairs + ki]` tracks which
+            // qualification rows are in the master (seeded or appended),
+            // so no row is ever generated twice.
+            let mut added: Vec<Vec<bool>> = demands
+                .iter()
+                .enumerate()
+                .map(|(di, d)| {
+                    let pairs = d.bandwidth.len();
+                    let mut a = vec![false; profiles[di].len() * pairs];
+                    for (si, &on) in flags[di].iter().enumerate() {
+                        if on {
+                            for ki in 0..pairs {
+                                a[si * pairs + ki] = true;
+                            }
+                        }
+                    }
+                    a
+                })
+                .collect();
+            milp::solve_lazy(&mut p, cfg, |relax| {
+                // Bitset sweep over every collapsed state of every demand —
+                // exactly the full Eq. 14 row set. Parallel fan-out is safe:
+                // each demand reads only its own slice of `added`.
+                let per_demand: Vec<Vec<(usize, usize)>> =
+                    bate_lp::par_map(&(0..demands.len()).collect::<Vec<_>>(), |&di| {
+                        let demand = &demands[di];
+                        let pairs = demand.bandwidth.len();
+                        let mut viol = Vec::new();
+                        for (si, state) in profiles[di].states.iter().enumerate() {
+                            let q = relax[q_vars_all[di][si]];
+                            for (ki, &(_, b)) in demand.bandwidth.iter().enumerate() {
+                                if added[di][si * pairs + ki] {
+                                    continue;
+                                }
+                                let mut mask = state.masks[ki];
+                                let mut flow = 0.0;
+                                while mask != 0 {
+                                    let ti = mask.trailing_zeros() as usize;
+                                    flow += relax[f_vars[di][ki][ti]];
+                                    mask &= mask - 1;
+                                }
+                                if flow - b * q < -1e-9 * (1.0 + b.abs()) {
+                                    viol.push((si, ki));
+                                }
+                            }
+                        }
+                        viol
+                    });
+                let mut cuts = Vec::new();
+                for (di, viol) in per_demand.iter().enumerate() {
+                    let demand = &demands[di];
+                    let pairs = demand.bandwidth.len();
+                    for &(si, ki) in viol {
+                        let b = demand.bandwidth[ki].1;
+                        let mut terms: Vec<(VarId, f64)> = vec![(q_vars_all[di][si], -b)];
+                        let mut mask = profiles[di].states[si].masks[ki];
+                        while mask != 0 {
+                            let ti = mask.trailing_zeros() as usize;
+                            terms.push((f_vars[di][ki][ti], 1.0));
+                            mask &= mask - 1;
+                        }
+                        cuts.push(LazyRow {
+                            terms,
+                            relation: Relation::Ge,
+                            rhs: 0.0,
+                        });
+                        added[di][si * pairs + ki] = true;
+                    }
+                }
+                cuts
+            })?
+        }
+    };
 
     let mut allocation = Allocation::new();
     for (di, demand) in demands.iter().enumerate() {

@@ -106,6 +106,132 @@ impl DemandProfile {
     }
 }
 
+/// One collapsed state in bitmask form: one `u64` of tunnel-availability
+/// bits per requested pair.
+#[derive(Debug, Clone)]
+pub struct MaskedState {
+    /// `masks[i] >> t & 1`: is tunnel `t` of the demand's `i`-th pair up?
+    pub masks: Vec<u64>,
+    /// Total probability of all scenarios collapsing to this state.
+    pub probability: f64,
+}
+
+/// Bitmask form of [`DemandProfile`], built for the row-generation path:
+/// the separation oracle evaluates a qualification row with one masked
+/// popcount-style sweep per pair instead of a bool-matrix walk, and the
+/// mask vectors double as the dedup keys during collapsing.
+///
+/// States appear in the same first-seen order as [`DemandProfile::collapse`]
+/// produces (the two collapse walks visit scenarios identically and the
+/// masks encode exactly the per-tunnel availability booleans), so state
+/// indices are interchangeable between the two representations.
+#[derive(Debug, Clone)]
+pub struct MaskedProfile {
+    /// Distinct states, first-seen order (scenario 0's all-up state is
+    /// always index 0).
+    pub states: Vec<MaskedState>,
+    /// For each scenario index in the `tracked` argument of
+    /// [`MaskedProfile::collapse`], the collapsed state it landed in —
+    /// how the row-generation seed scenarios map to master-LP rows.
+    pub tracked_states: Vec<usize>,
+}
+
+impl MaskedProfile {
+    /// Collapse the context's scenario set against one demand, recording
+    /// where each scenario index in `tracked` ends up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any requested pair has more than 64 tunnels (the paper's
+    /// routing uses KSP-4; the `u64` masks cap far above that).
+    pub fn collapse(ctx: &TeContext, demand: &BaDemand, tracked: &[usize]) -> MaskedProfile {
+        let groups_per_tunnel: Vec<Vec<LinkSet>> = demand
+            .bandwidth
+            .iter()
+            .map(|&(pair, _)| {
+                let tunnels = ctx.tunnels.tunnels(pair);
+                assert!(
+                    tunnels.len() <= 64,
+                    "pair {pair} has {} tunnels; masks hold at most 64",
+                    tunnels.len()
+                );
+                tunnels
+                    .iter()
+                    .map(|path| {
+                        let mut set = LinkSet::new(ctx.topo.num_groups());
+                        for g in path.groups(ctx.topo) {
+                            set.insert(g.index());
+                        }
+                        set
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut index: HashMap<Vec<u64>, usize> = HashMap::new();
+        let mut states: Vec<MaskedState> = Vec::new();
+        let mut tracked_states = vec![0usize; tracked.len()];
+
+        for (zi, scenario) in ctx.scenarios.iter().enumerate() {
+            let masks: Vec<u64> = groups_per_tunnel
+                .iter()
+                .map(|per_pair| {
+                    let mut m = 0u64;
+                    for (t, groups) in per_pair.iter().enumerate() {
+                        if !groups.intersects(&scenario.failed) {
+                            m |= 1 << t;
+                        }
+                    }
+                    m
+                })
+                .collect();
+            let si = match index.get(&masks) {
+                Some(&i) => {
+                    states[i].probability += scenario.probability;
+                    i
+                }
+                None => {
+                    let i = states.len();
+                    index.insert(masks.clone(), i);
+                    states.push(MaskedState {
+                        masks,
+                        probability: scenario.probability,
+                    });
+                    i
+                }
+            };
+            for (pos, &tz) in tracked.iter().enumerate() {
+                if tz == zi {
+                    tracked_states[pos] = si;
+                }
+            }
+        }
+        MaskedProfile {
+            states,
+            tracked_states,
+        }
+    }
+
+    /// Is tunnel `ti` of pair `ki` up in state `si`?
+    pub fn avail(&self, si: usize, ki: usize, ti: usize) -> bool {
+        self.states[si].masks[ki] >> ti & 1 == 1
+    }
+
+    /// Number of collapsed states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Total covered probability (equals the scenario set's coverage).
+    pub fn covered_probability(&self) -> f64 {
+        self.states.iter().map(|s| s.probability).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +274,64 @@ mod tests {
         }
         // 2 tunnels -> at most 4 states.
         assert!(profile.len() <= 4);
+    }
+
+    #[test]
+    fn masked_profile_matches_bool_profile() {
+        // The masked collapse must reproduce the bool collapse exactly:
+        // same states in the same order, bit-identical probabilities.
+        let topo = topologies::testbed6();
+        let tunnels = TunnelSet::compute(&topo, RoutingScheme::default_ksp4());
+        let scenarios = ScenarioSet::enumerate(&topo, 2);
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let p1 = tunnels.pair_index(n("DC1"), n("DC3")).unwrap();
+        let p2 = tunnels.pair_index(n("DC2"), n("DC6")).unwrap();
+        let d = BaDemand {
+            id: crate::DemandId(3),
+            bandwidth: vec![(p1, 10.0), (p2, 20.0)],
+            beta: 0.95,
+            price: 30.0,
+            refund_ratio: 0.1,
+        };
+        let bools = DemandProfile::collapse(&ctx, &d);
+        let masked = MaskedProfile::collapse(&ctx, &d, &[]);
+        assert_eq!(bools.len(), masked.len());
+        for (si, (bs, ms)) in bools.states.iter().zip(&masked.states).enumerate() {
+            assert_eq!(bs.probability.to_bits(), ms.probability.to_bits());
+            for (ki, pair_avail) in bs.avail.iter().enumerate() {
+                for (ti, &up) in pair_avail.iter().enumerate() {
+                    assert_eq!(up, masked.avail(si, ki, ti), "state {si} pair {ki} tunnel {ti}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_profile_tracks_seed_scenarios() {
+        let topo = topologies::toy4();
+        let tunnels = TunnelSet::compute(&topo, RoutingScheme::Ksp(2));
+        let scenarios = ScenarioSet::enumerate(&topo, 2);
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+        let d = BaDemand::single(1, pair, 100.0, 0.99);
+        let tracked = scenarios.most_probable_singles(3);
+        let masked = MaskedProfile::collapse(&ctx, &d, &tracked);
+        assert_eq!(masked.tracked_states.len(), tracked.len());
+        // Scenario 0 (all-up) always collapses to state 0; every tracked
+        // single-failure scenario must land on the state whose masks match
+        // its own availability pattern.
+        assert_eq!(masked.states[0].masks, vec![u64::MAX >> (64 - tunnels.tunnels(pair).len())]);
+        let bools = DemandProfile::collapse(&ctx, &d);
+        for (pos, &zi) in tracked.iter().enumerate() {
+            let si = masked.tracked_states[pos];
+            let scenario = &scenarios.scenarios[zi];
+            for (ti, _) in tunnels.tunnels(pair).iter().enumerate() {
+                let up_direct = bools.states[si].avail[0][ti];
+                assert_eq!(masked.avail(si, 0, ti), up_direct, "scenario {scenario:?}");
+            }
+        }
     }
 
     #[test]

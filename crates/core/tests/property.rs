@@ -3,8 +3,9 @@
 //! recovery bounds.
 
 use bate_core::admission::greedy::{best_effort_allocation, conjecture_with_allocation};
+use bate_core::profile::{DemandProfile, MaskedProfile};
 use bate_core::recovery::greedy::greedy_recovery;
-use bate_core::scheduling::{schedule, schedule_hardened};
+use bate_core::scheduling::{schedule, schedule_hardened, separate_demand};
 use bate_core::{Allocation, BaDemand, DemandId, TeContext};
 use bate_net::{topologies, GroupId, Scenario, ScenarioSet};
 use bate_routing::{RoutingScheme, TunnelSet};
@@ -141,6 +142,100 @@ proptest! {
                 current.set(d.id, t, f);
             }
             prop_assert!(current.respects_capacity(&ctx, 1e-6));
+        }
+    }
+
+    /// The bitset separation oracle flags *exactly* the rows a brute-force
+    /// walk of the bool-profile qualification constraints flags, for
+    /// arbitrary candidate points — same set, same order, bit-identical
+    /// left-hand sides (the masked sweep consumes bits lowest-first, the
+    /// same accumulation order as the tunnel-index walk).
+    #[test]
+    fn separation_oracle_matches_brute_force(
+        bw in prop::collection::vec((0usize..30, 50.0f64..600.0), 1..=3),
+        f_pool in prop::collection::vec(0.0f64..800.0, 64),
+        b_pool in prop::collection::vec(0.0f64..1.0, 64),
+        added_pool in prop::collection::vec(0usize..2, 64),
+    ) {
+        let (topo, tunnels, scenarios) = testbed();
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let demand = BaDemand {
+            id: DemandId(1),
+            bandwidth: bw,
+            beta: 0.99,
+            price: 0.0,
+            refund_ratio: 0.0,
+        };
+        let masked = MaskedProfile::collapse(&ctx, &demand, &[]);
+        let bools = DemandProfile::collapse(&ctx, &demand);
+        prop_assert_eq!(masked.len(), bools.len());
+        let pairs = demand.bandwidth.len();
+
+        // Random candidate point and random already-added row set, drawn
+        // from fixed-size pools (sizes depend on the generated demand).
+        let f_vals: Vec<Vec<f64>> = demand
+            .bandwidth
+            .iter()
+            .enumerate()
+            .map(|(ki, &(pair, _))| {
+                (0..tunnels.tunnels(pair).len())
+                    .map(|ti| f_pool[(ki * 7 + ti) % f_pool.len()])
+                    .collect()
+            })
+            .collect();
+        let b_vals: Vec<f64> = (0..masked.len()).map(|si| b_pool[si % b_pool.len()]).collect();
+        let added: Vec<bool> = (0..masked.len() * pairs)
+            .map(|i| added_pool[i % added_pool.len()] != 0)
+            .collect();
+
+        let oracle = separate_demand(&demand, &masked, &f_vals, &b_vals, &added);
+
+        let mut brute = Vec::new();
+        for (si, state) in bools.states.iter().enumerate() {
+            for (ki, &(_, b)) in demand.bandwidth.iter().enumerate() {
+                if added[si * pairs + ki] {
+                    continue;
+                }
+                let mut flow = 0.0;
+                for (ti, &up) in state.avail[ki].iter().enumerate() {
+                    if up {
+                        flow += f_vals[ki][ti];
+                    }
+                }
+                if b * b_vals[si] - flow > 1e-9 * (1.0 + b.abs()) {
+                    brute.push((si, ki));
+                }
+            }
+        }
+        prop_assert_eq!(oracle, brute);
+    }
+
+    /// Row generation and the full formulation agree on feasibility and
+    /// (when feasible) the optimal objective, for arbitrary demand sets.
+    #[test]
+    fn rowgen_equals_full_on_random_demands(demands in demand_strategy(30, 4)) {
+        use bate_core::scheduling::{schedule_mode, SolveMode};
+        let (topo, tunnels, scenarios) = testbed();
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let full = schedule_mode(&ctx, &demands, SolveMode::Full);
+        let lazy = schedule_mode(&ctx, &demands, SolveMode::RowGen { seed_singles: 4 });
+        match (full, lazy) {
+            (Ok(f), Ok(l)) => {
+                let scale = 1.0 + f.total_bandwidth.abs().max(l.total_bandwidth.abs());
+                prop_assert!(
+                    (f.total_bandwidth - l.total_bandwidth).abs() <= 1e-9 * scale,
+                    "objective mismatch: {} vs {}", f.total_bandwidth, l.total_bandwidth
+                );
+            }
+            (Err(_), Err(_)) => {}
+            (f, l) => {
+                prop_assert!(
+                    false,
+                    "paths disagree on feasibility: full={:?} rowgen={:?}",
+                    f.map(|r| r.total_bandwidth),
+                    l.map(|r| r.total_bandwidth)
+                );
+            }
         }
     }
 

@@ -77,7 +77,7 @@ fn dropped_admission_reply_is_retried_not_double_counted() {
         let controller = start_controller();
         let proxy = FaultProxy::start(controller.addr(), plan.clone()).unwrap();
         let mut client = proxied_client(&proxy, harness_policy(&plan));
-        assert_eq!(client.submit(&req).unwrap(), true);
+        assert!(client.submit(&req).unwrap());
         assert_eq!(controller.admitted_count(), 1, "never double-counted");
         // The trace shows the drop actually happened.
         assert!(
@@ -118,9 +118,11 @@ fn garbage_and_corrupt_frames_do_not_kill_the_controller() {
 
     // Every c2s frame corrupted through a proxy.
     let proxy = FaultProxy::start(controller.addr(), FaultPlan::seeded(9).corrupt(1.0)).unwrap();
-    let mut policy = RetryPolicy::default();
-    policy.max_attempts = 2;
-    policy.request_timeout = Duration::from_millis(100);
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        request_timeout: Duration::from_millis(100),
+        ..Default::default()
+    };
     let mut bad_client = proxied_client(&proxy, policy);
     let _ = bad_client.submit(&DemandRequest::new(50, "DC1", "DC3", 10.0, 0.5));
 

@@ -50,6 +50,7 @@ pub mod stats;
 pub use error::SolveError;
 pub use par::{par_map, par_map_with, thread_count};
 pub use problem::{Problem, Relation, Sense, VarId, VarKind};
+pub use milp::{solve_lazy, solve_traced_lazy, LazyRow};
 pub use simplex::{Basis, Workspace};
 pub use solution::Solution;
 pub use stats::{IncumbentPoint, MilpStats, SolveStats};

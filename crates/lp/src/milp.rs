@@ -29,7 +29,7 @@ use std::sync::Arc;
 
 use crate::error::SolveError;
 use crate::par::par_map_with;
-use crate::problem::{Problem, Sense, VarKind};
+use crate::problem::{Problem, Relation, Sense, VarId, VarKind};
 use crate::simplex::{self, Basis, BoundOverride};
 use crate::solution::Solution;
 use crate::stats::{IncumbentPoint, MilpStats};
@@ -63,6 +63,262 @@ pub fn solve(problem: &Problem, config: BnbConfig) -> Result<Solution, SolveErro
     solve_traced(problem, config).map(|(s, _)| s)
 }
 
+/// A constraint row produced by a separation oracle during lazy
+/// (cutting-plane) branch-and-bound — a row of the *full* formulation that
+/// the master problem omitted and the candidate solution violates.
+#[derive(Debug, Clone)]
+pub struct LazyRow {
+    pub terms: Vec<(VarId, f64)>,
+    pub relation: Relation,
+    pub rhs: f64,
+}
+
+/// [`solve_traced_lazy`] without the stats.
+pub fn solve_lazy(
+    problem: &mut Problem,
+    config: BnbConfig,
+    separate: impl FnMut(&Solution) -> Vec<LazyRow>,
+) -> Result<Solution, SolveError> {
+    solve_traced_lazy(problem, config, separate).map(|(s, _)| s)
+}
+
+/// Branch-and-cut: branch-and-bound over a master problem that holds only
+/// a subset of the full formulation's rows, with `separate` called on
+/// every surviving node relaxation to report violated full-formulation
+/// rows.
+///
+/// Reported rows are appended to the shared `problem` — the global lazy
+/// row pool — and the node is re-queued against the tightened master, so
+/// every node (and in particular every child of the node that triggered
+/// the separation) inherits all rows active anywhere in the tree so far.
+/// Because the master is always a row-subset of the full formulation,
+/// node relaxations stay valid lower bounds and pruning is exact; because
+/// an incumbent is only accepted after `separate` returns no violations,
+/// accepted incumbents are feasible for the full formulation. Together
+/// that makes the search exactly equivalent to branch-and-bound on the
+/// full problem: same optimal objective, same feasible/infeasible
+/// verdict. `separate` must be deterministic (a pure function of the
+/// candidate solution and the rows appended so far) for solves to stay
+/// byte-identical across thread counts; it is only ever called from the
+/// sequential batch-processing loop.
+///
+/// Each re-queued evaluation counts against `config.max_nodes`, and each
+/// call appends at least one previously-missing row, so termination is
+/// inherited from the finiteness of the full row set.
+pub fn solve_traced_lazy(
+    problem: &mut Problem,
+    config: BnbConfig,
+    mut separate: impl FnMut(&Solution) -> Vec<LazyRow>,
+) -> Result<(Solution, MilpStats), SolveError> {
+    let int_vars: Vec<usize> = problem
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.kind == VarKind::Integer)
+        .map(|(i, _)| i)
+        .collect();
+    let mut stats = MilpStats::default();
+    if int_vars.is_empty() {
+        // Pure LP: a plain cutting-plane loop over one workspace, each
+        // round warm-started from the previous basis via `append_rows`.
+        let mut ws = simplex::Workspace::new();
+        // A warm-started solve can degenerate-cycle into the simplex
+        // guards on an LP that solves cleanly from scratch; any error on
+        // a warm attempt is retried cold once before being propagated.
+        let mut ws_cold = true;
+        let sol = loop {
+            let sol = match simplex::solve_with(problem, &[], &mut ws) {
+                Ok(sol) => sol,
+                Err(_) if !ws_cold => {
+                    ws = simplex::Workspace::new();
+                    simplex::solve_with(problem, &[], &mut ws)?
+                }
+                Err(e) => return Err(e),
+            };
+            ws_cold = false;
+            stats.nodes += 1;
+            stats.lp_iterations += sol.stats.iterations();
+            stats.lp_pivots += sol.stats.pivots;
+            stats.separation_calls += 1;
+            let cuts = separate(&sol);
+            if cuts.is_empty() {
+                // Only accept an optimum from a cold solve: warm installs
+                // repair violated appended rows through phase-1 tolerances,
+                // which on ill-conditioned rows can shift the claimed
+                // optimum beyond the exact-equivalence guarantee. A clean
+                // pass on a warm solve triggers one cold re-solve of the
+                // same master; its (exact) optimum is then re-separated.
+                if !sol.stats.warm_start {
+                    break sol;
+                }
+                ws = simplex::Workspace::new();
+                ws_cold = true;
+                continue;
+            }
+            stats.lazy_rows_added += cuts.len() as u64;
+            for cut in &cuts {
+                problem.add_constraint(&cut.terms, cut.relation, cut.rhs);
+            }
+            ws.append_rows(problem);
+        };
+        stats.incumbents.push(IncumbentPoint {
+            node: stats.nodes,
+            objective: sol.objective,
+        });
+        return Ok((sol, stats));
+    }
+
+    // Internally treat everything as minimization.
+    let sign = match problem.sense {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+
+    let mut incumbent: Option<Solution> = None;
+    let mut incumbent_cost = f64::INFINITY; // sign * objective
+    let mut nodes = 0usize;
+    struct Node {
+        bounds: Vec<BoundOverride>,
+        warm: Option<Arc<Basis>>,
+    }
+    let mut stack: Vec<Node> = vec![Node {
+        bounds: Vec::new(),
+        warm: None,
+    }];
+    let mut batch: Vec<Node> = Vec::with_capacity(NODE_BATCH);
+
+    while !stack.is_empty() {
+        batch.clear();
+        let take = if stack.len() >= NODE_BATCH {
+            NODE_BATCH
+        } else {
+            1
+        };
+        while batch.len() < take {
+            match stack.pop() {
+                Some(node) => batch.push(node),
+                None => break,
+            }
+        }
+        let evaluated: Vec<(Result<Solution, SolveError>, Option<Basis>)> = {
+            let prob: &Problem = problem;
+            par_map_with(&batch, simplex::Workspace::new, |ws, node: &Node| {
+                ws.set_warm(node.warm.as_deref().cloned());
+                let relax = simplex::solve_with(prob, &node.bounds, ws);
+                let basis = ws.final_basis();
+                (relax, basis)
+            })
+        };
+
+        // Process strictly in batch order (see [`solve_traced`]); the
+        // separation oracle runs here, sequentially, so the row pool grows
+        // in a thread-count-independent order.
+        for (node, (relax, basis)) in batch.drain(..).zip(evaluated) {
+            if nodes >= config.max_nodes {
+                return incumbent
+                    .map(|s| (s, stats))
+                    .ok_or(SolveError::NodeLimit);
+            }
+            nodes += 1;
+            stats.nodes = nodes as u64;
+            stats.max_depth = stats.max_depth.max(node.bounds.len() as u32);
+
+            let relax = match relax {
+                Ok(s) => s,
+                Err(SolveError::Infeasible) => continue,
+                Err(e) => return Err(e),
+            };
+            stats.lp_iterations += relax.stats.iterations();
+            stats.lp_pivots += relax.stats.pivots;
+            let relax_cost = sign * relax.objective;
+            if relax_cost >= incumbent_cost - config.gap {
+                continue; // valid even on the row-subset: it's a relaxation
+            }
+
+            stats.separation_calls += 1;
+            let cuts = separate(&relax);
+            if !cuts.is_empty() {
+                stats.lazy_rows_added += cuts.len() as u64;
+                for cut in &cuts {
+                    problem.add_constraint(&cut.terms, cut.relation, cut.rhs);
+                }
+                // Re-queue against the tightened master. Rows changed, so
+                // the parent basis no longer fits the layout; the
+                // re-evaluation solves cold. Later batches (fresh
+                // workspaces) re-prepare automatically.
+                stack.push(Node {
+                    bounds: node.bounds,
+                    warm: None,
+                });
+                continue;
+            }
+
+            // Most fractional integer variable.
+            let mut branch_var = None;
+            let mut best_frac = INT_EPS;
+            for &j in &int_vars {
+                let v = relax.values[j];
+                let frac = (v - v.round()).abs();
+                if frac > best_frac {
+                    best_frac = frac;
+                    branch_var = Some(j);
+                }
+            }
+
+            match branch_var {
+                None => {
+                    // Integral and cleanly separated: accept as incumbent.
+                    let mut vals = relax.values.clone();
+                    for &j in &int_vars {
+                        vals[j] = vals[j].round();
+                    }
+                    let obj = problem.objective_value(&vals);
+                    let cost = sign * obj;
+                    if cost < incumbent_cost {
+                        incumbent_cost = cost;
+                        stats.incumbents.push(IncumbentPoint {
+                            node: nodes as u64,
+                            objective: obj,
+                        });
+                        incumbent = Some(Solution {
+                            objective: obj,
+                            values: vals,
+                            duals: None,
+                            stats: relax.stats.clone(),
+                        });
+                    }
+                }
+                Some(j) => {
+                    let v = relax.values[j];
+                    let floor = v.floor();
+                    let down: BoundOverride = (j, 0.0, floor);
+                    let up: BoundOverride = (j, floor + 1.0, f64::INFINITY);
+                    let (first, second) = if v - floor > 0.5 {
+                        (down, up)
+                    } else {
+                        (up, down)
+                    };
+                    let warm = basis.map(Arc::new);
+                    let mut b1 = node.bounds.clone();
+                    b1.push(first);
+                    stack.push(Node {
+                        bounds: b1,
+                        warm: warm.clone(),
+                    });
+                    let mut b2 = node.bounds;
+                    b2.push(second);
+                    stack.push(Node {
+                        bounds: b2,
+                        warm,
+                    });
+                }
+            }
+        }
+    }
+
+    incumbent.map(|s| (s, stats)).ok_or(SolveError::Infeasible)
+}
+
 /// [`solve`], additionally returning the search statistics — node count,
 /// maximum depth, aggregate LP work, and the incumbent trajectory. All
 /// accounting happens in the sequential batch-processing loop, so the
@@ -89,6 +345,7 @@ pub fn solve_traced(
                 node: 1,
                 objective: sol.objective,
             }],
+            ..MilpStats::default()
         };
         return Ok((sol, stats));
     }
@@ -381,6 +638,92 @@ mod tests {
             }
             // Node accounting is sequential, so stats are identical too.
             assert_eq!(base_stats, stats, "search stats differ at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn lazy_rows_match_full_formulation() {
+        // The 12-item double-knapsack from the determinism test, but with
+        // the second capacity row revealed lazily by a separation oracle.
+        // Branch-and-cut must land on the same optimum as the full solve.
+        let build = |with_w2: bool| {
+            let mut p = Problem::new(Sense::Maximize);
+            let items: Vec<_> = (0..12).map(|i| p.add_binary_var(&format!("x{i}"))).collect();
+            for (i, &x) in items.iter().enumerate() {
+                p.set_objective(x, 3.0 + (i as f64 * 1.7).sin().abs() * 9.0);
+                p.add_constraint(&[(x, 1.0)], Relation::Le, 1.0);
+            }
+            let w1: Vec<_> = items
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| (x, 1.0 + (i as f64 * 0.9).cos().abs() * 4.0))
+                .collect();
+            let w2: Vec<_> = items
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| (x, 1.0 + (i as f64 * 1.3).sin().abs() * 3.0))
+                .collect();
+            p.add_constraint(&w1, Relation::Le, 14.0);
+            if with_w2 {
+                p.add_constraint(&w2, Relation::Le, 11.0);
+            }
+            (p, w2)
+        };
+
+        let (full, _) = build(true);
+        let want = solve(&full, BnbConfig::default()).unwrap();
+
+        let (mut master, w2) = build(false);
+        let mut active = false;
+        let (sol, stats) = solve_traced_lazy(&mut master, BnbConfig::default(), |cand| {
+            let lhs: f64 = w2.iter().map(|&(x, c)| c * cand[x]).sum();
+            if !active && lhs > 11.0 + 1e-9 {
+                active = true;
+                vec![LazyRow {
+                    terms: w2.clone(),
+                    relation: Relation::Le,
+                    rhs: 11.0,
+                }]
+            } else {
+                Vec::new()
+            }
+        })
+        .unwrap();
+        approx(sol.objective, want.objective);
+        assert!(stats.separation_calls > 0);
+        // The hidden row matters for this instance, so it must have been
+        // pulled in (otherwise the LP bound would overshoot the optimum).
+        assert_eq!(stats.lazy_rows_added, 1);
+
+        // Determinism across thread counts, oracle included.
+        let solve_at = |threads: usize| {
+            crate::par::with_thread_count(threads, || {
+                let (mut master, w2) = build(false);
+                let mut appended = false;
+                solve_traced_lazy(&mut master, BnbConfig::default(), |cand| {
+                    let lhs: f64 = w2.iter().map(|&(x, c)| c * cand[x]).sum();
+                    if !appended && lhs > 11.0 + 1e-9 {
+                        appended = true;
+                        vec![LazyRow {
+                            terms: w2.clone(),
+                            relation: Relation::Le,
+                            rhs: 11.0,
+                        }]
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .unwrap()
+            })
+        };
+        let (base, base_stats) = solve_at(1);
+        for threads in [2, 3, 8] {
+            let (s, stats) = solve_at(threads);
+            assert_eq!(base.objective.to_bits(), s.objective.to_bits());
+            for (a, b) in base.values.iter().zip(&s.values) {
+                assert_eq!(a.to_bits(), b.to_bits(), "values differ at {threads} threads");
+            }
+            assert_eq!(base_stats, stats, "stats differ at {threads} threads");
         }
     }
 

@@ -87,6 +87,20 @@ pub struct Basis {
     at_upper: Vec<bool>,
 }
 
+/// Outcome of a warm-basis installation attempt (see
+/// [`Tableau::install_basis`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Install {
+    /// The saved basis is primal feasible; phase 1 is skipped.
+    Feasible,
+    /// The basis was installed but some rows were repaired into
+    /// artificial-basic form (appended rows the warm point violates);
+    /// phase 1 runs from the warm point and only drives those out.
+    NeedsPhase1,
+    /// The basis no longer fits; the caller rebuilds and solves cold.
+    Reject,
+}
+
 /// Reusable solver state: prepared sparse problem rows, tableau buffers,
 /// and an optional warm-start basis.
 ///
@@ -132,6 +146,110 @@ impl Workspace {
     /// The final basis of the most recent successful solve, if any.
     pub fn final_basis(&self) -> Option<Basis> {
         self.warm.clone()
+    }
+
+    /// Extend the prepared row set with the constraints appended to
+    /// `problem` since this workspace last solved it — the incremental
+    /// mutation behind cutting-plane row generation.
+    ///
+    /// Cost is O(nnz of the appended rows) for the sparse row clones plus
+    /// O(rows) column-layout bookkeeping; nothing about the existing rows
+    /// is re-prepared. Slack columns extend the existing slack block, so
+    /// structural and pre-existing slack indices are untouched and only
+    /// the artificial block shifts up — the saved warm basis is remapped
+    /// in place under that shift (**re-armed, not rebuilt**), and each
+    /// appended row enters it with its own slack basic (artificial for
+    /// `Eq` rows). The next [`solve_with`] then reinstalls the remapped
+    /// basis: appended rows the warm point already satisfies cost nothing,
+    /// and violated ones are repaired by a short phase 1 confined to their
+    /// artificials (see [`Tableau::install_basis`]) instead of restarting
+    /// from the slack basis.
+    ///
+    /// Returns `false` — leaving the workspace untouched, the caller just
+    /// solves cold and re-prepares — when the workspace holds no prepared
+    /// state for a prefix of `problem` (different variable count, fewer
+    /// constraints than prepared, or a mismatched prefix term count).
+    pub fn append_rows(&mut self, problem: &Problem) -> bool {
+        let Some(prepared) = self.prepared.as_mut() else {
+            return false;
+        };
+        let (n, m_old, nnz_old) = prepared.fingerprint;
+        let m_new = problem.constraints.len();
+        if problem.num_vars() != n || m_new < m_old {
+            return false;
+        }
+        let prefix_terms: usize = problem.constraints[..m_old]
+            .iter()
+            .map(|c| c.terms.len())
+            .sum();
+        if prefix_terms != nnz_old {
+            return false;
+        }
+        if m_new == m_old {
+            return true; // nothing appended
+        }
+
+        let first_art_old = prepared.first_artificial;
+        let mut nnz_new = nnz_old;
+        let mut next_slack = first_art_old; // extend the slack block
+        for c in &problem.constraints[m_old..] {
+            nnz_new += c.terms.len();
+            prepared.terms.push(c.terms.clone());
+            prepared.relations.push(c.relation);
+            prepared.rhs.push(c.rhs);
+            if matches!(c.relation, Relation::Eq) {
+                prepared.slack_col.push(usize::MAX);
+            } else {
+                prepared.slack_col.push(next_slack);
+                next_slack += 1;
+            }
+        }
+        let added_slacks = next_slack - first_art_old;
+        let first_art_new = first_art_old + added_slacks;
+        prepared.first_artificial = first_art_new;
+        prepared.cols = first_art_new + m_new;
+        prepared.art_col.clear();
+        prepared.art_col.extend((0..m_new).map(|i| first_art_new + i));
+        prepared.fingerprint = (n, m_new, nnz_new);
+
+        // Remap the warm basis into the widened column layout: structural
+        // and old slack columns keep their indices; artificial columns
+        // shift up past the slacks inserted before them.
+        let mut keep = false;
+        if let Some(basis) = self.warm.as_mut() {
+            if basis.rows.len() == m_old && basis.at_upper.len() == first_art_old + m_old {
+                let remap = |c: usize| {
+                    if c < first_art_old {
+                        c
+                    } else {
+                        c + added_slacks
+                    }
+                };
+                for b in basis.rows.iter_mut() {
+                    *b = remap(*b);
+                }
+                let mut at_upper = vec![false; prepared.cols];
+                for (c, &up) in basis.at_upper.iter().enumerate() {
+                    if up {
+                        at_upper[remap(c)] = true;
+                    }
+                }
+                basis.at_upper = at_upper;
+                for i in m_old..m_new {
+                    let slack = prepared.slack_col[i];
+                    basis.rows.push(if slack != usize::MAX {
+                        slack
+                    } else {
+                        first_art_new + i
+                    });
+                }
+                keep = true;
+            }
+        }
+        if !keep {
+            self.warm = None; // basis from some other layout: solve cold
+        }
+        true
     }
 }
 
@@ -253,10 +371,10 @@ pub fn solve_with(
 
     // Shift x = lo + y. Constraint rhs absorbs the shift.
     ws.tab.build(prepared, &lo, &hi);
-    let mut warmed = false;
+    let mut install = Install::Reject;
     if let Some(basis) = ws.warm.as_ref() {
-        warmed = ws.tab.install_basis(basis);
-        if !warmed {
+        install = ws.tab.install_basis(basis);
+        if install == Install::Reject {
             // The install pivots mutated the tableau; rebuild for phase 1.
             ws.tab.build(prepared, &lo, &hi);
         }
@@ -264,11 +382,15 @@ pub fn solve_with(
     ws.tab.stats = SolveStats {
         rows: ws.tab.rows as u32,
         cols: ws.tab.cols as u32,
-        warm_start: warmed,
+        // A basis was accepted — either immediately feasible or repaired
+        // into a short artificial-only phase 1 (the append_rows path).
+        warm_start: install != Install::Reject,
         ..SolveStats::default()
     };
     let run = (|| {
-        if !warmed {
+        if install != Install::Feasible {
+            // Cold start, or a warm install that left artificials basic
+            // (phase1 early-returns when the slack basis is feasible).
             ws.tab.phase1()?;
         }
         ws.tab.phase2(problem)
@@ -592,30 +714,59 @@ impl Tableau {
     ///
     /// Pivots the freshly built tableau onto the saved basis (transforming
     /// the rhs to `B⁻¹b` along the way), folds nonbasic-at-upper
-    /// contributions back in, and accepts only if the result is primal
-    /// feasible. Returns `false` — with the tableau left dirty; the caller
-    /// rebuilds — when the basis no longer fits (layout mismatch, singular
-    /// pivot, or infeasible under the new bounds).
-    fn install_basis(&mut self, saved: &Basis) -> bool {
+    /// contributions back in, and inspects primal feasibility:
+    ///
+    /// * every basic inside its box → [`Install::Feasible`], phase 1 is
+    ///   skipped entirely;
+    /// * a slack-basic row driven negative (the row-generation pattern:
+    ///   [`Workspace::append_rows`] marks each appended row's slack basic,
+    ///   and the warm point violates exactly the rows the separation
+    ///   oracle just appended) is converted **in place** — the row is
+    ///   sign-flipped and its (still all-zero) artificial column made
+    ///   basic at the violation amount — and a basic artificial resting
+    ///   at a positive value is kept as-is; both yield
+    ///   [`Install::NeedsPhase1`], where phase 1 starts from the warm
+    ///   point and only has to drive out the handful of artificials
+    ///   measuring the new violations instead of rebuilding feasibility
+    ///   from the slack basis;
+    /// * anything unrepairable (layout mismatch, singular pivot, a basic
+    ///   beyond its upper bound, a negative basic that is not the row's
+    ///   own slack) → [`Install::Reject`], with the tableau left dirty;
+    ///   the caller rebuilds and solves cold.
+    fn install_basis(&mut self, saved: &Basis) -> Install {
         if saved.rows.len() != self.rows || saved.at_upper.len() != self.cols {
-            return false;
+            return Install::Reject;
         }
-        for r in 0..self.rows {
-            let j = saved.rows[r];
-            if j >= self.cols {
-                return false;
+        // The solution point a basis describes depends only on the *set*
+        // of basic columns (plus the at-upper rests), not on which row
+        // each one is associated with — so the install realizes the set:
+        // wanted columns that are already basic stay where they are, and
+        // each remaining one is pivoted into the first row whose current
+        // basic is not wanted. This accepts saved bases whose row
+        // assignment got permuted by pivoting history (the strict
+        // row-by-row install rejected those and forced a cold restart).
+        let mut wanted = vec![false; self.cols];
+        for &j in &saved.rows {
+            if j >= self.cols || wanted[j] {
+                return Install::Reject;
             }
-            if self.basis[r] == j {
-                continue;
-            }
+            wanted[j] = true;
+        }
+        for idx in 0..self.rows {
+            let j = saved.rows[idx];
             if self.is_basic[j] {
-                // Wanted in this row but already basic elsewhere (only
-                // possible for degenerate saved bases that no longer map).
-                return false;
+                continue; // already basic; keep in place
             }
-            if self.at(r, j).abs() < 1e-8 {
-                return false;
+            let mut target = None;
+            for r in 0..self.rows {
+                if !wanted[self.basis[r]] && self.at(r, j).abs() >= 1e-8 {
+                    target = Some(r);
+                    break;
+                }
             }
+            let Some(r) = target else {
+                return Install::Reject; // singular: no admissible pivot row
+            };
             let old = self.basis[r];
             self.pivot_matrix_ext(r, j, true);
             self.is_basic[old] = false;
@@ -639,21 +790,102 @@ impl Tableau {
                 }
             }
         }
-        // Primal feasibility of the installed point.
+        // Primal feasibility of the installed point, with repair.
+        let mut needs_phase1 = false;
         for r in 0..self.rows {
             let v = self.xb(r);
             let b = self.basis[r];
-            if v < -PHASE1_TOL || v > self.ub[b] + PHASE1_TOL {
-                return false;
+            if v > self.ub[b] + PHASE1_TOL {
+                return Install::Reject;
             }
-            if b >= self.first_artificial && v.abs() > PHASE1_TOL {
-                // A basic artificial at a nonzero value means Ax ≠ b.
-                return false;
+            if b >= self.first_artificial {
+                if v < -PHASE1_TOL {
+                    return Install::Reject; // artificials cannot go negative
+                }
+                if v > PHASE1_TOL {
+                    // A basic artificial at a positive value is a valid
+                    // phase-1 starting point (its column is still the unit
+                    // vector for this row — install pivots never touched
+                    // it, see below).
+                    needs_phase1 = true;
+                } else if v < 0.0 {
+                    self.set(r, self.cols, 0.0);
+                }
+                continue;
             }
-            if v < 0.0 {
+            if v < -PHASE1_TOL {
+                if !self.convert_row_to_artificial(r) {
+                    return Install::Reject;
+                }
+                needs_phase1 = true;
+            } else if v < 0.0 {
                 self.set(r, self.cols, 0.0);
             }
         }
+        if needs_phase1 {
+            Install::NeedsPhase1
+        } else {
+            Install::Feasible
+        }
+    }
+
+    /// Repair a row whose basic slack sits at a negative value by swapping
+    /// the row's artificial in as the basic measuring the violation.
+    ///
+    /// Preconditions (checked; `false` on failure, caller rejects the
+    /// install): the row's basic must be its own slack/surplus marker, and
+    /// the row's artificial column must be zero outside row `r` and `0` or
+    /// `-1` in it — true for appended rows: a `Le` artificial is never
+    /// populated by `build`, a `Ge` artificial holds exactly `-1` after
+    /// the surplus pivot (the row was scaled by `1/(-1)`), and install
+    /// pivots cannot create fill-in elsewhere (every pivot row carries a
+    /// zero in appended-row marker columns).
+    ///
+    /// The row `a·x + s = rhs` with basic `s = v < 0` is sign-flipped to
+    /// `-a·x - s + art = -rhs` with `s` nonbasic at its lower bound and
+    /// `art = -v > 0` basic: the artificial's value is exactly the
+    /// violation, and driving it to zero in phase 1 restores the original
+    /// inequality. The flip negates the row's dual sign in `row_meta`,
+    /// keeping [`Tableau::duals`] exact for the final solve.
+    fn convert_row_to_artificial(&mut self, r: usize) -> bool {
+        let slack = self.basis[r];
+        if self.row_meta[r].0 != slack || slack >= self.first_artificial {
+            return false;
+        }
+        // build() always lays artificials out as first_artificial + row.
+        let art = self.first_artificial + r;
+        if self.is_basic[art] {
+            return false;
+        }
+        let stride = self.cols + 1;
+        for r2 in 0..self.rows {
+            if r2 != r && self.a[r2 * stride + art] != 0.0 {
+                return false;
+            }
+        }
+        let base = r * stride;
+        let own = self.a[base + art];
+        if own != 0.0 && own != -1.0 {
+            return false;
+        }
+        // Flip the whole row, rhs included (xb(r) = v becomes -v > 0).
+        for c in 0..=self.cols {
+            let v = self.a[base + c];
+            if v != 0.0 {
+                self.a[base + c] = -v;
+            }
+        }
+        self.row_meta[r].1 = -self.row_meta[r].1;
+        if own == 0.0 {
+            self.a[base + art] = 1.0;
+            if self.track_cols && !self.col_dense[art] {
+                self.col_rows[art].push(r as u32);
+            }
+        }
+        self.is_basic[slack] = false;
+        self.at_upper[slack] = false; // rests at its lower bound (0)
+        self.is_basic[art] = true;
+        self.basis[r] = art;
         true
     }
 
@@ -1240,9 +1472,9 @@ impl Tableau {
     /// Read the structural-variable values out of the final tableau.
     fn extract(&self) -> Vec<f64> {
         let mut y = vec![0.0f64; self.n_struct];
-        for j in 0..self.n_struct {
+        for (j, yj) in y.iter_mut().enumerate() {
             if !self.is_basic[j] && self.at_upper[j] {
-                y[j] = self.ub[j];
+                *yj = self.ub[j];
             }
         }
         for i in 0..self.rows {
@@ -1599,6 +1831,107 @@ mod workspace_tests {
         p2.add_constraint(&[(x, 1.0), (y, 3.0)], Relation::Le, 6.0);
         let b = solve_with(&p2, &[], &mut ws).unwrap();
         approx(b.objective, 12.0);
+    }
+
+    #[test]
+    fn append_rows_requires_prepared_prefix() {
+        let p = demo_problem();
+        let mut ws = Workspace::new();
+        // Nothing prepared yet: nothing to extend.
+        assert!(!ws.append_rows(&p));
+        solve_with(&p, &[], &mut ws).unwrap();
+        // No new rows is a (trivially successful) no-op.
+        assert!(ws.append_rows(&p));
+        // A different problem is not an extension.
+        let mut other = Problem::new(Sense::Minimize);
+        other.add_var("q");
+        assert!(!ws.append_rows(&other));
+        // The workspace still solves the original problem correctly.
+        let again = solve_with(&p, &[], &mut ws).unwrap();
+        approx(again.objective, super::solve_relaxation(&p, &[]).unwrap().objective);
+    }
+
+    #[test]
+    fn append_violated_row_matches_cold_extended_solve() {
+        // Solve, append a row the optimum violates, re-solve warm; the
+        // result must match a cold solve of the extended problem, and the
+        // install must count as a warm start (short phase 1, not a cold
+        // rebuild).
+        let mut p = demo_problem();
+        let x = crate::VarId(0);
+        let mut ws = Workspace::new();
+        let first = solve_with(&p, &[], &mut ws).unwrap();
+        // demo optimum has x = 7: cut it off.
+        assert!(first.values[0] > 5.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 5.0);
+        assert!(ws.append_rows(&p));
+        let warm = solve_with(&p, &[], &mut ws).unwrap();
+        assert!(warm.stats.warm_start, "append re-solve should stay warm");
+        let cold = super::solve_relaxation(&p, &[]).unwrap();
+        approx(warm.objective, cold.objective);
+        for (a, b) in warm.values.iter().zip(&cold.values) {
+            approx(*a, *b);
+        }
+        assert!(p.is_feasible(&warm.values, 1e-6));
+    }
+
+    #[test]
+    fn append_satisfied_row_skips_phase1() {
+        let mut p = demo_problem();
+        let (x, y) = (crate::VarId(0), crate::VarId(1));
+        let mut ws = Workspace::new();
+        let first = solve_with(&p, &[], &mut ws).unwrap();
+        // A row the optimum already satisfies strictly.
+        p.add_constraint(
+            &[(x, 1.0), (y, 1.0)],
+            Relation::Le,
+            first.values[0] + first.values[1] + 100.0,
+        );
+        assert!(ws.append_rows(&p));
+        let warm = solve_with(&p, &[], &mut ws).unwrap();
+        assert!(warm.stats.warm_start);
+        assert_eq!(warm.stats.phase1_iterations, 0);
+        approx(warm.objective, first.objective);
+    }
+
+    #[test]
+    fn append_rows_iterated_cutting_plane_loop() {
+        // A miniature cutting-plane loop: min x+y over x,y >= 0 with the
+        // cuts x + y >= k/4 (k = 1..=8) revealed one at a time. Each round
+        // appends the single most-violated row and re-solves warm; the
+        // final objective must equal the full formulation's.
+        let mut master = Problem::new(Sense::Minimize);
+        let x = master.add_var("x");
+        let y = master.add_var("y");
+        master.set_objective(x, 1.0);
+        master.set_objective(y, 1.0);
+        master.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 0.25);
+        let mut full = master.clone();
+        for k in 2..=8 {
+            full.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, k as f64 / 4.0);
+        }
+        let want = full.solve().unwrap().objective;
+
+        let mut ws = Workspace::new();
+        let mut sol = solve_with(&master, &[], &mut ws).unwrap();
+        let mut rounds = 0;
+        loop {
+            // Separation: most-violated of the hidden cuts.
+            let lhs = sol[x] + sol[y];
+            let viol = (2..=8)
+                .map(|k| k as f64 / 4.0)
+                .filter(|rhs| lhs < rhs - 1e-9)
+                .fold(None::<f64>, |acc, rhs| Some(acc.map_or(rhs, |a: f64| a.max(rhs))));
+            let Some(rhs) = viol else { break };
+            master.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, rhs);
+            assert!(ws.append_rows(&master));
+            sol = solve_with(&master, &[], &mut ws).unwrap();
+            rounds += 1;
+            assert!(rounds < 10, "cutting-plane loop failed to converge");
+        }
+        approx(sol.objective, want);
+        // Adding the deepest cut first converges in one round.
+        assert_eq!(rounds, 1);
     }
 
     #[test]

@@ -84,4 +84,10 @@ pub struct MilpStats {
     /// Every incumbent improvement, in discovery order — the trajectory
     /// from first feasible point to the returned optimum.
     pub incumbents: Vec<IncumbentPoint>,
+    /// Lazy-constraint rows appended by the separation oracle (always 0
+    /// for plain [`solve_traced`](crate::milp::solve_traced); see
+    /// [`solve_traced_lazy`](crate::milp::solve_traced_lazy)).
+    pub lazy_rows_added: u64,
+    /// Separation-oracle invocations during lazy branch-and-cut.
+    pub separation_calls: u64,
 }

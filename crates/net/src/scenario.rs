@@ -154,6 +154,25 @@ impl ScenarioSet {
     pub fn iter(&self) -> impl Iterator<Item = &Scenario> {
         self.scenarios.iter()
     }
+
+    /// Indices of the `k` most probable single-failure scenarios, most
+    /// probable first (ties broken by enumeration index so the selection
+    /// is deterministic). Used to seed the row-generation master LP with
+    /// the failure states most likely to bind.
+    pub fn most_probable_singles(&self, k: usize) -> Vec<usize> {
+        let mut singles: Vec<usize> = (0..self.scenarios.len())
+            .filter(|&i| self.scenarios[i].num_failures() == 1)
+            .collect();
+        singles.sort_by(|&a, &b| {
+            self.scenarios[b]
+                .probability
+                .partial_cmp(&self.scenarios[a].probability)
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        singles.truncate(k);
+        singles
+    }
 }
 
 /// Recursive layer-by-layer combination walk. `failed` is the parent
@@ -273,6 +292,30 @@ mod tests {
         assert!(!s.link_up(&t, f));
         assert!(!s.link_up(&t, r)); // shared fate: reverse is down too
         assert_eq!(s.num_failures(), 1);
+    }
+
+    #[test]
+    fn most_probable_singles_orders_by_probability() {
+        // toy4 failure probs: e1 4%, e2 0.0001%, e3 0.1%, e4 0.0001%.
+        let t = topologies::toy4();
+        let set = ScenarioSet::enumerate(&t, 2);
+        let picks = set.most_probable_singles(2);
+        assert_eq!(picks.len(), 2);
+        let groups: Vec<usize> = picks
+            .iter()
+            .map(|&i| {
+                assert_eq!(set.scenarios[i].num_failures(), 1);
+                set.scenarios[i].failed.iter().next().unwrap()
+            })
+            .collect();
+        assert_eq!(groups, vec![0, 2], "expected e1 (4%) then e3 (0.1%)");
+        // Asking for more singles than exist returns them all.
+        assert_eq!(set.most_probable_singles(100).len(), t.num_groups());
+        // Probabilities are non-increasing along the selection.
+        let all = set.most_probable_singles(100);
+        for w in all.windows(2) {
+            assert!(set.scenarios[w[0]].probability >= set.scenarios[w[1]].probability);
+        }
     }
 
     #[test]

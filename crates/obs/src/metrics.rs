@@ -224,6 +224,13 @@ impl Histogram {
         self.observe(d.as_secs_f64() * 1e3);
     }
 
+    /// Observe a duration in nanoseconds. Sub-millisecond work (the
+    /// row-generation separation sweeps) would collapse into the lowest
+    /// buckets at ms resolution; ns keeps the log-linear layout useful.
+    pub fn observe_ns(&self, d: std::time::Duration) {
+        self.observe(d.as_nanos() as f64);
+    }
+
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
     }

@@ -72,10 +72,11 @@ fn concurrent_updates_from_eight_threads_land_exactly() {
 
 #[test]
 fn histogram_quantiles_match_sorted_vector_oracle() {
-    let mut rng = XorShift(0x5eed_0b5e_12345678);
+    let mut rng = XorShift(0x5eed_0b5e_1234_5678);
     // Three shapes: uniform, heavy-tailed (x^4 spread over decades), and
     // a bimodal mix — exercising narrow and wide octave coverage.
-    let shapes: Vec<(&str, Box<dyn Fn(&mut XorShift) -> f64>)> = vec![
+    type Shape = Box<dyn Fn(&mut XorShift) -> f64>;
+    let shapes: Vec<(&str, Shape)> = vec![
         ("uniform", Box::new(|r: &mut XorShift| 1.0 + 99.0 * r.next_f64())),
         (
             "heavy_tail",
@@ -87,7 +88,7 @@ fn histogram_quantiles_match_sorted_vector_oracle() {
         (
             "bimodal",
             Box::new(|r: &mut XorShift| {
-                if r.next_u64() % 4 == 0 {
+                if r.next_u64().is_multiple_of(4) {
                     500.0 + 50.0 * r.next_f64()
                 } else {
                     2.0 + r.next_f64()

@@ -139,7 +139,7 @@ mod tests {
         alloc.set(d.id, bate_routing::TunnelId { pair, tunnel: 0 }, 6000.0);
         let all_up = Scenario::all_up(&topo);
         assert_eq!(
-            profit_under_scenario(&ctx, &alloc, &[d.clone()], &all_up),
+            profit_under_scenario(&ctx, &alloc, std::slice::from_ref(&d), &all_up),
             100.0
         );
         let g = topo

@@ -69,7 +69,7 @@ mod tests {
 
         // user1 of the motivating example: lands on the 99.8999% path.
         let d = BaDemand::single(1, pair, 6000.0, 0.99);
-        let res = schedule_hardened(&ctx, &[d.clone()]).unwrap();
+        let res = schedule_hardened(&ctx, std::slice::from_ref(&d)).unwrap();
 
         let analytic = res.allocation.achieved_availability(&ctx, &d);
         let sampled = estimate_availability(&ctx, &res.allocation, &d, 200_000, 7);

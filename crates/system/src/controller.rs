@@ -133,6 +133,10 @@ pub struct Controller {
 impl Controller {
     /// Bind to an ephemeral localhost port and start serving.
     pub fn start(config: ControllerConfig) -> io::Result<Controller> {
+        // Pre-register the scheduler's metric families (including the
+        // rowgen counters) so `stats` renders them at zero before the
+        // first solve instead of omitting them.
+        bate_core::scheduling::register_metrics();
         let tunnels = TunnelSet::compute(&config.topo, config.routing);
         let scenarios = ScenarioSet::enumerate(&config.topo, config.max_failures);
         let failed = LinkSet::new(config.topo.num_groups());

@@ -404,7 +404,7 @@ impl Replica {
                         if ok {
                             promises += 1;
                             if let Some((b, v)) = accepted {
-                                if best_accepted.map_or(true, |(bb, _)| b > bb) {
+                                if best_accepted.is_none_or(|(bb, _)| b > bb) {
                                     best_accepted = Some((b, v));
                                 }
                             }

@@ -412,7 +412,7 @@ mod tests {
         roundtrip(255u8);
         roundtrip(0xDEAD_BEEFu32);
         roundtrip(u64::MAX);
-        roundtrip(3.141592653589793f64);
+        roundtrip(std::f64::consts::PI);
         roundtrip(f64::NEG_INFINITY);
         roundtrip(true);
         roundtrip(false);

@@ -18,6 +18,9 @@ fi
 echo "== tier-1: build =="
 cargo build --release --offline
 
+echo "== tier-1: lints =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "== tier-1: tests =="
 cargo test -q --offline
 

@@ -117,7 +117,7 @@ fn pruning_depth_tradeoff() {
         assert!(scenarios.covered_probability() >= prev_cover);
         prev_cover = scenarios.covered_probability();
         let ctx = TeContext::new(&topo, &tunnels, &scenarios);
-        let res = scheduling::schedule(&ctx, &[d.clone()]).expect("feasible at all depths");
+        let res = scheduling::schedule(&ctx, std::slice::from_ref(&d)).expect("feasible at all depths");
         assert!(res.total_bandwidth <= prev_bw + 1e-6, "y={y}");
         prev_bw = res.total_bandwidth;
         assert!(res.allocation.meets_target(&ctx, &d));
@@ -142,10 +142,10 @@ fn multi_pair_demand() {
         price: 500.0,
         refund_ratio: 0.1,
     };
-    let res = scheduling::schedule(&ctx, &[d.clone()]).expect("feasible");
+    let res = scheduling::schedule(&ctx, std::slice::from_ref(&d)).expect("feasible");
     assert!(res.allocation.meets_target(&ctx, &d));
     // A scenario killing one pair's only used tunnels must disqualify the
     // whole demand (availability is per-demand, not per-pair).
     let achieved = res.allocation.achieved_availability(&ctx, &d);
-    assert!(achieved >= 0.99 && achieved <= 1.0);
+    assert!((0.99..=1.0).contains(&achieved));
 }
