@@ -102,9 +102,30 @@ pub fn solve_lazy(
 /// byte-identical across thread counts; it is only ever called from the
 /// sequential batch-processing loop.
 ///
-/// Each re-queued evaluation counts against `config.max_nodes`, and each
-/// call appends at least one previously-missing row, so termination is
-/// inherited from the finiteness of the full row set.
+/// Two guards close gaps in that argument that `separate` alone cannot:
+///
+/// * **Stale batch-mates.** All relaxations of a batch are solved against
+///   the master as it stood before the batch, but rows append mid-batch
+///   (while earlier batch-mates are processed sequentially). An oracle is
+///   allowed to skip rows already in the master ("the LP enforces them"),
+///   which is false for a batch-mate solved before the row existed — so
+///   every node is first checked directly against the rows appended since
+///   its relaxation was solved, and a violator is re-queued against the
+///   tightened master exactly like the cuts-nonempty path.
+/// * **Rounding slip.** Integer values are snapped to `round()` before a
+///   candidate becomes the incumbent; a binary rounded *up* by INT_EPS
+///   tightens a lazy row `flow >= b·q` by `b·INT_EPS`, which can exceed
+///   the oracle's separation tolerance. The rounded point is therefore
+///   re-separated (and re-checked against mid-batch rows) and only
+///   accepted when clean; otherwise the node re-queues with the fresh
+///   rows appended.
+///
+/// Each re-queued evaluation counts against `config.max_nodes`. A re-queue
+/// either appends at least one previously-missing row, or (the stale
+/// batch-mate case) re-solves against rows some batch-mate just appended —
+/// at most `NODE_BATCH - 1` such re-queues per append event, and once
+/// re-solved the rows are enforced, so termination is inherited from the
+/// finiteness of the full row set.
 pub fn solve_traced_lazy(
     problem: &mut Problem,
     config: BnbConfig,
@@ -200,6 +221,10 @@ pub fn solve_traced_lazy(
                 None => break,
             }
         }
+        // Every relaxation in this batch is solved against the master as
+        // of this row count; rows appended while processing earlier
+        // batch-mates are re-checked explicitly below.
+        let rows_at_solve = problem.num_constraints();
         let evaluated: Vec<(Result<Solution, SolveError>, Option<Basis>)> = {
             let prob: &Problem = problem;
             par_map_with(&batch, simplex::Workspace::new, |ws, node: &Node| {
@@ -235,6 +260,20 @@ pub fn solve_traced_lazy(
                 continue; // valid even on the row-subset: it's a relaxation
             }
 
+            // A batch-mate processed earlier may have appended rows this
+            // relaxation was solved without. The oracle may legitimately
+            // skip rows already in the master, so they are checked here
+            // directly; a violator is re-queued against the tightened
+            // master (its stale objective is still a valid bound, so the
+            // pruning test above stays exact).
+            if violates_rows_since(problem, rows_at_solve, &relax.values) {
+                stack.push(Node {
+                    bounds: node.bounds,
+                    warm: None,
+                });
+                continue;
+            }
+
             stats.separation_calls += 1;
             let cuts = separate(&relax);
             if !cuts.is_empty() {
@@ -267,26 +306,52 @@ pub fn solve_traced_lazy(
 
             match branch_var {
                 None => {
-                    // Integral and cleanly separated: accept as incumbent.
+                    // Integral and cleanly separated — but separation ran
+                    // on the *unrounded* relaxation, and snapping a binary
+                    // up by INT_EPS can push a lazy row past the oracle's
+                    // tolerance. Re-check the rounded point (mid-batch rows
+                    // directly, the rest via the oracle) before accepting.
                     let mut vals = relax.values.clone();
                     for &j in &int_vars {
                         vals[j] = vals[j].round();
                     }
                     let obj = problem.objective_value(&vals);
                     let cost = sign * obj;
-                    if cost < incumbent_cost {
-                        incumbent_cost = cost;
-                        stats.incumbents.push(IncumbentPoint {
-                            node: nodes as u64,
-                            objective: obj,
-                        });
-                        incumbent = Some(Solution {
-                            objective: obj,
-                            values: vals,
-                            duals: None,
-                            stats: relax.stats.clone(),
-                        });
+                    if cost >= incumbent_cost {
+                        continue;
                     }
+                    if violates_rows_since(problem, rows_at_solve, &vals) {
+                        stack.push(Node {
+                            bounds: node.bounds,
+                            warm: None,
+                        });
+                        continue;
+                    }
+                    let cand = Solution {
+                        objective: obj,
+                        values: vals,
+                        duals: None,
+                        stats: relax.stats.clone(),
+                    };
+                    stats.separation_calls += 1;
+                    let cuts = separate(&cand);
+                    if !cuts.is_empty() {
+                        stats.lazy_rows_added += cuts.len() as u64;
+                        for cut in &cuts {
+                            problem.add_constraint(&cut.terms, cut.relation, cut.rhs);
+                        }
+                        stack.push(Node {
+                            bounds: node.bounds,
+                            warm: None,
+                        });
+                        continue;
+                    }
+                    incumbent_cost = cost;
+                    stats.incumbents.push(IncumbentPoint {
+                        node: nodes as u64,
+                        objective: obj,
+                    });
+                    incumbent = Some(cand);
                 }
                 Some(j) => {
                     let v = relax.values[j];
@@ -317,6 +382,24 @@ pub fn solve_traced_lazy(
     }
 
     incumbent.map(|s| (s, stats)).ok_or(SolveError::Infeasible)
+}
+
+/// True when `values` violates any master row from index `from` on.
+/// Branch-and-cut uses this to re-check candidates against rows their
+/// relaxation was solved without (stale batch-mates, rounded incumbent
+/// candidates). The rows checked were never in the solved LP, so a
+/// tolerance tighter than the simplex's is safe: a flagged node simply
+/// re-solves with the row enforced, after which it is never re-checked.
+fn violates_rows_since(problem: &Problem, from: usize, values: &[f64]) -> bool {
+    problem.constraints[from..].iter().any(|c| {
+        let lhs: f64 = c.terms.iter().map(|&(i, coef)| coef * values[i]).sum();
+        let tol = 1e-9 * (1.0 + c.rhs.abs());
+        match c.relation {
+            Relation::Le => lhs > c.rhs + tol,
+            Relation::Ge => lhs < c.rhs - tol,
+            Relation::Eq => (lhs - c.rhs).abs() > tol,
+        }
+    })
 }
 
 /// [`solve`], additionally returning the search statistics — node count,
@@ -722,6 +805,112 @@ mod tests {
             assert_eq!(base.objective.to_bits(), s.objective.to_bits());
             for (a, b) in base.values.iter().zip(&s.values) {
                 assert_eq!(a.to_bits(), b.to_bits(), "values differ at {threads} threads");
+            }
+            assert_eq!(base_stats, stats, "stats differ at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn stale_batch_mates_cannot_become_incumbents() {
+        // Regression for the batch-staleness hole: all relaxations of a
+        // batch are solved against the pre-batch master, and an oracle
+        // that skips rows already in the master (the `added`-tracking
+        // pattern the admission MILP uses) will not re-report a row some
+        // earlier batch-mate just appended — so a stale batch-mate whose
+        // integral relaxation violates that row used to be accepted as an
+        // incumbent infeasible for the full formulation.
+        //
+        // The instance forces that interleaving deterministically:
+        //
+        // * `nj` junk gadgets — binary `j`, continuous `j' <= min(j, 1-j)`
+        //   with reward on `j'` — each relax at j = j' = 0.5, and both
+        //   branches of `j` stay feasible, so the DFS frontier grows past
+        //   NODE_BATCH and batches genuinely fan out.
+        // * a z-gadget — `r <= 2z`, `r <= 2 - 2z`, and the reward on `r`
+        //   (15) exceeding the combined a/b reward slack — pins z = 0.5
+        //   and r = 1 in every relaxation, which through the shared gate
+        //   `a + b + r <= 2` holds a + b = 1. z has the highest variable
+        //   index, so every junk gadget branches before it.
+        // * branching z kills r on BOTH sides, so both z-children relax
+        //   to the integral point a = b = 1 — violating the hidden row
+        //   `a + b <= 1` — and sit adjacent on the stack, landing in the
+        //   same batch. The first one separates and appends the row; the
+        //   second used to sail through `cuts.is_empty()` and become a
+        //   bogus incumbent at objective 20 (true optimum: 10).
+        let nj = 8;
+        let build = |with_hidden: bool| {
+            let mut p = Problem::new(Sense::Maximize);
+            for k in 0..nj {
+                let j = p.add_binary_var(&format!("j{k}"));
+                let jp = p.add_bounded_var(&format!("jp{k}"), 1.0);
+                p.set_objective(jp, 1.0);
+                p.add_constraint(&[(jp, 1.0), (j, -1.0)], Relation::Le, 0.0);
+                p.add_constraint(&[(jp, 1.0), (j, 1.0)], Relation::Le, 1.0);
+            }
+            let z = p.add_binary_var("z");
+            let r = p.add_bounded_var("r", 1.0);
+            let a = p.add_binary_var("a");
+            let b = p.add_binary_var("b");
+            p.set_objective(r, 15.0);
+            p.set_objective(a, 10.0);
+            p.set_objective(b, 10.0);
+            p.add_constraint(&[(r, 1.0), (z, -2.0)], Relation::Le, 0.0);
+            p.add_constraint(&[(r, 1.0), (z, 2.0)], Relation::Le, 2.0);
+            p.add_constraint(&[(a, 1.0), (b, 1.0), (r, 1.0)], Relation::Le, 2.0);
+            let hidden = vec![(vec![(a, 1.0), (b, 1.0)], 1.0)];
+            if with_hidden {
+                for (t, rhs) in &hidden {
+                    p.add_constraint(t, Relation::Le, *rhs);
+                }
+            }
+            (p, hidden)
+        };
+
+        let (full, _) = build(true);
+        let want = solve(&full, BnbConfig::default()).unwrap();
+        approx(want.objective, 10.0);
+
+        let solve_at = |threads: usize| {
+            crate::par::with_thread_count(threads, || {
+                let (mut master, hidden) = build(false);
+                let mut added = vec![false; hidden.len()];
+                solve_traced_lazy(&mut master, BnbConfig::default(), |cand| {
+                    let mut cuts = Vec::new();
+                    for (ri, (terms, rhs)) in hidden.iter().enumerate() {
+                        if added[ri] {
+                            continue; // "the LP enforces it already"
+                        }
+                        let lhs: f64 = terms.iter().map(|&(x, c)| c * cand[x]).sum();
+                        if lhs > rhs + 1e-9 {
+                            added[ri] = true;
+                            cuts.push(LazyRow {
+                                terms: terms.clone(),
+                                relation: Relation::Le,
+                                rhs: *rhs,
+                            });
+                        }
+                    }
+                    cuts
+                })
+                .unwrap()
+            })
+        };
+        let (base, base_stats) = solve_at(1);
+        approx(base.objective, want.objective);
+        assert!(
+            full.is_feasible(&base.values, 1e-6),
+            "lazy incumbent violates the hidden row"
+        );
+        assert_eq!(base_stats.lazy_rows_added, 1);
+        for threads in [2, 4, 8] {
+            let (s, stats) = solve_at(threads);
+            assert_eq!(
+                base.objective.to_bits(),
+                s.objective.to_bits(),
+                "objective differs at {threads} threads"
+            );
+            for (va, vb) in base.values.iter().zip(&s.values) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "values differ at {threads} threads");
             }
             assert_eq!(base_stats, stats, "stats differ at {threads} threads");
         }

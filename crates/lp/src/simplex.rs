@@ -169,6 +169,19 @@ impl Workspace {
     /// solves cold and re-prepares — when the workspace holds no prepared
     /// state for a prefix of `problem` (different variable count, fewer
     /// constraints than prepared, or a mismatched prefix term count).
+    ///
+    /// ## Caller contract: append-only
+    ///
+    /// Between the solve that prepared this workspace and this call, the
+    /// caller must only have **appended** constraints to `problem` — never
+    /// edited an existing row's coefficients, relation, or rhs in place.
+    /// The prefix check above is a cheap fingerprint (variable count, row
+    /// count, total prefix term count), deliberately not a content hash:
+    /// an in-place mutation that preserves the term count passes it, and
+    /// the workspace would then silently solve against the stale prepared
+    /// copy of that row — an answer to the wrong problem. Every in-tree
+    /// caller (the cutting-plane loops in [`crate::milp`]) only ever
+    /// appends; uphold the same contract or rebuild the workspace.
     pub fn append_rows(&mut self, problem: &Problem) -> bool {
         let Some(prepared) = self.prepared.as_mut() else {
             return false;
