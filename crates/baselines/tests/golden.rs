@@ -1,0 +1,158 @@
+//! Differential goldens for the five baseline TE algorithms (DESIGN.md
+//! §5d satellite): FFC, TEAVAR, SWAN, SMORE and B4 are pinned on toy4
+//! (pruning depth 2) and testbed6 (depth 1) — total allocated
+//! bandwidth as the objective, plus the per-demand BA verdict
+//! (`meets_target`, the admission-relevant answer). A behavior change
+//! in any baseline shows up as a diff against this table, separating
+//! deliberate algorithm edits from accidental regressions.
+//!
+//! Regenerate the table after an intentional change with
+//! `cargo test -p bate-baselines --test golden -- --ignored print_golden_table --nocapture`.
+
+use bate_baselines::paper_baselines;
+use bate_core::{BaDemand, TeContext};
+use bate_net::{topologies, ScenarioSet, Topology};
+use bate_routing::{RoutingScheme, TunnelSet};
+
+/// Objectives are pinned to 1e-6 relative: looser than bit-equality (so
+/// benign float reassociation survives) but far tighter than any real
+/// behavior change.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs()))
+}
+
+struct Fixture {
+    name: &'static str,
+    topo: Topology,
+    tunnels: TunnelSet,
+    scenarios: ScenarioSet,
+    demands: Vec<BaDemand>,
+}
+
+fn fixtures() -> Vec<Fixture> {
+    let mut out = Vec::new();
+
+    let topo = topologies::toy4();
+    let tunnels = TunnelSet::compute(&topo, RoutingScheme::Ksp(2));
+    let scenarios = ScenarioSet::enumerate(&topo, 2);
+    let n = |s: &str| topo.find_node(s).unwrap();
+    let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+    let demands = vec![
+        BaDemand::single(1, pair, 6000.0, 0.99),
+        BaDemand::single(2, pair, 12_000.0, 0.90),
+    ];
+    out.push(Fixture {
+        name: "toy4",
+        topo,
+        tunnels,
+        scenarios,
+        demands,
+    });
+
+    let topo = topologies::testbed6();
+    let tunnels = TunnelSet::compute(&topo, RoutingScheme::Ksp(3));
+    let scenarios = ScenarioSet::enumerate(&topo, 1);
+    let n = |s: &str| topo.find_node(s).unwrap();
+    let p13 = tunnels.pair_index(n("DC1"), n("DC3")).unwrap();
+    let p12 = tunnels.pair_index(n("DC1"), n("DC2")).unwrap();
+    let demands = vec![
+        BaDemand::single(1, p13, 500.0, 0.99),
+        BaDemand::single(2, p13, 400.0, 0.95),
+        BaDemand::single(3, p12, 300.0, 0.99),
+    ];
+    out.push(Fixture {
+        name: "testbed6",
+        topo,
+        tunnels,
+        scenarios,
+        demands,
+    });
+
+    out
+}
+
+/// `(fixture, algorithm, total allocated, per-demand meets_target)`.
+/// Values produced by `print_golden_table` on the seed implementation.
+const GOLDEN: &[(&str, &str, f64, &[bool])] = &[
+    ("toy4", "TEAVAR", 18000.0, &[false, true]),
+    ("toy4", "SWAN", 18000.0, &[true, true]),
+    ("toy4", "SMORE", 18000.0, &[false, true]),
+    ("toy4", "B4", 17999.99999999999, &[false, true]),
+    ("toy4", "FFC", 20000.0, &[true, false]),
+    ("testbed6", "TEAVAR", 1200.0, &[true, true, true]),
+    ("testbed6", "SWAN", 1200.0, &[true, true, true]),
+    ("testbed6", "SMORE", 1200.0, &[true, true, true]),
+    ("testbed6", "B4", 1199.9999999999993, &[true, true, true]),
+    ("testbed6", "FFC", 2150.0, &[true, true, true]),
+];
+
+#[test]
+fn baselines_match_pinned_goldens() {
+    assert!(!GOLDEN.is_empty(), "golden table must be populated");
+    let fixes = fixtures();
+    let mut checked = 0;
+    for fix in &fixes {
+        let ctx = TeContext::new(&fix.topo, &fix.tunnels, &fix.scenarios);
+        for algo in paper_baselines() {
+            let row = GOLDEN
+                .iter()
+                .find(|&&(f, a, _, _)| f == fix.name && a == algo.name())
+                .unwrap_or_else(|| panic!("no golden row for {}/{}", fix.name, algo.name()));
+            let alloc = algo.allocate(&ctx, &fix.demands).unwrap();
+            assert!(
+                alloc.respects_capacity(&ctx, 1e-6),
+                "{}/{}: capacity violated",
+                fix.name,
+                algo.name()
+            );
+            assert!(
+                close(alloc.total_allocated(), row.2),
+                "{}/{}: total allocated {} vs pinned {}",
+                fix.name,
+                algo.name(),
+                alloc.total_allocated(),
+                row.2
+            );
+            let verdicts: Vec<bool> = fix
+                .demands
+                .iter()
+                .map(|d| alloc.meets_target(&ctx, d))
+                .collect();
+            assert_eq!(
+                verdicts,
+                row.3.to_vec(),
+                "{}/{}: BA verdicts changed",
+                fix.name,
+                algo.name()
+            );
+            checked += 1;
+        }
+    }
+    // All five baselines on both fixtures, no silent skips.
+    assert_eq!(checked, 10, "expected 5 baselines x 2 fixtures");
+}
+
+/// Regeneration helper: prints the `GOLDEN` rows for the current
+/// implementation. Ignored in normal runs.
+#[test]
+#[ignore = "golden regeneration helper"]
+fn print_golden_table() {
+    for fix in fixtures() {
+        let ctx = TeContext::new(&fix.topo, &fix.tunnels, &fix.scenarios);
+        for algo in paper_baselines() {
+            let alloc = algo.allocate(&ctx, &fix.demands).unwrap();
+            let verdicts: Vec<String> = fix
+                .demands
+                .iter()
+                .map(|d| alloc.meets_target(&ctx, d).to_string())
+                .collect();
+            println!(
+                "    (\"{}\", \"{}\", {:?}, &[{}]),",
+                fix.name,
+                algo.name(),
+                alloc.total_allocated(),
+                verdicts.join(", ")
+            );
+        }
+    }
+}

@@ -13,5 +13,6 @@
 //! (who wins, by roughly what factor) for every artifact.
 
 pub mod experiments;
+pub mod fuzz;
 
 pub use experiments::common;

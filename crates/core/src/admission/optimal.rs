@@ -132,56 +132,46 @@ pub fn maximize_admissions_mode(
     solve_admission(ctx, demands, false, mode)
 }
 
-/// Build and solve the Appendix-A MILP.
+/// Build the full Appendix-A admission MILP without solving it.
 ///
-/// Under [`SolveMode::RowGen`] (or Auto above the threshold) the
-/// per-(state, pair) qualification rows of Eq. 14 are generated lazily by
-/// branch-and-cut ([`milp::solve_lazy`]): the master starts with the
-/// seeded states' rows, a bitset separation oracle checks every candidate
-/// relaxation against all collapsed states, and violated rows join a
-/// global row pool every node inherits. Exactness argument mirrors the
-/// scheduling LP's: node relaxations are row-subset relaxations (pruning
-/// stays valid) and incumbents are only accepted after clean separation.
-fn solve_admission(
+/// Like [`crate::scheduling::scheduling_lp`], this is the entry point for
+/// the exact certifying oracle and differential harness (DESIGN.md §5d):
+/// the model is the one `SolveMode::Full` solves (every qualification row
+/// present), built by the same code path as the production solve.
+pub fn admission_milp(
     ctx: &TeContext,
     demands: &[BaDemand],
     force_all: bool,
-    mode: SolveMode,
-) -> Result<OptimalAdmission, SolveError> {
-    let seed_singles = match mode {
-        SolveMode::RowGen { seed_singles } => seed_singles,
-        _ => ROWGEN_SEED_SINGLES,
-    };
-    let tracked = ctx.scenarios.most_probable_singles(seed_singles);
+) -> Result<Problem, SolveError> {
+    let tracked = ctx.scenarios.most_probable_singles(ROWGEN_SEED_SINGLES);
     let profiles: Vec<MaskedProfile> =
         bate_lp::par_map(demands, |d| MaskedProfile::collapse(ctx, d, &tracked));
-    let full_qual_rows: usize = profiles
-        .iter()
-        .zip(demands)
-        .map(|(pr, d)| pr.len() * d.bandwidth.len())
-        .sum();
-    let use_rowgen = match mode {
-        SolveMode::Full => false,
-        SolveMode::RowGen { .. } => true,
-        SolveMode::Auto => full_qual_rows > ROWGEN_AUTO_THRESHOLD,
-    };
-    // Seed states for the lazy master: all-up plus the tracked singles.
-    let seeded: Option<Vec<Vec<bool>>> = use_rowgen.then(|| {
-        profiles
-            .iter()
-            .map(|pr| {
-                let mut flags = vec![false; pr.len()];
-                if !flags.is_empty() {
-                    flags[0] = true;
-                }
-                for &si in &pr.tracked_states {
-                    flags[si] = true;
-                }
-                flags
-            })
-            .collect()
-    });
+    Ok(build_admission_milp(ctx, demands, &profiles, force_all, None)?.p)
+}
 
+/// The admission MILP under construction, with the variable handles the
+/// solve loop and extraction code need.
+struct BuiltMilp {
+    p: Problem,
+    /// `f[d][local pair][tunnel]`.
+    f_vars: Vec<Vec<Vec<VarId>>>,
+    /// `q[d][collapsed state]` binaries.
+    q_vars_all: Vec<Vec<VarId>>,
+    /// Acceptance binary per demand (`None` under `force_all`).
+    a_vars: Vec<Option<VarId>>,
+}
+
+/// Build the Appendix-A MILP. With `seeded = None` every qualification
+/// row of Eq. 14 is emitted (the full formulation); with
+/// `seeded = Some(flags)` only the flagged states' rows are — the
+/// branch-and-cut master.
+fn build_admission_milp(
+    ctx: &TeContext,
+    demands: &[BaDemand],
+    profiles: &[MaskedProfile],
+    force_all: bool,
+    seeded: Option<&[Vec<bool>]>,
+) -> Result<BuiltMilp, SolveError> {
     let mut p = Problem::new(Sense::Maximize);
 
     // Flow variables per demand / local pair / tunnel.
@@ -215,7 +205,7 @@ fn solve_admission(
             .collect();
 
         for (si, state) in profile.states.iter().enumerate() {
-            if let Some(flags) = &seeded {
+            if let Some(flags) = seeded {
                 if !flags[di][si] {
                     continue;
                 }
@@ -273,6 +263,71 @@ fn solve_admission(
             );
         }
     }
+
+    Ok(BuiltMilp {
+        p,
+        f_vars,
+        q_vars_all,
+        a_vars,
+    })
+}
+
+/// Build and solve the Appendix-A MILP.
+///
+/// Under [`SolveMode::RowGen`] (or Auto above the threshold) the
+/// per-(state, pair) qualification rows of Eq. 14 are generated lazily by
+/// branch-and-cut ([`milp::solve_lazy`]): the master starts with the
+/// seeded states' rows, a bitset separation oracle checks every candidate
+/// relaxation against all collapsed states, and violated rows join a
+/// global row pool every node inherits. Exactness argument mirrors the
+/// scheduling LP's: node relaxations are row-subset relaxations (pruning
+/// stays valid) and incumbents are only accepted after clean separation.
+fn solve_admission(
+    ctx: &TeContext,
+    demands: &[BaDemand],
+    force_all: bool,
+    mode: SolveMode,
+) -> Result<OptimalAdmission, SolveError> {
+    let seed_singles = match mode {
+        SolveMode::RowGen { seed_singles } => seed_singles,
+        _ => ROWGEN_SEED_SINGLES,
+    };
+    let tracked = ctx.scenarios.most_probable_singles(seed_singles);
+    let profiles: Vec<MaskedProfile> =
+        bate_lp::par_map(demands, |d| MaskedProfile::collapse(ctx, d, &tracked));
+    let full_qual_rows: usize = profiles
+        .iter()
+        .zip(demands)
+        .map(|(pr, d)| pr.len() * d.bandwidth.len())
+        .sum();
+    let use_rowgen = match mode {
+        SolveMode::Full => false,
+        SolveMode::RowGen { .. } => true,
+        SolveMode::Auto => full_qual_rows > ROWGEN_AUTO_THRESHOLD,
+    };
+    // Seed states for the lazy master: all-up plus the tracked singles.
+    let seeded: Option<Vec<Vec<bool>>> = use_rowgen.then(|| {
+        profiles
+            .iter()
+            .map(|pr| {
+                let mut flags = vec![false; pr.len()];
+                if !flags.is_empty() {
+                    flags[0] = true;
+                }
+                for &si in &pr.tracked_states {
+                    flags[si] = true;
+                }
+                flags
+            })
+            .collect()
+    });
+
+    let BuiltMilp {
+        mut p,
+        f_vars,
+        q_vars_all,
+        a_vars,
+    } = build_admission_milp(ctx, demands, &profiles, force_all, seeded.as_deref())?;
 
     // Each node costs a simplex solve; the fast paths above mean the MILP
     // only sees genuinely ambiguous instances, where a moderate budget

@@ -358,6 +358,24 @@ pub fn schedule_mode(
     schedule_with_capacities_mode(ctx, demands, &caps, mode)
 }
 
+/// Build the full scheduling LP of Eq. 1–7 without solving it.
+///
+/// This is the entry point for the exact certifying oracle and the
+/// differential harness (DESIGN.md §5d): they re-solve or certify the
+/// very same [`Problem`] the float path solves, so the model must come
+/// from the same builder. Row order matches `SolveMode::Full` exactly.
+pub fn scheduling_lp(
+    ctx: &TeContext,
+    demands: &[BaDemand],
+    capacities: &[f64],
+) -> Result<Problem, SolveError> {
+    assert_eq!(capacities.len(), ctx.topo.num_links());
+    let tracked = ctx.scenarios.most_probable_singles(ROWGEN_SEED_SINGLES);
+    let profiles: Vec<MaskedProfile> =
+        bate_lp::par_map(demands, |d| MaskedProfile::collapse(ctx, d, &tracked));
+    Ok(build_lp(ctx, demands, capacities, &profiles, None)?.p)
+}
+
 /// The LP under construction, with the variable/row handles the solve
 /// loop and the extraction code need.
 struct BuiltLp {

@@ -1,0 +1,231 @@
+//! End-to-end bandwidth-availability invariant checker (DESIGN.md §5d).
+//!
+//! Independently of the production availability calculus
+//! (`Allocation::achieved_availability` and friends), this test
+//! brute-forces the pruned scenario set from first principles — tunnel
+//! paths, fate groups, scenario probabilities — and verifies that for
+//! every admitted demand the allocation delivers `b_d` in at least
+//! `β_d` of the enumerated probability mass:
+//!
+//! * the plain scheduling LP guarantees the *relaxed* credit of Eq. 4
+//!   (`Σ_z p_z · min_k min(1, delivered/b) ≥ β`),
+//! * the hardened schedule and the admission MILP guarantee the hard
+//!   all-or-nothing form (`Σ_{z qualified} p_z ≥ β`),
+//!
+//! on toy4 with pruning depth y = 2 and testbed6 with y = 1. A final
+//! test corrupts a passing allocation and shows the checker rejects it,
+//! so a silent regression in the scheduler cannot pass by vacuity.
+
+use bate_core::admission::optimal::maximize_admissions;
+use bate_core::scheduling::{harden, schedule};
+use bate_core::{Allocation, BaDemand, TeContext};
+use bate_net::{topologies, Scenario, ScenarioSet, Topology};
+use bate_routing::{RoutingScheme, TunnelId, TunnelSet};
+
+/// Relative slack for float LP output (mirrors the production
+/// SATISFY_TOL, restated here so the checker stays independent).
+const TOL: f64 = 1e-6;
+
+/// Bandwidth reaching `pair` for demand `id` under `scenario`, computed
+/// from raw tunnel paths and fate groups only.
+fn delivered_brute(
+    ctx: &TeContext,
+    alloc: &Allocation,
+    id: bate_core::DemandId,
+    pair: usize,
+    scenario: &Scenario,
+) -> f64 {
+    let num_tunnels = ctx.tunnels.tunnels(pair).len();
+    (0..num_tunnels)
+        .map(|ti| {
+            let t = TunnelId { pair, tunnel: ti };
+            let f = alloc.get(id, t);
+            if f == 0.0 {
+                return 0.0;
+            }
+            let all_up = ctx
+                .tunnels
+                .path(t)
+                .links
+                .iter()
+                .all(|&l| scenario.group_up(ctx.topo.link(l).group));
+            if all_up {
+                f
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// Probability mass of enumerated scenarios in which *every* pair of the
+/// demand receives its full `b_d` (hard, all-or-nothing qualification).
+fn hard_coverage(ctx: &TeContext, alloc: &Allocation, demand: &BaDemand) -> f64 {
+    ctx.scenarios
+        .iter()
+        .filter(|z| {
+            demand.bandwidth.iter().all(|&(pair, b)| {
+                delivered_brute(ctx, alloc, demand.id, pair, z) >= b * (1.0 - TOL)
+            })
+        })
+        .map(|z| z.probability)
+        .sum()
+}
+
+/// Eq. 4's relaxed credit: scenarios earn `min_k min(1, delivered/b)`.
+fn relaxed_coverage(ctx: &TeContext, alloc: &Allocation, demand: &BaDemand) -> f64 {
+    ctx.scenarios
+        .iter()
+        .map(|z| {
+            let credit = demand
+                .bandwidth
+                .iter()
+                .map(|&(pair, b)| (delivered_brute(ctx, alloc, demand.id, pair, z) / b).min(1.0))
+                .fold(1.0f64, f64::min);
+            z.probability * credit.max(0.0)
+        })
+        .sum()
+}
+
+/// Independent capacity audit: per-link loads recomputed from paths.
+fn respects_capacity_brute(ctx: &TeContext, alloc: &Allocation, demands: &[BaDemand]) -> bool {
+    let mut loads = vec![0.0f64; ctx.topo.num_links()];
+    for d in demands {
+        for &(pair, _) in &d.bandwidth {
+            for ti in 0..ctx.tunnels.tunnels(pair).len() {
+                let t = TunnelId { pair, tunnel: ti };
+                let f = alloc.get(d.id, t);
+                for &l in &ctx.tunnels.path(t).links {
+                    loads[l.index()] += f;
+                }
+            }
+        }
+    }
+    ctx.topo
+        .links()
+        .all(|(l, def)| loads[l.index()] <= def.capacity * (1.0 + TOL) + TOL)
+}
+
+fn toy4_setup() -> (Topology, TunnelSet, ScenarioSet) {
+    let topo = topologies::toy4();
+    let tunnels = TunnelSet::compute(&topo, RoutingScheme::Ksp(2));
+    let scenarios = ScenarioSet::enumerate(&topo, 2);
+    (topo, tunnels, scenarios)
+}
+
+fn toy4_demands(topo: &Topology, tunnels: &TunnelSet) -> Vec<BaDemand> {
+    let n = |s: &str| topo.find_node(s).unwrap();
+    let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+    vec![
+        BaDemand::single(1, pair, 6000.0, 0.99),
+        BaDemand::single(2, pair, 12_000.0, 0.90),
+    ]
+}
+
+#[test]
+fn toy4_schedule_meets_ba_targets_depth2() {
+    let (topo, tunnels, scenarios) = toy4_setup();
+    let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+    let demands = toy4_demands(&topo, &tunnels);
+
+    // The LP alone guarantees the relaxed form for every demand.
+    let lp = schedule(&ctx, &demands).unwrap();
+    assert!(respects_capacity_brute(&ctx, &lp.allocation, &demands));
+    for d in &demands {
+        let cov = relaxed_coverage(&ctx, &lp.allocation, d);
+        assert!(
+            cov >= d.beta - TOL,
+            "demand {} relaxed coverage {cov} < β {}",
+            d.id.0,
+            d.beta
+        );
+    }
+
+    // Hardening upgrades the motivating example to the hard form.
+    let mut hardened = lp;
+    let violations = harden(&ctx, &demands, &mut hardened);
+    assert_eq!(violations, 0, "motivating example must harden cleanly");
+    assert!(respects_capacity_brute(&ctx, &hardened.allocation, &demands));
+    for d in &demands {
+        let cov = hard_coverage(&ctx, &hardened.allocation, d);
+        assert!(
+            cov >= d.beta - TOL,
+            "demand {} hard coverage {cov} < β {}",
+            d.id.0,
+            d.beta
+        );
+    }
+}
+
+#[test]
+fn testbed6_admitted_demands_are_covered_depth1() {
+    let topo = topologies::testbed6();
+    let tunnels = TunnelSet::compute(&topo, RoutingScheme::Ksp(3));
+    let scenarios = ScenarioSet::enumerate(&topo, 1);
+    let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+    let n = |s: &str| topo.find_node(s).unwrap();
+    let p13 = tunnels.pair_index(n("DC1"), n("DC3")).unwrap();
+    let p12 = tunnels.pair_index(n("DC1"), n("DC2")).unwrap();
+    let demands = vec![
+        BaDemand::single(1, p13, 500.0, 0.99),
+        BaDemand::single(2, p13, 400.0, 0.95),
+        BaDemand::single(3, p12, 300.0, 0.99),
+        // Deliberately unservable: forces a rejection so the invariant
+        // is exercised on a strict subset, not vacuously on everyone.
+        BaDemand::single(4, p13, 1e7, 0.999),
+    ];
+
+    let res = maximize_admissions(&ctx, &demands).unwrap();
+    assert!(
+        !res.accepted[3],
+        "the 10 Tbps demand cannot be admitted on testbed6"
+    );
+    let admitted: Vec<&BaDemand> = demands
+        .iter()
+        .zip(&res.accepted)
+        .filter(|(_, &a)| a)
+        .map(|(d, _)| d)
+        .collect();
+    assert!(!admitted.is_empty(), "some demand must be admissible");
+
+    assert!(respects_capacity_brute(&ctx, &res.allocation, &demands));
+    for d in admitted {
+        let cov = hard_coverage(&ctx, &res.allocation, d);
+        assert!(
+            cov >= d.beta - TOL,
+            "admitted demand {} hard coverage {cov} < β {}",
+            d.id.0,
+            d.beta
+        );
+    }
+}
+
+#[test]
+fn corrupted_allocation_fails_the_checker() {
+    let (topo, tunnels, scenarios) = toy4_setup();
+    let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+    let demands = toy4_demands(&topo, &tunnels);
+
+    let mut result = schedule(&ctx, &demands).unwrap();
+    let violations = harden(&ctx, &demands, &mut result);
+    assert_eq!(violations, 0);
+    let victim = &demands[0];
+    assert!(hard_coverage(&ctx, &result.allocation, victim) >= victim.beta - TOL);
+
+    // Halve the victim's flows: every scenario now under-delivers, so
+    // both the hard and the relaxed form must detect the shortfall.
+    let mut corrupted = result.allocation.clone();
+    let flows: Vec<(TunnelId, f64)> = corrupted.flows_of(victim.id).collect();
+    assert!(!flows.is_empty());
+    for (t, f) in flows {
+        corrupted.set(victim.id, t, f * 0.5);
+    }
+    assert!(
+        hard_coverage(&ctx, &corrupted, victim) < victim.beta - TOL,
+        "checker failed to flag a corrupted allocation (hard form)"
+    );
+    assert!(
+        relaxed_coverage(&ctx, &corrupted, victim) < victim.beta - TOL,
+        "checker failed to flag a corrupted allocation (relaxed form)"
+    );
+}

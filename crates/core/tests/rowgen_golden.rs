@@ -163,6 +163,87 @@ fn rowgen_matches_full_admission_verdicts() {
     }
 }
 
+/// The pinned instances' scheduling LPs, re-derived through the public
+/// model builder and run through the exact certificate layer: every
+/// float optimum must carry a valid KKT certificate, and on the small
+/// instances the exact rational oracle must reproduce the objective.
+#[test]
+fn scheduling_lps_certify_and_match_exact_oracle() {
+    use bate_lp::exact::{solve_exact, verify_certificate};
+    for (topo, routing, y, _, total) in instances() {
+        let tunnels = TunnelSet::compute(&topo, routing);
+        let scenarios = ScenarioSet::enumerate(&topo, y);
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let caps: Vec<f64> = topo.links().map(|(_, l)| l.capacity).collect();
+        // Exact re-solve only where the rational tableau stays small;
+        // certificates are cheap and run everywhere.
+        let resolve_exactly =
+            (topo.name() == "toy4" && y == 2) || (topo.name() == "testbed6" && y == 1);
+        for seed in SEEDS {
+            let demands = gravity_demands(&topo, &tunnels, 4, total, seed);
+            let tag = format!("{} y={y} seed={seed}", topo.name());
+            let p = scheduling::scheduling_lp(&ctx, &demands, &caps).unwrap();
+            match p.solve() {
+                Ok(sol) => {
+                    verify_certificate(&p, &sol)
+                        .unwrap_or_else(|e| panic!("{tag}: certificate rejected: {e}"));
+                    if resolve_exactly {
+                        let ex = solve_exact(&p)
+                            .unwrap_or_else(|e| panic!("{tag}: exact oracle failed: {e:?}"));
+                        assert!(
+                            close(ex.objective.to_f64(), sol.objective),
+                            "{tag}: exact {} vs float {}",
+                            ex.objective.to_f64(),
+                            sol.objective
+                        );
+                    }
+                }
+                Err(SolveError::Infeasible) => {
+                    if resolve_exactly {
+                        assert!(
+                            matches!(solve_exact(&p), Err(SolveError::Infeasible)),
+                            "{tag}: float says infeasible, exact oracle disagrees"
+                        );
+                    }
+                }
+                Err(e) => panic!("{tag}: solve failed: {e:?}"),
+            }
+        }
+    }
+}
+
+/// Admission MILP incumbents certified against an exact relaxation
+/// bound: integrality, exact feasibility, objective consistency, and a
+/// branch-and-bound optimality proof `incumbent ≤ exact root bound`.
+#[test]
+fn admission_milps_certify_against_exact_relaxation_bounds() {
+    use bate_core::admission::optimal::admission_milp;
+    use bate_lp::exact::{solve_exact, verify_milp_certificate};
+    for (topo, routing, y, _, total) in instances() {
+        let small = (topo.name() == "toy4" && y == 2) || (topo.name() == "testbed6" && y == 1);
+        if !small {
+            continue; // exact relaxation solves stay debug-build fast
+        }
+        let tunnels = TunnelSet::compute(&topo, routing);
+        let scenarios = ScenarioSet::enumerate(&topo, y);
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        for seed in SEEDS {
+            let demands = gravity_demands(&topo, &tunnels, 4, total, seed);
+            let tag = format!("{} y={y} seed={seed}", topo.name());
+            let p = admission_milp(&ctx, &demands, false).unwrap();
+            let sol = match p.solve() {
+                Ok(s) => s,
+                Err(SolveError::Infeasible) => continue,
+                Err(e) => panic!("{tag}: admission MILP failed: {e:?}"),
+            };
+            let root = solve_exact(&p)
+                .unwrap_or_else(|e| panic!("{tag}: exact relaxation failed: {e:?}"));
+            verify_milp_certificate(&p, &sol, Some(root.objective.to_f64()))
+                .unwrap_or_else(|e| panic!("{tag}: MILP certificate rejected: {e}"));
+        }
+    }
+}
+
 #[test]
 fn rowgen_path_is_deterministic_across_thread_counts() {
     // B4 at y=2 with enough demands to force several separation rounds;

@@ -1,0 +1,25 @@
+//! Exact rational-arithmetic certifying oracle (DESIGN.md §5d).
+//!
+//! Three layers, smallest to largest:
+//!
+//! * [`rational`] — exact fractions: `i128` fast path, overflow-checked
+//!   promotion to an in-crate big integer (no external dependencies).
+//! * [`simplex`] / [`milp`] — an exact two-phase bounded-variable simplex
+//!   with Bland's rule, plus deterministic branch-and-bound over it.
+//!   These *re-solve* harness-sized instances to give ground truth.
+//! * [`certificate`] — KKT certificates evaluated exactly on float
+//!   solver output, so instances too big to re-solve exactly still get
+//!   their answers *certified* against documented tolerances.
+
+pub mod certificate;
+pub mod milp;
+pub mod rational;
+pub mod simplex;
+
+pub use certificate::{
+    verify_certificate, verify_certificate_with, verify_exact, verify_milp_certificate,
+    verify_milp_certificate_with, verify_parts, CertTolerances, CertificateError,
+};
+pub use milp::{solve_exact_milp, ExactMilpSolution};
+pub use rational::Rational;
+pub use simplex::{solve_exact, solve_exact_with, ExactSolution};

@@ -39,6 +39,7 @@
 
 pub mod dense_reference;
 pub mod error;
+pub mod exact;
 pub mod export;
 pub mod milp;
 pub mod par;
@@ -48,6 +49,7 @@ pub mod solution;
 pub mod stats;
 
 pub use error::SolveError;
+pub use export::LpParseError;
 pub use par::{par_map, par_map_with, thread_count};
 pub use problem::{Problem, Relation, Sense, VarId, VarKind};
 pub use milp::{solve_lazy, solve_traced_lazy, LazyRow};

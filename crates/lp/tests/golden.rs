@@ -8,8 +8,14 @@
 //! demands). Coefficients are randomized per instance so optimal bases —
 //! and therefore duals — are generically unique, which is what makes the
 //! dual comparison meaningful.
+//!
+//! Every pinned solution is additionally run through the exact
+//! certificate layer (`verify_certificate`, rational KKT re-evaluation)
+//! and differenced against the exact oracle's objective, so the corpus
+//! guards the *answers*, not just kernel-vs-kernel agreement.
 
 use bate_lp::dense_reference::solve_relaxation_dense;
+use bate_lp::exact::{solve_exact, verify_certificate};
 use bate_lp::simplex::solve_relaxation;
 use bate_lp::{Problem, Relation, Sense};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -126,6 +132,25 @@ fn assert_kernels_agree(p: &Problem, label: &str) {
     }
     // Both solutions must satisfy the problem they claim to solve.
     assert!(p.is_feasible(&sparse.values, 1e-6), "{label}: sparse infeasible");
+    // Exact KKT certification of both kernels' answers — cheap (one
+    // rational pass over the nonzeros), so it runs on every instance.
+    verify_certificate(p, &dense)
+        .unwrap_or_else(|e| panic!("{label}: dense certificate rejected: {e}"));
+    verify_certificate(p, &sparse)
+        .unwrap_or_else(|e| panic!("{label}: sparse certificate rejected: {e}"));
+    // Exact *re-solves* cost rational pivots, so only the small corpus
+    // instances get ground-truth differencing; the certificate above
+    // already pins optimality of the rest via the duality gap.
+    if p.num_vars() + p.num_constraints() <= 30 {
+        let exact = solve_exact(p).unwrap_or_else(|e| panic!("{label}: exact solve failed: {e:?}"));
+        let eo = exact.objective.to_f64();
+        assert!(
+            (sparse.objective - eo).abs() <= 1e-6 * (1.0 + eo.abs()),
+            "{label}: sparse objective {} vs exact {}",
+            sparse.objective,
+            eo
+        );
+    }
 }
 
 #[test]
