@@ -13,8 +13,10 @@
 //! cargo bench -p bate-bench --bench lp -- --emit-json
 //! ```
 
+use bate_core::incremental::{DemandDelta, IncrementalScheduler};
 use bate_core::scheduling::{self, SolveMode, ROWGEN_SEED_SINGLES};
 use bate_core::{BaDemand, DemandId, TeContext};
+use bate_sim::churn;
 use bate_lp::dense_reference::solve_relaxation_dense;
 use bate_lp::simplex::{solve_relaxation, solve_with, Workspace};
 use bate_lp::{milp, Problem, Relation, Sense};
@@ -312,6 +314,86 @@ fn main() {
         "scheduling_rowgen: speedup {rowgen_speedup:.2}x below the 3x acceptance bar"
     );
 
+    // Incremental TE under demand churn (DESIGN.md §5e): a steady pool of
+    // single-pair demands on the same ATT y = 2 instance, churned at the
+    // paper's 1-5% regime. Every round the cold baseline re-runs the full
+    // row-generation schedule from scratch on the round's demand set; the
+    // warm path repairs the saved basis through the delta (priced-in
+    // columns for adds, dual-simplex repair for removes/resizes) and
+    // re-separates. Both must agree on the objective each round; the
+    // ISSUE acceptance bar is a >= 10x wall-clock win for warm re-solves.
+    let live_pairs: Vec<usize> = (0..tunnels.num_pairs())
+        .filter(|&p| tunnels.tunnels(p).len() >= 2)
+        .collect();
+    let churn_cfg = churn::ChurnConfig::steady(live_pairs, 48, 8, 11);
+    let workload = churn::generate(&churn_cfg);
+    // Like the kernel benches above, take best-of-N minimums of the
+    // round totals on both sides — single runs are too noisy to gate on.
+    let mut warm_secs = f64::INFINITY;
+    let mut cold_secs = f64::INFINITY;
+    let mut churn_stats = Default::default();
+    let mut pool_len = 0;
+    for _rep in 0..3 {
+        let mut sched = IncrementalScheduler::new(&ctx);
+        let fill: Vec<DemandDelta> = workload
+            .initial
+            .iter()
+            .map(|d| DemandDelta::Add(d.clone()))
+            .collect();
+        sched.apply(&ctx, &fill).unwrap();
+        let mut pool: Vec<BaDemand> = workload.initial.clone();
+        let mut warm_total = 0.0f64;
+        let mut cold_total = 0.0f64;
+        for batch in &workload.rounds {
+            for delta in batch {
+                match delta {
+                    DemandDelta::Add(d) => pool.push(d.clone()),
+                    DemandDelta::Remove(id) => pool.retain(|d| d.id != *id),
+                    DemandDelta::Resize { id, factor } => {
+                        for d in pool.iter_mut().filter(|d| d.id == *id) {
+                            for (_, b) in &mut d.bandwidth {
+                                *b *= factor;
+                            }
+                            d.price *= factor;
+                        }
+                    }
+                }
+            }
+            let t = Instant::now();
+            let warm_res = sched.apply(&ctx, batch).unwrap();
+            warm_total += t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let cold_res = scheduling::schedule_mode(&ctx, &pool, rowgen_mode).unwrap();
+            cold_total += t.elapsed().as_secs_f64();
+            assert!(
+                (warm_res.total_bandwidth - cold_res.total_bandwidth).abs()
+                    <= 1e-6 * (1.0 + cold_res.total_bandwidth.abs()),
+                "churn_warm: objectives diverged: {} (warm) vs {} (cold)",
+                warm_res.total_bandwidth,
+                cold_res.total_bandwidth
+            );
+        }
+        warm_secs = warm_secs.min(warm_total);
+        cold_secs = cold_secs.min(cold_total);
+        churn_stats = sched.stats();
+        pool_len = pool.len();
+    }
+    let churn_speedup = cold_secs / warm_secs;
+    let churn_rounds = workload.rounds.len();
+    println!(
+        "churn_warm           {} demands {churn_rounds} rounds  cold {:>9.3} ms  warm {:>9.3} ms  speedup {churn_speedup:>5.2}x  ({} warm rounds, {} dual pivots, {} cert fallbacks)",
+        pool_len,
+        cold_secs * 1e3,
+        warm_secs * 1e3,
+        churn_stats.warm_rounds,
+        churn_stats.dual_pivots,
+        churn_stats.cert_fallbacks,
+    );
+    assert!(
+        churn_speedup >= 10.0,
+        "churn_warm: speedup {churn_speedup:.2}x below the 10x acceptance bar"
+    );
+
     // Telemetry overhead on the largest scheduling LP: the bare sparse
     // solve vs the same solve plus the exact per-solve telemetry cost the
     // bate-core schedule path pays — one Instant sample, three counter
@@ -393,20 +475,18 @@ fn main() {
     if emit_json {
         let mut json = String::from("{\n  \"benches\": [\n");
         for (i, r) in out.iter().enumerate() {
-            let dense = r
-                .dense_secs
-                .map_or("null".to_string(), |d| format!("{d:.9}"));
-            let speedup = r
-                .speedup()
-                .map_or("null".to_string(), |s| format!("{s:.3}"));
+            // Dense-less rows (the B&B instance has no dense driver) omit
+            // the dense fields entirely rather than emitting JSON nulls —
+            // downstream tooling reads absence, never null.
+            let mut fields = format!(
+                "\"name\": \"{}\", \"vars\": {}, \"rows\": {}, \"sparse_secs\": {:.9}",
+                r.name, r.vars, r.rows, r.sparse_secs
+            );
+            if let (Some(d), Some(s)) = (r.dense_secs, r.speedup()) {
+                fields.push_str(&format!(", \"dense_secs\": {d:.9}, \"speedup\": {s:.3}"));
+            }
             json.push_str(&format!(
-                "    {{\"name\": \"{}\", \"vars\": {}, \"rows\": {}, \"dense_secs\": {}, \"sparse_secs\": {:.9}, \"speedup\": {}}}{}\n",
-                r.name,
-                r.vars,
-                r.rows,
-                dense,
-                r.sparse_secs,
-                speedup,
+                "    {{{fields}}}{}\n",
                 if i + 1 == out.len() { "" } else { "," }
             ));
         }
@@ -414,6 +494,13 @@ fn main() {
         json.push_str(&format!(
             "  \"scheduling_rowgen\": {{\"scenarios\": {num_scenarios}, \"full_secs\": {full_secs:.9}, \"rowgen_secs\": {rowgen_secs:.9}, \"speedup\": {rowgen_speedup:.3}, \"full_rows\": {}, \"master_rows\": {}, \"rounds\": {}, \"rows_added\": {}}},\n",
             rg.full_rows, rg.master_rows, rg.rounds, rg.rows_added
+        ));
+        json.push_str(&format!(
+            "  \"churn_warm\": {{\"demands\": {}, \"rounds\": {churn_rounds}, \"cold_secs\": {cold_secs:.9}, \"warm_secs\": {warm_secs:.9}, \"speedup\": {churn_speedup:.3}, \"warm_rounds\": {}, \"dual_pivots\": {}, \"cert_fallbacks\": {}}},\n",
+            pool_len,
+            churn_stats.warm_rounds,
+            churn_stats.dual_pivots,
+            churn_stats.cert_fallbacks
         ));
         json.push_str(&format!(
             "  \"telemetry_overhead\": {{\"name\": \"{name}\", \"base_secs\": {base_secs:.9}, \"instrumented_secs\": {instrumented_secs:.9}, \"overhead_pct\": {overhead_pct:.3}}}\n"

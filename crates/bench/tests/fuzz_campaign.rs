@@ -22,8 +22,10 @@ use bate_bench::fuzz::{
 use bate_core::admission::optimal::{
     admission_milp, maximize_admissions_mode, optimal_feasible_mode,
 };
+use bate_core::incremental::{DemandDelta, IncrementalScheduler};
 use bate_core::scheduling::{self, SolveMode, ROWGEN_SEED_SINGLES};
-use bate_core::TeContext;
+use bate_core::{BaDemand, TeContext};
+use bate_sim::churn;
 use bate_lp::exact::{
     solve_exact, solve_exact_milp, verify_certificate, verify_exact, verify_milp_certificate,
 };
@@ -297,6 +299,87 @@ fn scheduling_instances_agree_across_modes_and_certify() {
                 Err(e) => panic!("{tag}: unexpected solve error {e}"),
             }
         }
+    }
+}
+
+/// Random churn sequences through the incremental warm-start scheduler
+/// (DESIGN.md §5e): every round's warm re-solve must match a cold batch
+/// re-solve of the same live pool — objective within tolerance and
+/// identical per-demand hard-availability verdicts — and every warm
+/// master optimum must pass the exact rational KKT certificate.
+#[test]
+fn churn_sequences_match_cold_and_certify() {
+    let fixtures = net_fixtures();
+    let fix = &fixtures[0]; // toy4: small enough to certify every round
+    let ctx = TeContext::new(&fix.topo, &fix.tunnels, &fix.scenarios);
+    let pairs: Vec<usize> = (0..fix.tunnels.num_pairs())
+        .filter(|&p| !fix.tunnels.tunnels(p).is_empty())
+        .take(4)
+        .collect();
+    for seed in 0..fuzz_budget(4) as u64 {
+        let mut cfg = churn::ChurnConfig::steady(pairs.clone(), 6, 5, 900 + seed);
+        // Sweep the paper's 1-5% churn regime across seeds (the pool is
+        // tiny, so every round still churns at least one demand).
+        cfg.churn_fraction = 0.01 + 0.01 * (seed % 5) as f64;
+        let workload = churn::generate(&cfg);
+        let tag = format!("churn:{seed}");
+
+        let mut sched = IncrementalScheduler::new(&ctx);
+        let mut pool: Vec<BaDemand> = Vec::new();
+        let fill: Vec<DemandDelta> = workload
+            .initial
+            .iter()
+            .map(|d| DemandDelta::Add(d.clone()))
+            .collect();
+        for (round, batch) in std::iter::once(&fill)
+            .chain(workload.rounds.iter())
+            .enumerate()
+        {
+            for delta in batch {
+                match delta {
+                    DemandDelta::Add(d) => pool.push(d.clone()),
+                    DemandDelta::Remove(id) => pool.retain(|d| d.id != *id),
+                    DemandDelta::Resize { id, factor } => {
+                        for d in pool.iter_mut().filter(|d| d.id == *id) {
+                            for (_, b) in &mut d.bandwidth {
+                                *b *= factor;
+                            }
+                            d.price *= factor;
+                        }
+                    }
+                }
+            }
+            let warm = sched
+                .apply(&ctx, batch)
+                .unwrap_or_else(|e| panic!("{tag} round {round}: warm apply failed: {e}"));
+            let cold = scheduling::schedule_mode(&ctx, &pool, rowgen_mode())
+                .unwrap_or_else(|e| panic!("{tag} round {round}: cold solve failed: {e}"));
+            assert!(
+                close(warm.total_bandwidth, cold.total_bandwidth),
+                "{tag} round {round}: warm objective {} vs cold {}",
+                warm.total_bandwidth,
+                cold.total_bandwidth
+            );
+            // Identical per-demand hard-availability verdicts.
+            for d in &pool {
+                assert_eq!(
+                    warm.allocation.meets_target(&ctx, d),
+                    cold.allocation.meets_target(&ctx, d),
+                    "{tag} round {round}: BA verdict differs for demand {:?}",
+                    d.id
+                );
+            }
+            // The warm master optimum certifies against the exact oracle.
+            let sol = sched.last_solution().unwrap();
+            verify_certificate(sched.problem(), sol).unwrap_or_else(|err| {
+                panic!("{tag} round {round}: warm certificate rejected: {err}")
+            });
+        }
+        assert!(
+            sched.stats().warm_rounds > 0,
+            "{tag}: churn rounds never warm-started: {:?}",
+            sched.stats()
+        );
     }
 }
 

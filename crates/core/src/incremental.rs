@@ -1,0 +1,837 @@
+//! Incremental TE: warm-start scheduling and admission across rounds
+//! (DESIGN.md §5e).
+//!
+//! The batch path ([`crate::scheduling`]) rebuilds its master LP from
+//! scratch every round, even when the demand set changed by a few percent.
+//! [`IncrementalScheduler`] keeps the row-generation master *alive*
+//! between rounds inside a [`WarmState`]: demand churn arrives as
+//! [`DemandDelta`]s, each delta edits the master in place under the
+//! warm-start mutation contract, and the next solve repairs the saved
+//! simplex basis (dual simplex for retired/tightened work, priced-in
+//! columns for new demands) instead of running cold.
+//!
+//! Delta semantics:
+//!
+//! * **Add** — append the demand's `f`/`B` columns, its Eq. 1 / seeded
+//!   qualification / Eq. 4 rows, and splice the new flow columns into the
+//!   existing capacity rows.
+//! * **Remove** — retire in place: every column's upper bound drops to
+//!   zero and the demand's `≥` rows drop to a zero rhs. Rows stay in the
+//!   master (structurally unchanged ⇒ the basis survives); the dead
+//!   columns are reclaimed by a periodic compaction once they exceed
+//!   [`COMPACT_DEAD_FRACTION`] of the master.
+//! * **Resize** — remove + re-add under the same id (the bandwidth `b`
+//!   appears as a *coefficient* of the qualification rows, which in-place
+//!   edits cannot touch).
+//!
+//! Correctness never rests on the warm path: every warm answer must pass
+//! the float KKT gate ([`bate_lp::quick_check`]) or the round is redone
+//! cold (the PR-4 cold-retry pattern), and separation always finishes
+//! with a clean pass over **all** live demands — the delta-touched fast
+//! path only decides which rows to look at first. The differential fuzz
+//! campaign certifies warm optima against the exact rational oracle.
+
+use crate::allocation::Allocation;
+use crate::demand::{BaDemand, DemandId};
+use crate::profile::MaskedProfile;
+use crate::scheduling::{separate_demand, RowGenStats, ScheduleResult, ROWGEN_SEED_SINGLES};
+use crate::TeContext;
+use bate_lp::{quick_check, Relation, Sense, Solution, SolveError, VarId, WarmState};
+use bate_obs::{Counter, Histogram, Registry};
+use bate_routing::TunnelId;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Tolerance of the float KKT gate on warm answers.
+const CERT_TOL: f64 = 1e-6;
+
+/// Compact (rebuild the master from the live demands) once retired
+/// columns exceed this fraction of all columns…
+pub const COMPACT_DEAD_FRACTION: f64 = 0.3;
+/// …and at least this many columns are dead (small masters never compact;
+/// the rebuild would cost more than the dead weight).
+pub const COMPACT_DEAD_FLOOR: usize = 64;
+
+/// One demand-churn edit between scheduling rounds.
+#[derive(Debug, Clone)]
+pub enum DemandDelta {
+    /// A new demand enters the pool.
+    Add(BaDemand),
+    /// An admitted demand leaves the pool.
+    Remove(DemandId),
+    /// An admitted demand rescales every pair bandwidth by `factor`
+    /// (price rescales with it; β is unchanged).
+    Resize { id: DemandId, factor: f64 },
+}
+
+/// Counters the scheduler accumulates across its lifetime (survive
+/// compaction rebuilds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Deltas applied.
+    pub deltas: u64,
+    /// Master solves that reused a saved basis.
+    pub warm_rounds: u64,
+    /// Master solves that ran cold.
+    pub cold_rounds: u64,
+    /// Dual-simplex repair pivots across all warm solves.
+    pub dual_pivots: u64,
+    /// Warm answers that failed the KKT gate and were redone cold.
+    pub cert_fallbacks: u64,
+    /// Warm solves that errored and were retried from a cold workspace.
+    pub cold_retries: u64,
+    /// Full master rebuilds triggered by the dead-column threshold.
+    pub compactions: u64,
+}
+
+/// Registry handles for the incremental warm-start metric family.
+struct WarmMetrics {
+    rounds: Arc<Counter>,
+    cold_rounds: Arc<Counter>,
+    cert_fallbacks: Arc<Counter>,
+    dual_pivots: Arc<Counter>,
+    deltas: Arc<Counter>,
+    compactions: Arc<Counter>,
+    resolve_ms: Arc<Histogram>,
+}
+
+fn warm_metrics() -> &'static WarmMetrics {
+    static M: OnceLock<WarmMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = Registry::global();
+        WarmMetrics {
+            rounds: r.counter("bate_warm_rounds_total"),
+            cold_rounds: r.counter("bate_warm_cold_rounds_total"),
+            cert_fallbacks: r.counter("bate_warm_cert_fallbacks_total"),
+            dual_pivots: r.counter("bate_warm_dual_pivots_total"),
+            deltas: r.counter("bate_warm_deltas_total"),
+            compactions: r.counter("bate_warm_compactions_total"),
+            resolve_ms: r.histogram("bate_warm_resolve_ms"),
+        }
+    })
+}
+
+/// Force-register the incremental warm-start metric family so it renders
+/// (at zero) before the first delta round — the controller calls this at
+/// startup alongside the solver/admission families.
+pub fn register_metrics() {
+    let _ = warm_metrics();
+}
+
+/// Master-problem bookkeeping for one demand, live or retired.
+#[derive(Debug)]
+struct Slot {
+    demand: BaDemand,
+    profile: MaskedProfile,
+    /// `f[local pair][tunnel]`.
+    f_vars: Vec<Vec<VarId>>,
+    /// `B[collapsed state]`.
+    b_vars: Vec<VarId>,
+    /// Eq. 1 coverage rows, one per pair.
+    eq1_rows: Vec<usize>,
+    /// Eq. 4 availability row.
+    avail_row: usize,
+    /// Qualification rows present in the master, `[si * pairs + ki]`.
+    added: Vec<bool>,
+    alive: bool,
+    /// Touched by a delta since the last clean separation pass.
+    dirty: bool,
+}
+
+/// A row-generation scheduling master that survives demand churn.
+///
+/// All methods take the same [`TeContext`] the scheduler was created
+/// with; the context is borrowed per call because it borrows the
+/// topology/tunnels/scenarios (handing in a different context is a logic
+/// error and yields unspecified allocations).
+#[derive(Debug)]
+pub struct IncrementalScheduler {
+    warm: WarmState,
+    slots: Vec<Slot>,
+    capacities: Vec<f64>,
+    /// Row index of each link's capacity constraint (None: link unused
+    /// by any demand seen so far).
+    capacity_row: Vec<Option<usize>>,
+    /// Seed scenarios (most probable singles), fixed at construction.
+    tracked: Vec<usize>,
+    /// Columns retired by Remove/Resize, pending compaction.
+    dead_cols: usize,
+    stats: IncrementalStats,
+    last_solution: Option<Solution>,
+    ever_solved: bool,
+    force_cert_failure: bool,
+}
+
+impl IncrementalScheduler {
+    /// Empty scheduler over the full link capacities.
+    pub fn new(ctx: &TeContext) -> Self {
+        let caps: Vec<f64> = ctx.topo.links().map(|(_, l)| l.capacity).collect();
+        Self::with_capacities(ctx, caps)
+    }
+
+    /// Empty scheduler over explicit per-link capacities.
+    pub fn with_capacities(ctx: &TeContext, capacities: Vec<f64>) -> Self {
+        assert_eq!(capacities.len(), ctx.topo.num_links());
+        let tracked = ctx.scenarios.most_probable_singles(ROWGEN_SEED_SINGLES);
+        let capacity_row = vec![None; ctx.topo.num_links()];
+        IncrementalScheduler {
+            warm: WarmState::new(bate_lp::Problem::new(Sense::Minimize)),
+            slots: Vec::new(),
+            capacities,
+            capacity_row,
+            tracked,
+            dead_cols: 0,
+            stats: IncrementalStats::default(),
+            last_solution: None,
+            ever_solved: false,
+            force_cert_failure: false,
+        }
+    }
+
+    /// Lifetime counters (survive compactions).
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    /// The live demands, in admission order.
+    pub fn demands(&self) -> Vec<&BaDemand> {
+        self.slots
+            .iter()
+            .filter(|s| s.alive)
+            .map(|s| &s.demand)
+            .collect()
+    }
+
+    /// The current master problem — what the exact rational oracle
+    /// certifies the warm optimum against.
+    pub fn problem(&self) -> &bate_lp::Problem {
+        self.warm.problem()
+    }
+
+    /// The most recent accepted master optimum.
+    pub fn last_solution(&self) -> Option<&Solution> {
+        self.last_solution.as_ref()
+    }
+
+    /// Make the next warm-accepted answer fail its KKT gate, forcing the
+    /// cold-fallback path. Test hook for the fallback regression suite.
+    #[doc(hidden)]
+    pub fn force_cert_failure_once(&mut self) {
+        self.force_cert_failure = true;
+    }
+
+    /// Apply a batch of churn deltas and re-solve. Returns the new
+    /// schedule for the live demand set; the master, basis, and
+    /// separation state persist for the next call.
+    pub fn apply(
+        &mut self,
+        ctx: &TeContext,
+        deltas: &[DemandDelta],
+    ) -> Result<ScheduleResult, SolveError> {
+        let m = warm_metrics();
+        let t0 = Instant::now();
+        self.stats.deltas += deltas.len() as u64;
+        m.deltas.add(deltas.len() as u64);
+        for delta in deltas {
+            match delta {
+                DemandDelta::Add(d) => self.add_demand(ctx, d.clone(), None)?,
+                DemandDelta::Remove(id) => self.remove_demand(*id),
+                DemandDelta::Resize { id, factor } => self.resize_demand(ctx, *id, *factor)?,
+            }
+        }
+        if self.should_compact() {
+            self.compact(ctx)?;
+        }
+        let result = self.resolve(ctx);
+        m.resolve_ms.observe_ms(t0.elapsed());
+        result
+    }
+
+    /// Incremental admission: tentatively add `demand` and re-solve. On
+    /// success the demand stays admitted and its schedule is returned; if
+    /// the pool cannot carry it the tentative add is rolled back (the
+    /// demand is retired in place) and `Ok(None)` comes back with the
+    /// previous pool intact.
+    pub fn try_admit(
+        &mut self,
+        ctx: &TeContext,
+        demand: &BaDemand,
+    ) -> Result<Option<ScheduleResult>, SolveError> {
+        let id = demand.id;
+        match self.apply(ctx, std::slice::from_ref(&DemandDelta::Add(demand.clone()))) {
+            Ok(res) => Ok(Some(res)),
+            Err(SolveError::Infeasible) => {
+                // Roll back: retire the newcomer and restore the pool's
+                // schedule (the pre-add master was feasible, so this
+                // re-solve succeeds unless the pool itself was broken).
+                self.apply(ctx, &[DemandDelta::Remove(id)])?;
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    // --- delta application -------------------------------------------
+
+    /// `carry` is the previous incarnation's qualification bitmap (resize
+    /// and compaction): rows the separation oracle already paid to
+    /// discover are regenerated up front instead of being re-discovered
+    /// one master solve at a time. The collapse depends only on the
+    /// demand's pairs and the tracked set — both unchanged across a
+    /// resize/compaction — so the bitmap shape is guaranteed to match.
+    fn add_demand(
+        &mut self,
+        ctx: &TeContext,
+        demand: BaDemand,
+        carry: Option<Vec<bool>>,
+    ) -> Result<(), SolveError> {
+        assert!(
+            !self
+                .slots
+                .iter()
+                .any(|s| s.alive && s.demand.id == demand.id),
+            "demand {:?} is already admitted",
+            demand.id
+        );
+        let profile = MaskedProfile::collapse(ctx, &demand, &self.tracked);
+        let p = self.warm.problem_mut();
+
+        // Flow columns, objective 1.0 (minimize total bandwidth).
+        let mut f_vars: Vec<Vec<VarId>> = Vec::with_capacity(demand.bandwidth.len());
+        for &(pair, _) in &demand.bandwidth {
+            let tunnels = ctx.tunnels.tunnels(pair);
+            if tunnels.is_empty() {
+                return Err(SolveError::BadModel(format!(
+                    "demand {} requests a pair with no tunnels",
+                    demand.id.0
+                )));
+            }
+            let vars: Vec<VarId> = (0..tunnels.len())
+                .map(|t| {
+                    let v = p.add_var(&format!("f[{}][{pair}][{t}]", demand.id.0));
+                    p.set_objective(v, 1.0);
+                    v
+                })
+                .collect();
+            f_vars.push(vars);
+        }
+
+        // Eq. 1 coverage rows.
+        let mut eq1_rows = Vec::with_capacity(demand.bandwidth.len());
+        for (ki, &(_, b)) in demand.bandwidth.iter().enumerate() {
+            let terms: Vec<(VarId, f64)> = f_vars[ki].iter().map(|&v| (v, 1.0)).collect();
+            eq1_rows.push(p.add_constraint(&terms, Relation::Ge, b));
+        }
+
+        // Delivered-fraction columns and the seeded qualification rows
+        // (all-up state plus wherever the tracked singles collapsed to).
+        let b_vars: Vec<VarId> = (0..profile.len())
+            .map(|s| p.add_bounded_var(&format!("B[{}][{s}]", demand.id.0), 1.0))
+            .collect();
+        let pairs = demand.bandwidth.len();
+        let mut seeded = vec![false; profile.len()];
+        if !seeded.is_empty() {
+            seeded[0] = true;
+        }
+        for &si in &profile.tracked_states {
+            seeded[si] = true;
+        }
+        let carry = carry.filter(|c| c.len() == profile.len() * pairs);
+        let mut added = vec![false; profile.len() * pairs];
+        for (si, state) in profile.states.iter().enumerate() {
+            for (ki, &(_, b)) in demand.bandwidth.iter().enumerate() {
+                if !seeded[si] && !carry.as_ref().is_some_and(|c| c[si * pairs + ki]) {
+                    continue;
+                }
+                let mut terms: Vec<(VarId, f64)> = vec![(b_vars[si], b)];
+                for (ti, &fv) in f_vars[ki].iter().enumerate() {
+                    if state.masks[ki] >> ti & 1 == 1 {
+                        terms.push((fv, -1.0));
+                    }
+                }
+                p.add_constraint(&terms, Relation::Le, 0.0);
+                added[si * pairs + ki] = true;
+            }
+        }
+
+        // Eq. 4 availability row.
+        let avail_terms: Vec<(VarId, f64)> = b_vars
+            .iter()
+            .zip(&profile.states)
+            .map(|(&v, s)| (v, s.probability))
+            .collect();
+        let avail_row = p.add_constraint(&avail_terms, Relation::Ge, demand.beta);
+
+        // Splice the new flow columns into the capacity rows (Eq. 6);
+        // links no admitted demand has used yet get a fresh row.
+        let mut per_link: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); self.capacity_row.len()];
+        for (ki, &(pair, _)) in demand.bandwidth.iter().enumerate() {
+            for (ti, &fv) in f_vars[ki].iter().enumerate() {
+                let path = ctx.tunnels.path(TunnelId { pair, tunnel: ti });
+                for &l in &path.links {
+                    per_link[l.index()].push((fv, 1.0));
+                }
+            }
+        }
+        for (li, terms) in per_link.iter().enumerate() {
+            if terms.is_empty() {
+                continue;
+            }
+            match self.capacity_row[li] {
+                Some(row) => p.extend_constraint(row, terms),
+                None => {
+                    self.capacity_row[li] =
+                        Some(p.add_constraint(terms, Relation::Le, self.capacities[li]));
+                }
+            }
+        }
+
+        self.slots.push(Slot {
+            demand,
+            profile,
+            f_vars,
+            b_vars,
+            eq1_rows,
+            avail_row,
+            added,
+            alive: true,
+            dirty: true,
+        });
+        Ok(())
+    }
+
+    fn remove_demand(&mut self, id: DemandId) {
+        let Some(slot) = self.slots.iter_mut().find(|s| s.alive && s.demand.id == id) else {
+            return; // removing an unknown demand is a no-op
+        };
+        let p = self.warm.problem_mut();
+        let mut retired = 0usize;
+        for per_pair in &slot.f_vars {
+            for &v in per_pair {
+                p.set_var_upper(v, 0.0);
+                retired += 1;
+            }
+        }
+        for &v in &slot.b_vars {
+            p.set_var_upper(v, 0.0);
+            retired += 1;
+        }
+        // The `≥` rows must release (Σf ≥ 0 and Σ p·B ≥ 0 are vacuous);
+        // the `≤` qualification rows hold trivially at zero and stay.
+        for &row in &slot.eq1_rows {
+            p.set_rhs(row, 0.0);
+        }
+        p.set_rhs(slot.avail_row, 0.0);
+        slot.alive = false;
+        slot.dirty = false;
+        self.dead_cols += retired;
+    }
+
+    fn resize_demand(
+        &mut self,
+        ctx: &TeContext,
+        id: DemandId,
+        factor: f64,
+    ) -> Result<(), SolveError> {
+        assert!(factor > 0.0, "resize factor must be positive");
+        let Some(slot) = self.slots.iter().find(|s| s.alive && s.demand.id == id) else {
+            return Ok(()); // resizing an unknown demand is a no-op
+        };
+        // `b` is a coefficient of every qualification row, so a resize is
+        // remove + re-add under the same id (the in-place contract only
+        // covers rhs and bound edits). The qualification rows already
+        // generated for the old incarnation carry over — which rows bind
+        // depends on the availability patterns, not the magnitude of `b`.
+        let mut demand = slot.demand.clone();
+        let carried = slot.added.clone();
+        for (_, b) in &mut demand.bandwidth {
+            *b *= factor;
+        }
+        demand.price *= factor;
+        self.remove_demand(id);
+        self.add_demand(ctx, demand, Some(carried))
+    }
+
+    // --- compaction ---------------------------------------------------
+
+    fn should_compact(&self) -> bool {
+        let total = self.warm.problem().num_vars();
+        self.dead_cols >= COMPACT_DEAD_FLOOR
+            && total > 0
+            && (self.dead_cols as f64) > COMPACT_DEAD_FRACTION * (total as f64)
+    }
+
+    /// Rebuild the master from the live demands only. Loses the basis
+    /// (the next solve is cold) but sheds every retired column and row.
+    fn compact(&mut self, ctx: &TeContext) -> Result<(), SolveError> {
+        let live: Vec<(BaDemand, Vec<bool>)> = self
+            .slots
+            .iter()
+            .filter(|s| s.alive)
+            .map(|s| (s.demand.clone(), s.added.clone()))
+            .collect();
+        let mut fresh = IncrementalScheduler::with_capacities(ctx, self.capacities.clone());
+        for (d, added) in live {
+            // The discovered cut pool survives the rebuild; only the
+            // basis is lost (the next solve is cold).
+            fresh.add_demand(ctx, d, Some(added))?;
+        }
+        fresh.stats = self.stats;
+        fresh.stats.compactions += 1;
+        warm_metrics().compactions.inc();
+        *self = fresh;
+        Ok(())
+    }
+
+    // --- the warm solve loop ------------------------------------------
+
+    /// One master solve, with the cold-retry pattern: a failed solve on an
+    /// armed workspace is retried once from scratch before the error
+    /// propagates (a warm install can degenerate-cycle into the simplex
+    /// guards on an LP that solves cleanly cold).
+    fn solve_master(&mut self) -> Result<Solution, SolveError> {
+        match self.warm.solve() {
+            Ok(sol) => Ok(sol),
+            Err(_) if self.ever_solved => {
+                self.stats.cold_retries += 1;
+                self.warm.rebuild_cold();
+                self.warm.solve()
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Gate a warm answer behind the float KKT certificate; fall back to
+    /// a cold re-solve when it fails (or when the test hook forces it).
+    fn certify(&mut self, sol: Solution) -> Result<Solution, SolveError> {
+        if !sol.stats.warm_start {
+            return Ok(sol);
+        }
+        let forced = std::mem::take(&mut self.force_cert_failure);
+        if !forced && quick_check(self.warm.problem(), &sol, CERT_TOL) {
+            return Ok(sol);
+        }
+        self.stats.cert_fallbacks += 1;
+        warm_metrics().cert_fallbacks.inc();
+        self.warm.rebuild_cold();
+        self.warm.solve()
+    }
+
+    /// Separation sweep. `dirty_only` restricts the sweep to the slots a
+    /// delta touched (the fast path); the certifying pass that ends every
+    /// round always covers the full live set.
+    fn separate(&self, sol: &Solution, dirty_only: bool) -> Vec<(usize, Vec<(usize, usize)>)> {
+        let idx: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive && (!dirty_only || s.dirty))
+            .map(|(i, _)| i)
+            .collect();
+        let hits: Vec<Vec<(usize, usize)>> = bate_lp::par_map(&idx, |&i| {
+            let slot = &self.slots[i];
+            let f_vals: Vec<Vec<f64>> = slot
+                .f_vars
+                .iter()
+                .map(|per_pair| per_pair.iter().map(|&v| sol[v]).collect())
+                .collect();
+            let b_vals: Vec<f64> = slot.b_vars.iter().map(|&v| sol[v]).collect();
+            separate_demand(&slot.demand, &slot.profile, &f_vals, &b_vals, &slot.added)
+        });
+        idx.into_iter()
+            .zip(hits)
+            .filter(|(_, v)| !v.is_empty())
+            .collect()
+    }
+
+    fn append_cuts(&mut self, violated: &[(usize, Vec<(usize, usize)>)]) -> u64 {
+        let mut fresh = 0u64;
+        for &(i, ref rows) in violated {
+            let slot = &mut self.slots[i];
+            let pairs = slot.demand.bandwidth.len();
+            for &(si, ki) in rows {
+                let b = slot.demand.bandwidth[ki].1;
+                let mut terms: Vec<(VarId, f64)> = vec![(slot.b_vars[si], b)];
+                for (ti, &fv) in slot.f_vars[ki].iter().enumerate() {
+                    if slot.profile.states[si].masks[ki] >> ti & 1 == 1 {
+                        terms.push((fv, -1.0));
+                    }
+                }
+                self.warm.problem_mut().add_constraint(&terms, Relation::Le, 0.0);
+                slot.added[si * pairs + ki] = true;
+                fresh += 1;
+            }
+        }
+        fresh
+    }
+
+    /// The warm row-generation loop: solve, gate, separate (delta-touched
+    /// slots first, then the certifying full pass), cut, repeat.
+    fn resolve(&mut self, ctx: &TeContext) -> Result<ScheduleResult, SolveError> {
+        let m = warm_metrics();
+        let mut rg = RowGenStats::default();
+        let fallbacks_before = self.stats.cert_fallbacks;
+        let sol = loop {
+            let sol = match self.solve_master().and_then(|s| self.certify(s)) {
+                Ok(sol) => sol,
+                Err(e) => {
+                    // A dirty master must not poison the next round: the
+                    // workspace already dropped its basis on the error
+                    // path, so the next apply() starts cold.
+                    self.last_solution = None;
+                    return Err(e);
+                }
+            };
+            self.ever_solved = true;
+            rg.rounds += 1;
+            if sol.stats.warm_start {
+                self.stats.warm_rounds += 1;
+                rg.warm_rounds += 1;
+                m.rounds.inc();
+            } else {
+                self.stats.cold_rounds += 1;
+                m.rounds.inc();
+                m.cold_rounds.inc();
+            }
+            self.stats.dual_pivots += sol.stats.dual_pivots;
+            rg.dual_repair_pivots += sol.stats.dual_pivots;
+            m.dual_pivots.add(sol.stats.dual_pivots);
+
+            let t_sep = Instant::now();
+            let mut violated = self.separate(&sol, true);
+            if violated.is_empty() {
+                violated = self.separate(&sol, false);
+            }
+            rg.separation_ns += t_sep.elapsed().as_nanos() as u64;
+            let fresh = self.append_cuts(&violated);
+            rg.rows_per_round.push(fresh as u32);
+            if fresh == 0 {
+                break sol;
+            }
+            rg.rows_added += fresh;
+        };
+        for slot in &mut self.slots {
+            slot.dirty = false;
+        }
+        rg.cert_fallbacks = (self.stats.cert_fallbacks - fallbacks_before) as u32;
+        rg.master_rows = self.warm.problem().num_constraints() as u32;
+        rg.full_rows = self.full_formulation_rows() as u32;
+
+        let result = self.extract(ctx, &sol, rg);
+        self.last_solution = Some(sol);
+        Ok(result)
+    }
+
+    /// Rows the batch full formulation would carry for the live set.
+    fn full_formulation_rows(&self) -> usize {
+        let qual: usize = self
+            .slots
+            .iter()
+            .filter(|s| s.alive)
+            .map(|s| s.profile.len() * s.demand.bandwidth.len() + s.eq1_rows.len() + 1)
+            .sum();
+        qual + self.capacity_row.iter().filter(|r| r.is_some()).count()
+    }
+
+    fn extract(&self, ctx: &TeContext, sol: &Solution, rg: RowGenStats) -> ScheduleResult {
+        let link_prices: Vec<f64> = match &sol.duals {
+            Some(duals) => self
+                .capacity_row
+                .iter()
+                .map(|row| row.map(|r| duals[r].abs()).unwrap_or(0.0))
+                .collect(),
+            None => vec![0.0; ctx.topo.num_links()],
+        };
+        let mut allocation = Allocation::new();
+        for slot in self.slots.iter().filter(|s| s.alive) {
+            for (ki, &(pair, _)) in slot.demand.bandwidth.iter().enumerate() {
+                for (ti, &fv) in slot.f_vars[ki].iter().enumerate() {
+                    let f = sol[fv];
+                    if f > 1e-9 {
+                        allocation.set(slot.demand.id, TunnelId { pair, tunnel: ti }, f);
+                    }
+                }
+            }
+        }
+        ScheduleResult {
+            total_bandwidth: sol.objective,
+            allocation,
+            link_prices,
+            solve_stats: sol.stats.clone(),
+            rowgen: Some(rg),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduling::{schedule_with_capacities_mode, SolveMode};
+    use bate_net::{topologies, ScenarioSet};
+    use bate_routing::{RoutingScheme, TunnelSet};
+
+    fn ctx_parts() -> (bate_net::Topology, TunnelSet, ScenarioSet) {
+        let topo = topologies::toy4();
+        let tunnels = TunnelSet::compute(&topo, RoutingScheme::Ksp(2));
+        let scenarios = ScenarioSet::enumerate(&topo, 3);
+        (topo, tunnels, scenarios)
+    }
+
+    fn cold_objective(ctx: &TeContext, demands: &[BaDemand]) -> f64 {
+        let caps: Vec<f64> = ctx.topo.links().map(|(_, l)| l.capacity).collect();
+        schedule_with_capacities_mode(ctx, demands, &caps, SolveMode::Full)
+            .unwrap()
+            .total_bandwidth
+    }
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() <= 1e-6 * (1.0 + a.abs()), "{a} != {b}");
+    }
+
+    #[test]
+    fn incremental_add_matches_batch_cold() {
+        let (topo, tunnels, scenarios) = ctx_parts();
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+        let d1 = BaDemand::single(1, pair, 4000.0, 0.99);
+        let d2 = BaDemand::single(2, pair, 6000.0, 0.9);
+
+        let mut inc = IncrementalScheduler::new(&ctx);
+        let r1 = inc
+            .apply(&ctx, &[DemandDelta::Add(d1.clone())])
+            .unwrap();
+        approx(r1.total_bandwidth, cold_objective(&ctx, std::slice::from_ref(&d1)));
+
+        let r2 = inc
+            .apply(&ctx, &[DemandDelta::Add(d2.clone())])
+            .unwrap();
+        approx(r2.total_bandwidth, cold_objective(&ctx, &[d1, d2]));
+        // The second round rides the saved basis.
+        let rg = r2.rowgen.unwrap();
+        assert!(rg.warm_rounds > 0, "second round should warm-start: {rg:?}");
+        assert!(inc.stats().warm_rounds > 0);
+    }
+
+    #[test]
+    fn remove_releases_capacity_and_matches_cold() {
+        let (topo, tunnels, scenarios) = ctx_parts();
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+        let d1 = BaDemand::single(1, pair, 4000.0, 0.99);
+        let d2 = BaDemand::single(2, pair, 6000.0, 0.9);
+
+        let mut inc = IncrementalScheduler::new(&ctx);
+        inc.apply(
+            &ctx,
+            &[DemandDelta::Add(d1.clone()), DemandDelta::Add(d2.clone())],
+        )
+        .unwrap();
+        let r = inc
+            .apply(&ctx, &[DemandDelta::Remove(d1.id)])
+            .unwrap();
+        approx(r.total_bandwidth, cold_objective(&ctx, std::slice::from_ref(&d2)));
+        assert_eq!(inc.demands().len(), 1);
+        // The retired demand carries no flow.
+        assert_eq!(r.allocation.flows_of(d1.id).count(), 0);
+    }
+
+    #[test]
+    fn resize_matches_cold_at_new_rate() {
+        let (topo, tunnels, scenarios) = ctx_parts();
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+        let d = BaDemand::single(1, pair, 4000.0, 0.99);
+
+        let mut inc = IncrementalScheduler::new(&ctx);
+        inc.apply(&ctx, &[DemandDelta::Add(d.clone())]).unwrap();
+        let r = inc
+            .apply(&ctx, &[DemandDelta::Resize { id: d.id, factor: 1.5 }])
+            .unwrap();
+        let resized = BaDemand::single(1, pair, 6000.0, 0.99);
+        approx(r.total_bandwidth, cold_objective(&ctx, &[resized]));
+    }
+
+    #[test]
+    fn try_admit_rolls_back_on_infeasible() {
+        let (topo, tunnels, scenarios) = ctx_parts();
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+        let d1 = BaDemand::single(1, pair, 4000.0, 0.9);
+        // 30 Gbps through a 20 Gbps cut — infeasible.
+        let hog = BaDemand::single(2, pair, 30_000.0, 0.5);
+        let d3 = BaDemand::single(3, pair, 2000.0, 0.9);
+
+        let mut inc = IncrementalScheduler::new(&ctx);
+        inc.apply(&ctx, &[DemandDelta::Add(d1.clone())]).unwrap();
+        assert!(inc.try_admit(&ctx, &hog).unwrap().is_none());
+        assert_eq!(inc.demands().len(), 1, "rejected demand must not linger");
+        // The pool still works after the rollback.
+        let r = inc.try_admit(&ctx, &d3).unwrap().unwrap();
+        approx(r.total_bandwidth, cold_objective(&ctx, &[d1, d3]));
+    }
+
+    #[test]
+    fn forced_cert_failure_falls_back_cold_and_stays_correct() {
+        let (topo, tunnels, scenarios) = ctx_parts();
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+        let d = BaDemand::single(1, pair, 4000.0, 0.99);
+
+        let mut inc = IncrementalScheduler::new(&ctx);
+        inc.apply(&ctx, &[DemandDelta::Add(d.clone())]).unwrap();
+        inc.force_cert_failure_once();
+        // An empty delta round re-solves warm; the forced gate failure
+        // must reroute it through the cold path without changing the
+        // answer.
+        let r = inc.apply(&ctx, &[]).unwrap();
+        assert_eq!(inc.stats().cert_fallbacks, 1);
+        assert!(!r.solve_stats.warm_start, "fallback answer must be cold");
+        approx(r.total_bandwidth, cold_objective(&ctx, &[d]));
+    }
+
+    #[test]
+    fn churned_master_compacts_past_dead_threshold() {
+        let (topo, tunnels, scenarios) = ctx_parts();
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+
+        let mut inc = IncrementalScheduler::new(&ctx);
+        let keeper = BaDemand::single(0, pair, 1000.0, 0.9);
+        inc.apply(&ctx, &[DemandDelta::Add(keeper.clone())]).unwrap();
+        // Churn enough transient demands through to cross the dead-column
+        // threshold and trigger at least one compaction.
+        for i in 1..=40u64 {
+            let d = BaDemand::single(i, pair, 500.0, 0.9);
+            inc.apply(&ctx, &[DemandDelta::Add(d)]).unwrap();
+            let r = inc
+                .apply(&ctx, &[DemandDelta::Remove(DemandId(i))])
+                .unwrap();
+            approx(r.total_bandwidth, 1000.0);
+        }
+        assert!(inc.stats().compactions > 0, "{:?}", inc.stats());
+        let r = inc.apply(&ctx, &[]).unwrap();
+        approx(r.total_bandwidth, cold_objective(&ctx, &[keeper]));
+    }
+
+    #[test]
+    fn warm_optimum_passes_exact_certificate() {
+        let (topo, tunnels, scenarios) = ctx_parts();
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+        let mut inc = IncrementalScheduler::new(&ctx);
+        inc.apply(&ctx, &[DemandDelta::Add(BaDemand::single(1, pair, 4000.0, 0.99))])
+            .unwrap();
+        inc.apply(&ctx, &[DemandDelta::Add(BaDemand::single(2, pair, 3000.0, 0.9))])
+            .unwrap();
+        assert!(inc.stats().warm_rounds > 0);
+        let sol = inc.last_solution().unwrap();
+        bate_lp::exact::verify_certificate(inc.problem(), sol).unwrap();
+    }
+}

@@ -58,6 +58,7 @@
 pub mod admission;
 pub mod allocation;
 pub mod demand;
+pub mod incremental;
 pub mod pricing;
 pub mod profile;
 pub mod recovery;
@@ -73,7 +74,13 @@ pub use bate_obs::clock;
 pub use allocation::Allocation;
 pub use clock::{Clock, SimClock, SystemClock};
 pub use demand::{AvailabilityClass, BaDemand, DemandId};
+pub use incremental::{DemandDelta, IncrementalScheduler, IncrementalStats};
 pub use pricing::SlaSchedule;
+
+/// The solver error type, re-exported so downstream crates (sim, system)
+/// can name the errors our scheduling/admission APIs return without
+/// depending on `bate-lp` directly.
+pub use bate_lp::SolveError;
 
 use bate_net::{ScenarioSet, Topology};
 use bate_routing::TunnelSet;

@@ -86,6 +86,15 @@ pub struct RowGenStats {
     /// Wall-clock nanoseconds spent in the separation oracle
     /// (informational; nondeterministic).
     pub separation_ns: u64,
+    /// Master solves that reused a saved basis. Always 0 for the batch
+    /// rowgen path above (it re-verifies optima cold); filled by the
+    /// incremental scheduler ([`crate::incremental`]), whose warm answers
+    /// are gated by the float KKT certificate instead.
+    pub warm_rounds: u32,
+    /// Dual-simplex repair pivots across the warm master solves.
+    pub dual_repair_pivots: u64,
+    /// Warm answers that failed the KKT gate and were redone cold.
+    pub cert_fallbacks: u32,
 }
 
 /// Result of a scheduling round.

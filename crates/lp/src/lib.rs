@@ -47,6 +47,7 @@ pub mod problem;
 pub mod simplex;
 pub mod solution;
 pub mod stats;
+pub mod warm;
 
 pub use error::SolveError;
 pub use export::LpParseError;
@@ -56,6 +57,7 @@ pub use milp::{solve_lazy, solve_traced_lazy, LazyRow};
 pub use simplex::{Basis, Workspace};
 pub use solution::Solution;
 pub use stats::{IncumbentPoint, MilpStats, SolveStats};
+pub use warm::{quick_check, WarmState, WarmStats};
 
 /// Default numerical tolerance used across the solver for feasibility and
 /// optimality tests.

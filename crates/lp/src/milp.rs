@@ -11,9 +11,9 @@
 //! popped per round, independent of thread count) fanned out over
 //! [`crate::par::par_map_with`], then processed strictly in batch order:
 //! node accounting, incumbent updates, pruning, and branching all happen
-//! sequentially. Because each node's relaxation depends only on the problem,
-//! its bound overrides, and its parent's final basis (all properties of the
-//! search tree, never of worker scheduling), the solver returns
+//! sequentially. Because each node's relaxation depends only on the problem
+//! and its bound overrides (properties of the search tree, never of worker
+//! scheduling — every node solves cold), the solver returns
 //! **byte-identical results for any thread count** — including 1. The cost
 //! is bounded speculation: an incumbent found at position `i` of a batch
 //! cannot cancel the (already evaluated) relaxations at positions `> i`, so
@@ -22,15 +22,13 @@
 //!
 //! Each worker thread owns a [`simplex::Workspace`], so tableau buffers and
 //! the prepared sparse rows are reused across the nodes of its chunk; each
-//! node explicitly installs its parent's basis (or none, for the root), so
-//! workspace history never leaks into results.
-
-use std::sync::Arc;
+//! node explicitly clears the workspace's warm state, so workspace history
+//! never leaks into results.
 
 use crate::error::SolveError;
 use crate::par::par_map_with;
 use crate::problem::{Problem, Relation, Sense, VarId, VarKind};
-use crate::simplex::{self, Basis, BoundOverride};
+use crate::simplex::{self, BoundOverride};
 use crate::solution::Solution;
 use crate::stats::{IncumbentPoint, MilpStats};
 use crate::INT_EPS;
@@ -200,12 +198,8 @@ pub fn solve_traced_lazy(
     let mut nodes = 0usize;
     struct Node {
         bounds: Vec<BoundOverride>,
-        warm: Option<Arc<Basis>>,
     }
-    let mut stack: Vec<Node> = vec![Node {
-        bounds: Vec::new(),
-        warm: None,
-    }];
+    let mut stack: Vec<Node> = vec![Node { bounds: Vec::new() }];
     let mut batch: Vec<Node> = Vec::with_capacity(NODE_BATCH);
 
     while !stack.is_empty() {
@@ -225,20 +219,26 @@ pub fn solve_traced_lazy(
         // of this row count; rows appended while processing earlier
         // batch-mates are re-checked explicitly below.
         let rows_at_solve = problem.num_constraints();
-        let evaluated: Vec<(Result<Solution, SolveError>, Option<Basis>)> = {
+        let evaluated: Vec<Result<Solution, SolveError>> = {
             let prob: &Problem = problem;
             par_map_with(&batch, simplex::Workspace::new, |ws, node: &Node| {
-                ws.set_warm(node.warm.as_deref().cloned());
-                let relax = simplex::solve_with(prob, &node.bounds, ws);
-                let basis = ws.final_basis();
-                (relax, basis)
+                // Cold per node: a reused workspace re-arms its own final
+                // basis after every solve, and honoring it here would make
+                // the relaxation's vertex (and hence branching) depend on
+                // which chunk-mate ran before — see `par_map_with`'s
+                // determinism caveat. Clearing keeps every node on the
+                // cold pivot path the node budgets were sized against;
+                // warm starts live in the round-to-round scheduling flow
+                // ([`crate::warm`]), not inside the tree search.
+                ws.set_warm(None);
+                simplex::solve_with(prob, &node.bounds, ws)
             })
         };
 
         // Process strictly in batch order (see [`solve_traced`]); the
         // separation oracle runs here, sequentially, so the row pool grows
         // in a thread-count-independent order.
-        for (node, (relax, basis)) in batch.drain(..).zip(evaluated) {
+        for (node, relax) in batch.drain(..).zip(evaluated) {
             if nodes >= config.max_nodes {
                 return incumbent
                     .map(|s| (s, stats))
@@ -267,10 +267,7 @@ pub fn solve_traced_lazy(
             // master (its stale objective is still a valid bound, so the
             // pruning test above stays exact).
             if violates_rows_since(problem, rows_at_solve, &relax.values) {
-                stack.push(Node {
-                    bounds: node.bounds,
-                    warm: None,
-                });
+                stack.push(Node { bounds: node.bounds });
                 continue;
             }
 
@@ -281,14 +278,10 @@ pub fn solve_traced_lazy(
                 for cut in &cuts {
                     problem.add_constraint(&cut.terms, cut.relation, cut.rhs);
                 }
-                // Re-queue against the tightened master. Rows changed, so
-                // the parent basis no longer fits the layout; the
-                // re-evaluation solves cold. Later batches (fresh
-                // workspaces) re-prepare automatically.
-                stack.push(Node {
-                    bounds: node.bounds,
-                    warm: None,
-                });
+                // Re-queue against the tightened master. Later batches
+                // re-prepare their workspaces against the grown row set
+                // automatically.
+                stack.push(Node { bounds: node.bounds });
                 continue;
             }
 
@@ -321,10 +314,7 @@ pub fn solve_traced_lazy(
                         continue;
                     }
                     if violates_rows_since(problem, rows_at_solve, &vals) {
-                        stack.push(Node {
-                            bounds: node.bounds,
-                            warm: None,
-                        });
+                        stack.push(Node { bounds: node.bounds });
                         continue;
                     }
                     let cand = Solution {
@@ -340,10 +330,7 @@ pub fn solve_traced_lazy(
                         for cut in &cuts {
                             problem.add_constraint(&cut.terms, cut.relation, cut.rhs);
                         }
-                        stack.push(Node {
-                            bounds: node.bounds,
-                            warm: None,
-                        });
+                        stack.push(Node { bounds: node.bounds });
                         continue;
                     }
                     incumbent_cost = cost;
@@ -363,19 +350,12 @@ pub fn solve_traced_lazy(
                     } else {
                         (up, down)
                     };
-                    let warm = basis.map(Arc::new);
                     let mut b1 = node.bounds.clone();
                     b1.push(first);
-                    stack.push(Node {
-                        bounds: b1,
-                        warm: warm.clone(),
-                    });
+                    stack.push(Node { bounds: b1 });
                     let mut b2 = node.bounds;
                     b2.push(second);
-                    stack.push(Node {
-                        bounds: b2,
-                        warm,
-                    });
+                    stack.push(Node { bounds: b2 });
                 }
             }
         }
@@ -443,16 +423,11 @@ pub fn solve_traced(
     let mut incumbent_cost = f64::INFINITY; // sign * objective
     let mut nodes = 0usize;
     let mut stats = MilpStats::default();
-    // DFS stack of nodes: tightened bounds plus the parent's final basis
-    // for warm-starting the child relaxation.
+    // DFS stack of nodes: the tightened bounds fully describe a node.
     struct Node {
         bounds: Vec<BoundOverride>,
-        warm: Option<Arc<Basis>>,
     }
-    let mut stack: Vec<Node> = vec![Node {
-        bounds: Vec::new(),
-        warm: None,
-    }];
+    let mut stack: Vec<Node> = vec![Node { bounds: Vec::new() }];
     let mut batch: Vec<Node> = Vec::with_capacity(NODE_BATCH);
 
     while !stack.is_empty() {
@@ -476,21 +451,23 @@ pub fn solve_traced(
                 None => break,
             }
         }
-        let evaluated: Vec<(Result<Solution, SolveError>, Option<Basis>)> = par_map_with(
+        let evaluated: Vec<Result<Solution, SolveError>> = par_map_with(
             &batch,
             simplex::Workspace::new,
             |ws, node: &Node| {
-                ws.set_warm(node.warm.as_deref().cloned());
-                let relax = simplex::solve_with(problem, &node.bounds, ws);
-                let basis = ws.final_basis();
-                (relax, basis)
+                // Cold per node (matching [`solve_traced_lazy`]): clearing
+                // the workspace's re-armed basis keeps each relaxation's
+                // vertex a function of the node alone, never of which
+                // chunk-mate ran before it on this worker.
+                ws.set_warm(None);
+                simplex::solve_with(problem, &node.bounds, ws)
             },
         );
 
         // Process strictly in batch order: this loop is the only place
         // search state (incumbent, node budget, stack) changes, so results
         // do not depend on how the batch was scheduled over threads.
-        for (node, (relax, basis)) in batch.drain(..).zip(evaluated) {
+        for (node, relax) in batch.drain(..).zip(evaluated) {
             if nodes >= config.max_nodes {
                 // Out of budget: report the incumbent if we have one.
                 return incumbent
@@ -563,20 +540,12 @@ pub fn solve_traced(
                     } else {
                         (up, down)
                     };
-                    // Children warm-start from this node's optimal basis.
-                    let warm = basis.map(Arc::new);
                     let mut b1 = node.bounds.clone();
                     b1.push(first);
-                    stack.push(Node {
-                        bounds: b1,
-                        warm: warm.clone(),
-                    });
+                    stack.push(Node { bounds: b1 });
                     let mut b2 = node.bounds;
                     b2.push(second);
-                    stack.push(Node {
-                        bounds: b2,
-                        warm,
-                    });
+                    stack.push(Node { bounds: b2 });
                 }
             }
         }
@@ -675,7 +644,7 @@ mod tests {
         // A MILP big enough to branch repeatedly: a 12-item knapsack with
         // two capacity rows. Every thread count must produce bit-identical
         // objective and values (node evaluation is batch-synchronous and
-        // warm bases come from the tree, not the schedule).
+        // every relaxation solves cold, independent of worker chunking).
         let mut p = Problem::new(Sense::Maximize);
         let items: Vec<_> = (0..12).map(|i| p.add_binary_var(&format!("x{i}"))).collect();
         for (i, &x) in items.iter().enumerate() {

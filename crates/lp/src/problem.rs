@@ -159,6 +159,58 @@ impl Problem {
         self.constraints.len() - 1
     }
 
+    /// Replace the right-hand side of constraint `row`.
+    ///
+    /// The row's coefficients and relation are untouched, so a cached
+    /// [`Workspace`](crate::Workspace) layout stays valid — callers only
+    /// need to re-sync the rhs (see `Workspace::sync_rhs`).
+    pub fn set_rhs(&mut self, row: usize, rhs: f64) {
+        self.constraints[row].rhs = rhs;
+    }
+
+    /// Right-hand side of constraint `row`.
+    pub fn rhs(&self, row: usize) -> f64 {
+        self.constraints[row].rhs
+    }
+
+    /// Replace the upper bound of `var` (`f64::INFINITY` for unbounded).
+    ///
+    /// Bounds are variable attributes, not rows, so tightening or relaxing
+    /// one never changes a cached workspace layout. Setting the bound to
+    /// zero is the warm-start idiom for retiring a column in place.
+    pub fn set_var_upper(&mut self, var: VarId, upper: f64) {
+        assert!(upper >= 0.0, "upper bound must be non-negative");
+        self.vars[var.0].upper = upper;
+    }
+
+    /// Upper bound of `var`.
+    pub fn var_upper(&self, var: VarId) -> f64 {
+        self.vars[var.0].upper
+    }
+
+    /// Append extra terms to an existing constraint row.
+    ///
+    /// Every appended term must reference a variable **not already present**
+    /// in the row: the existing terms stay a frozen prefix, which is what
+    /// lets a cached workspace treat the old row as unchanged and splice in
+    /// only the new columns (see `Workspace::append_cols`). Zero
+    /// coefficients are dropped.
+    pub fn extend_constraint(&mut self, row: usize, terms: &[(VarId, f64)]) {
+        let c = &mut self.constraints[row];
+        for &(v, coef) in terms {
+            assert!(v.0 < self.vars.len(), "variable from another problem");
+            if coef == 0.0 {
+                continue;
+            }
+            assert!(
+                !c.terms.iter().any(|&(i, _)| i == v.0),
+                "extend_constraint: variable {} already in row {row}",
+                v.0
+            );
+            c.terms.push((v.0, coef));
+        }
+    }
+
     /// Number of decision variables.
     pub fn num_vars(&self) -> usize {
         self.vars.len()

@@ -97,6 +97,12 @@ enum Install {
     /// artificial-basic form (appended rows the warm point violates);
     /// phase 1 runs from the warm point and only drives those out.
     NeedsPhase1,
+    /// The basis was installed but some basic variables sit outside their
+    /// box (the rhs/bound-edit pattern: a shrunk upper bound or tightened
+    /// rhs pushed them out). The dual simplex repairs exactly those rows
+    /// from the still-dual-feasible warm point (see
+    /// [`Tableau::dual_iterate`]) instead of restarting phase 1.
+    NeedsDualRepair,
     /// The basis no longer fits; the caller rebuilds and solves cold.
     Reject,
 }
@@ -264,6 +270,118 @@ impl Workspace {
         }
         true
     }
+
+    /// Extend the prepared column set with the variables appended to
+    /// `problem` since this workspace last solved it — the dual of
+    /// [`Workspace::append_rows`], used by the incremental scheduling path
+    /// when a demand *add* widens existing capacity rows with new flow
+    /// columns.
+    ///
+    /// Only the first `m_old` (already-prepared) rows are spliced here;
+    /// rows appended alongside the new columns are handled by a following
+    /// [`Workspace::append_rows`] call, which is why the sync order is
+    /// always columns-then-rows. Existing rows may only have *grown*: their
+    /// old terms stay a frozen prefix (see [`Problem::extend_constraint`])
+    /// and every suffix term references a newly appended variable. Slack
+    /// and artificial columns shift up by the number of new structural
+    /// columns; the saved warm basis is remapped in place under that shift,
+    /// and the new columns enter nonbasic at their lower bound — the next
+    /// solve prices them into the existing basis instead of starting cold.
+    ///
+    /// Returns `false` — leaving the workspace untouched, the caller
+    /// rebuilds and solves cold — when the workspace holds no prepared
+    /// state for a column-prefix of `problem` (fewer variables or rows than
+    /// prepared, or a suffix term referencing a pre-existing variable).
+    /// Like [`Workspace::append_rows`] this is a structural fingerprint,
+    /// not a content hash: in-place edits of existing coefficients are the
+    /// caller's contract to avoid.
+    pub fn append_cols(&mut self, problem: &Problem) -> bool {
+        let Some(prepared) = self.prepared.as_mut() else {
+            return false;
+        };
+        let (n_old, m_old, _) = prepared.fingerprint;
+        let n_new = problem.num_vars();
+        if n_new < n_old || problem.constraints.len() < m_old {
+            return false;
+        }
+        for (i, c) in problem.constraints[..m_old].iter().enumerate() {
+            let old_len = prepared.terms[i].len();
+            if c.terms.len() < old_len {
+                return false;
+            }
+            if c.terms[old_len..].iter().any(|&(j, _)| j < n_old) {
+                return false;
+            }
+        }
+        let k = n_new - n_old;
+        if k == 0 {
+            return true; // no columns appended (suffix check forces extra == 0)
+        }
+        for (i, c) in problem.constraints[..m_old].iter().enumerate() {
+            let old_len = prepared.terms[i].len();
+            prepared.terms[i].extend_from_slice(&c.terms[old_len..]);
+        }
+        for sc in prepared.slack_col.iter_mut() {
+            if *sc != usize::MAX {
+                *sc += k;
+            }
+        }
+        for ac in prepared.art_col.iter_mut() {
+            *ac += k;
+        }
+        prepared.first_artificial += k;
+        let cols_old = prepared.cols;
+        prepared.cols += k;
+        let nnz: usize = prepared.terms.iter().map(|t| t.len()).sum();
+        prepared.fingerprint = (n_new, m_old, nnz);
+
+        // Remap the warm basis: structural columns keep their indices, the
+        // slack/artificial blocks shift past the appended columns, and the
+        // new columns rest nonbasic at their lower bound.
+        let mut keep = false;
+        if let Some(basis) = self.warm.as_mut() {
+            if basis.rows.len() == m_old && basis.at_upper.len() == cols_old {
+                for b in basis.rows.iter_mut() {
+                    if *b >= n_old {
+                        *b += k;
+                    }
+                }
+                let mut at_upper = vec![false; prepared.cols];
+                for (c, &up) in basis.at_upper.iter().enumerate() {
+                    if up {
+                        at_upper[if c >= n_old { c + k } else { c }] = true;
+                    }
+                }
+                basis.at_upper = at_upper;
+                keep = true;
+            }
+        }
+        if !keep {
+            self.warm = None; // basis from some other layout: solve cold
+        }
+        true
+    }
+
+    /// Re-copy every constraint rhs out of `problem` into the prepared
+    /// rows — the sync step after in-place [`Problem::set_rhs`] edits
+    /// (retiring a demand zeroes its rows' rhs rather than deleting them).
+    /// Coefficients, relations, and the column layout are untouched, so
+    /// the saved warm basis stays installable; a basic pushed out of its
+    /// box by the new rhs is repaired by the dual simplex at the next
+    /// solve. Returns `false` (workspace untouched) when the prepared
+    /// fingerprint does not match `problem`.
+    pub fn sync_rhs(&mut self, problem: &Problem) -> bool {
+        let Some(prepared) = self.prepared.as_mut() else {
+            return false;
+        };
+        if !prepared.matches(problem) {
+            return false;
+        }
+        for (dst, c) in prepared.rhs.iter_mut().zip(&problem.constraints) {
+            *dst = c.rhs;
+        }
+        true
+    }
 }
 
 /// Problem structure shared by every solve in a workspace: sparse rows
@@ -375,10 +493,15 @@ pub fn solve_with(
         }
     }
 
-    // (Re)prepare the sparse rows if this workspace saw a different problem.
+    // (Re)prepare the sparse rows if this workspace saw a different
+    // problem. The warm basis deliberately survives: callers install one
+    // explicitly per solve (see `par_map_with`'s determinism contract),
+    // and a fresh workspace must treat it exactly like a used one or
+    // results become thread-assignment-dependent in the parallel
+    // branch-and-bound. A basis that does not fit the prepared layout is
+    // rejected by `install_basis`'s dimension check.
     if !ws.prepared.as_ref().is_some_and(|p| p.matches(problem)) {
         ws.prepared = Some(Prepared::build(problem));
-        ws.warm = None;
     }
     let prepared = ws.prepared.as_ref().expect("prepared above");
 
@@ -401,16 +524,87 @@ pub fn solve_with(
         ..SolveStats::default()
     };
     let run = (|| {
-        if install != Install::Feasible {
-            // Cold start, or a warm install that left artificials basic
-            // (phase1 early-returns when the slack basis is feasible).
-            ws.tab.phase1()?;
+        match install {
+            Install::Feasible => ws.tab.phase2(problem, false),
+            // Basics pushed outside their box by a bound/rhs edit: dual
+            // repair from the warm point, then the usual primal polish.
+            Install::NeedsDualRepair => ws.tab.phase2(problem, true),
+            _ => {
+                // Cold start, or a warm install that left artificials basic
+                // (phase1 early-returns when the slack basis is feasible).
+                ws.tab.phase1()?;
+                ws.tab.phase2(problem, false)
+            }
         }
-        ws.tab.phase2(problem)
     })();
     if let Err(e) = run {
-        ws.warm = None;
-        return Err(e);
+        // Dual repair is best-effort: an exhausted or stuck repair says
+        // nothing about the problem itself, so retry once from a cold
+        // start before reporting an error (mirrors the caller-side cold
+        // retries around row generation). Genuine infeasibility from the
+        // cold path propagates as usual.
+        if install == Install::NeedsDualRepair {
+            ws.tab.build(prepared, &lo, &hi);
+            ws.tab.stats = SolveStats {
+                rows: ws.tab.rows as u32,
+                cols: ws.tab.cols as u32,
+                warm_start: false,
+                ..SolveStats::default()
+            };
+            let retry = (|| {
+                ws.tab.phase1()?;
+                ws.tab.phase2(problem, false)
+            })();
+            if let Err(e2) = retry {
+                ws.warm = None;
+                return Err(e2);
+            }
+        } else {
+            ws.warm = None;
+            return Err(e);
+        }
+    }
+
+    let extract_values = |tab: &Tableau| {
+        let y = tab.extract();
+        let mut values = vec![0.0f64; n];
+        for j in 0..n {
+            let v = lo[j] + y[j];
+            // Clamp solver noise back into the box.
+            values[j] = v.clamp(lo[j], hi[j]);
+        }
+        values
+    };
+    let mut values = extract_values(&ws.tab);
+
+    // Backstop for every warm path: the repaired/polished point must
+    // actually satisfy the rows. A warm install starts from a tableau the
+    // saved basis reshaped, so any numerical damage along the repair
+    // (near-singular install pivot chains, dual-repair round-off) would
+    // otherwise surface as a silently wrong "optimum" — one cheap residual
+    // scan converts that into a cold re-solve instead.
+    if ws.tab.stats.warm_start && primal_violation(problem, &values) > 1e-6 {
+        ws.tab.build(prepared, &lo, &hi);
+        let warm_stats = ws.tab.stats.clone();
+        ws.tab.stats = SolveStats {
+            rows: ws.tab.rows as u32,
+            cols: ws.tab.cols as u32,
+            warm_start: false,
+            // Keep the wasted warm work on the books.
+            pivots: warm_stats.pivots,
+            dual_pivots: warm_stats.dual_pivots,
+            bound_flips: warm_stats.bound_flips,
+            ..SolveStats::default()
+        };
+        let redo = (|| {
+            ws.tab.phase1()?;
+            ws.tab.phase2(problem, false)
+        })();
+        if let Err(e) = redo {
+            ws.warm = None;
+            return Err(e);
+        }
+        values = extract_values(&ws.tab);
     }
 
     // Re-arm the warm basis with this solve's final basis.
@@ -420,13 +614,6 @@ pub fn solve_with(
     });
 
     let tab = &ws.tab;
-    let y = tab.extract();
-    let mut values = vec![0.0f64; n];
-    for j in 0..n {
-        let v = lo[j] + y[j];
-        // Clamp solver noise back into the box.
-        values[j] = v.clamp(lo[j], hi[j]);
-    }
     let objective = problem.objective_value(&values);
     Ok(Solution {
         objective,
@@ -434,6 +621,25 @@ pub fn solve_with(
         duals: Some(tab.duals(problem.sense)),
         stats: tab.stats.clone(),
     })
+}
+
+/// Largest relative row residual of `values` over the problem's own
+/// constraints (0.0 when every row holds). Bound-override feasibility is
+/// the caller's concern — extracted values are already clamped into the
+/// effective box.
+fn primal_violation(problem: &Problem, values: &[f64]) -> f64 {
+    let mut worst = 0.0f64;
+    for c in &problem.constraints {
+        let lhs: f64 = c.terms.iter().map(|&(j, coef)| coef * values[j]).sum();
+        let scale = 1.0 + c.rhs.abs();
+        let v = match c.relation {
+            Relation::Le => (lhs - c.rhs) / scale,
+            Relation::Ge => (c.rhs - lhs) / scale,
+            Relation::Eq => (lhs - c.rhs).abs() / scale,
+        };
+        worst = worst.max(v);
+    }
+    worst
 }
 
 /// Bounded-variable simplex tableau with sparse pivot application.
@@ -742,10 +948,15 @@ impl Tableau {
     ///   point and only has to drive out the handful of artificials
     ///   measuring the new violations instead of rebuilding feasibility
     ///   from the slack basis;
-    /// * anything unrepairable (layout mismatch, singular pivot, a basic
-    ///   beyond its upper bound, a negative basic that is not the row's
-    ///   own slack) → [`Install::Reject`], with the tableau left dirty;
-    ///   the caller rebuilds and solves cold.
+    /// * basics outside their box that the conversion above cannot absorb
+    ///   (beyond a shrunk upper bound, or negative without the row's own
+    ///   slack basic — the bound/rhs-edit pattern) are left installed and
+    ///   reported as [`Install::NeedsDualRepair`]: the dual simplex drives
+    ///   them back to a bound from the still-dual-feasible warm point;
+    /// * anything unrepairable (layout mismatch, singular pivot, a
+    ///   negative basic artificial, positive artificials mixed with
+    ///   out-of-box basics) → [`Install::Reject`], with the tableau left
+    ///   dirty; the caller rebuilds and solves cold.
     fn install_basis(&mut self, saved: &Basis) -> Install {
         if saved.rows.len() != self.rows || saved.at_upper.len() != self.cols {
             return Install::Reject;
@@ -803,14 +1014,18 @@ impl Tableau {
                 }
             }
         }
-        // Primal feasibility of the installed point, with repair.
-        let mut needs_phase1 = false;
+        // Primal feasibility of the installed point, with repair. A first
+        // read-only pass classifies every row so one repair strategy can
+        // be committed for the whole tableau: converting a row to
+        // artificial form pins it to a phase-1 run, while dual repair
+        // needs the infeasible rows left exactly as installed.
+        let mut has_pos_art = false;
+        let mut has_above_ub = false;
+        let mut all_convertible = true;
+        let mut neg_rows: Vec<usize> = Vec::new();
         for r in 0..self.rows {
             let v = self.xb(r);
             let b = self.basis[r];
-            if v > self.ub[b] + PHASE1_TOL {
-                return Install::Reject;
-            }
             if b >= self.first_artificial {
                 if v < -PHASE1_TOL {
                     return Install::Reject; // artificials cannot go negative
@@ -819,27 +1034,82 @@ impl Tableau {
                     // A basic artificial at a positive value is a valid
                     // phase-1 starting point (its column is still the unit
                     // vector for this row — install pivots never touched
-                    // it, see below).
-                    needs_phase1 = true;
-                } else if v < 0.0 {
-                    self.set(r, self.cols, 0.0);
+                    // it, see `convert_row_to_artificial`).
+                    has_pos_art = true;
                 }
                 continue;
             }
+            if v > self.ub[b] + PHASE1_TOL {
+                has_above_ub = true;
+            }
             if v < -PHASE1_TOL {
-                if !self.convert_row_to_artificial(r) {
+                neg_rows.push(r);
+                if !self.can_convert_row(r) {
+                    all_convertible = false;
+                }
+            }
+        }
+
+        if !has_pos_art && !has_above_ub && neg_rows.is_empty() {
+            self.clamp_negative_noise();
+            return Install::Feasible;
+        }
+        if !has_above_ub && all_convertible {
+            // The append_rows pattern: every violated row is a freshly
+            // appended one whose slack went negative (plus possibly basic
+            // artificials the saved basis kept). Convert in place and run
+            // a short phase 1 confined to those artificials.
+            for &r in &neg_rows {
+                let ok = self.convert_row_to_artificial(r);
+                debug_assert!(ok, "can_convert_row admitted an unconvertible row");
+                if !ok {
                     return Install::Reject;
                 }
-                needs_phase1 = true;
-            } else if v < 0.0 {
+            }
+            self.clamp_negative_noise();
+            return Install::NeedsPhase1;
+        }
+        if !has_pos_art {
+            // The bound/rhs-edit pattern: basics pushed below zero or above
+            // a (shrunk) upper bound. Leave the rows as installed — the
+            // dual simplex drives each one back to a bound while keeping
+            // reduced costs optimal.
+            return Install::NeedsDualRepair;
+        }
+        // Positive artificials mixed with out-of-box basics: neither a
+        // confined phase 1 nor a pure dual repair applies.
+        Install::Reject
+    }
+
+    /// Clamp sub-tolerance negative basic values (solver noise on a basis
+    /// accepted as feasible) back to zero.
+    fn clamp_negative_noise(&mut self) {
+        for r in 0..self.rows {
+            if self.xb(r) < 0.0 {
                 self.set(r, self.cols, 0.0);
             }
         }
-        if needs_phase1 {
-            Install::NeedsPhase1
-        } else {
-            Install::Feasible
+    }
+
+    /// Read-only preconditions of [`Tableau::convert_row_to_artificial`]:
+    /// would the conversion succeed on row `r`?
+    fn can_convert_row(&self, r: usize) -> bool {
+        let slack = self.basis[r];
+        if self.row_meta[r].0 != slack || slack >= self.first_artificial {
+            return false;
         }
+        let art = self.first_artificial + r;
+        if self.is_basic[art] {
+            return false;
+        }
+        let stride = self.cols + 1;
+        for r2 in 0..self.rows {
+            if r2 != r && self.a[r2 * stride + art] != 0.0 {
+                return false;
+            }
+        }
+        let own = self.a[r * stride + art];
+        own == 0.0 || own == -1.0
     }
 
     /// Repair a row whose basic slack sits at a negative value by swapping
@@ -858,8 +1128,10 @@ impl Tableau {
     /// `-a·x - s + art = -rhs` with `s` nonbasic at its lower bound and
     /// `art = -v > 0` basic: the artificial's value is exactly the
     /// violation, and driving it to zero in phase 1 restores the original
-    /// inequality. The flip negates the row's dual sign in `row_meta`,
-    /// keeping [`Tableau::duals`] exact for the final solve.
+    /// inequality. The row's `row_meta` dual sign is untouched: the flip
+    /// negates the marker column's coefficient along with the row, and the
+    /// two cancel in the marker's reduced cost, keeping [`Tableau::duals`]
+    /// exact for the final solve.
     fn convert_row_to_artificial(&mut self, r: usize) -> bool {
         let slack = self.basis[r];
         if self.row_meta[r].0 != slack || slack >= self.first_artificial {
@@ -882,13 +1154,16 @@ impl Tableau {
             return false;
         }
         // Flip the whole row, rhs included (xb(r) = v becomes -v > 0).
+        // `row_meta` keeps its sign: the flip negates both the row's dual
+        // and the marker column's tableau coefficient, and the two cancel
+        // in the marker's reduced cost (verified against cold duals by
+        // `converted_row_duals_match_cold` for both relations).
         for c in 0..=self.cols {
             let v = self.a[base + c];
             if v != 0.0 {
                 self.a[base + c] = -v;
             }
         }
-        self.row_meta[r].1 = -self.row_meta[r].1;
         if own == 0.0 {
             self.a[base + art] = 1.0;
             if self.track_cols && !self.col_dense[art] {
@@ -958,7 +1233,12 @@ impl Tableau {
     }
 
     /// Phase 2: optimize the real (internally minimized) objective.
-    fn phase2(&mut self, problem: &Problem) -> Result<(), SolveError> {
+    ///
+    /// With `dual_repair` set (a warm install left basics outside their
+    /// box), a dual-simplex pass restores primal feasibility *after* the
+    /// reduced costs are rebuilt — the dual ratio test needs them — and
+    /// before the primal pivot loop polishes to optimality.
+    fn phase2(&mut self, problem: &Problem, dual_repair: bool) -> Result<(), SolveError> {
         let sign = match problem.sense {
             Sense::Minimize => 1.0,
             Sense::Maximize => -1.0,
@@ -1005,12 +1285,175 @@ impl Tableau {
         }
         self.objval = val;
 
+        if dual_repair {
+            let t0 = std::time::Instant::now();
+            let run = self.dual_iterate();
+            self.stats.phase1_secs += t0.elapsed().as_secs_f64();
+            self.stats.phase1_iterations += run?;
+        }
+
         self.reset_pricing();
         let t0 = std::time::Instant::now();
         let run = self.iterate();
         self.stats.phase2_secs += t0.elapsed().as_secs_f64();
         self.stats.phase2_iterations += run?;
         Ok(())
+    }
+
+    /// Dual-simplex repair loop: while some basic variable sits outside
+    /// its box (below zero or above its upper bound), pivot it out to the
+    /// violated bound and bring in the nonbasic column with the smallest
+    /// dual ratio `|d_c / α_rc|` among those that move in a
+    /// feasibility-restoring direction — the classic dual ratio test,
+    /// which keeps the reduced costs (near-)optimal so the primal polish
+    /// afterwards converges in a handful of pivots.
+    ///
+    /// The folded-rhs invariant (`xb(r)` = current value of row `r`'s
+    /// basic) makes the pivot mechanics identical to the primal loop's:
+    /// the entering variable moves by `step = (v - target) / α_re` from
+    /// its rest, every other gathered row's value shifts by `-α · step`,
+    /// and the leaving variable lands exactly on the violated bound (its
+    /// at-upper rest is recorded before the pivot). The entering step is
+    /// always kept inside the entering column's own box: a candidate whose
+    /// box is too narrow to absorb the full repair is **bound-flipped**
+    /// across it instead (shrinking the violation by `|α|·width`) and the
+    /// scan repeats — the bounded-variable dual ratio test. An unclamped
+    /// overshoot would leave the entering basic far outside its box, and
+    /// chasing that new worst violation diverges (observed on
+    /// branch-and-bound chains before flips were introduced).
+    ///
+    /// Candidates also need `|α| > 1e-7` — a repair pivot on a tiny
+    /// element scales the tableau by `1/α` and wrecks it numerically;
+    /// abandoning the repair instead is safe because the caller retries
+    /// the whole solve cold on any dual-repair error.
+    ///
+    /// Tie-breaks (most-infeasible row, first column at the minimum
+    /// ratio) are index-ordered, keeping pivot sequences deterministic.
+    fn dual_iterate(&mut self) -> Result<u64, SolveError> {
+        /// Minimum pivot-element magnitude; below this the repair is
+        /// abandoned rather than risk a `1/α` blow-up.
+        const DUAL_PIVOT_TOL: f64 = 1e-7;
+        let max_iters = 50 * self.rows + 1_000;
+        let stride = self.cols + 1;
+        let mut iters = 0u64;
+        'outer: loop {
+            if iters as usize >= max_iters {
+                return Err(SolveError::IterationLimit);
+            }
+            // Leaving row: the most infeasible basic; strict comparisons
+            // keep ties on the smallest row index.
+            let mut leave: Option<(usize, f64, bool)> = None; // (row, target, to_upper)
+            let mut worst = PHASE1_TOL;
+            for r in 0..self.rows {
+                let v = self.xb(r);
+                let b = self.basis[r];
+                if v < -worst {
+                    worst = -v;
+                    leave = Some((r, 0.0, false));
+                } else if self.ub[b].is_finite() && v - self.ub[b] > worst {
+                    worst = v - self.ub[b];
+                    leave = Some((r, self.ub[b], true));
+                }
+            }
+            let Some((r, target, to_upper)) = leave else {
+                return Ok(iters); // every basic back inside its box
+            };
+            let base = r * stride;
+            // Inner loop: flip too-narrow candidates until one can absorb
+            // the remaining violation, then pivot it in. Each flip strictly
+            // shrinks `diff` and reverses the flipped column's admissible
+            // direction, so the scan cannot revisit it for this row.
+            loop {
+                if iters as usize >= max_iters {
+                    return Err(SolveError::IterationLimit);
+                }
+                let diff = self.xb(r) - target;
+                if diff.abs() <= PHASE1_TOL {
+                    // Flips alone repaired the row.
+                    continue 'outer;
+                }
+                // Entering column: admissible direction (the entering
+                // variable can only rise from its lower rest / fall from
+                // its upper rest, and must push the leaving basic toward
+                // `target`), minimum dual ratio.
+                let mut best: Option<(usize, f64)> = None; // (col, alpha)
+                let mut best_ratio = f64::INFINITY;
+                for c in 0..self.cols {
+                    if self.is_basic[c] || !self.allowed[c] {
+                        continue;
+                    }
+                    let alpha = self.a[base + c];
+                    if alpha.abs() <= DUAL_PIVOT_TOL {
+                        continue;
+                    }
+                    // step = diff / alpha; at-lower columns need step > 0,
+                    // at-upper columns step < 0.
+                    let admissible = if self.at_upper[c] {
+                        diff * alpha < 0.0
+                    } else {
+                        diff * alpha > 0.0
+                    };
+                    if !admissible {
+                        continue;
+                    }
+                    let ratio = (self.obj[c] / alpha).abs();
+                    if ratio < best_ratio - EPS {
+                        best_ratio = ratio;
+                        best = Some((c, alpha));
+                    }
+                }
+                let Some((e, alpha)) = best else {
+                    // No column can restore this row: the box constraints
+                    // are inconsistent with the row system (or only
+                    // numerically-unsafe pivots remain — the caller's cold
+                    // retry settles which).
+                    return Err(SolveError::Infeasible);
+                };
+
+                let step = diff / alpha;
+                let width = self.ub[e];
+                if width.is_finite() && step.abs() > width + EPS {
+                    // Too narrow: move `e` across its whole box. `diff`
+                    // shrinks by `|α|·width` and keeps its sign (the full
+                    // pivot would have needed more than the width).
+                    let delta = if self.at_upper[e] { -width } else { width };
+                    self.gather_entering(e);
+                    for k in 0..self.ecol_rows.len() {
+                        let i = self.ecol_rows[k] as usize;
+                        let nv = self.xb(i) - self.ecol_vals[k] * delta;
+                        self.set(i, self.cols, nv);
+                    }
+                    self.objval += self.obj[e] * delta;
+                    self.at_upper[e] = !self.at_upper[e];
+                    self.stats.bound_flips += 1;
+                    iters += 1;
+                    continue;
+                }
+
+                self.gather_entering(e);
+                let pk = self
+                    .ecol_rows
+                    .iter()
+                    .position(|&g| g as usize == r)
+                    .expect("pivot row missing from entering-column gather");
+                let rest = if self.at_upper[e] { self.ub[e] } else { 0.0 };
+                self.objval += self.obj[e] * step;
+                let old_basic = self.basis[r];
+                self.at_upper[old_basic] = to_upper;
+                self.pivot_with_rhs_update(r, e, step, pk);
+                self.at_upper[e] = false;
+                self.is_basic[old_basic] = false;
+                self.is_basic[e] = true;
+                self.basis[r] = e;
+                // In-box by the width test above; clamp the epsilon slack.
+                let nv = (rest + step).clamp(0.0, if width.is_finite() { width } else { f64::MAX });
+                self.set(r, self.cols, if nv.abs() < EPS { 0.0 } else { nv });
+                self.stats.pivots += 1;
+                self.stats.dual_pivots += 1;
+                iters += 1;
+                continue 'outer;
+            }
+        }
     }
 
     /// Main pivot loop. Returns the number of iterations performed (the
@@ -1889,6 +2332,42 @@ mod workspace_tests {
     }
 
     #[test]
+    fn converted_row_duals_match_cold() {
+        // An appended violated row is installed by sign-flipping it onto
+        // its artificial (convert_row_to_artificial). The flip must leave
+        // the row's reported dual identical to a cold solve — for both
+        // relations (the row-generation path only ever appends Le cuts,
+        // so the Ge case is otherwise uncovered).
+        for relation in [Relation::Le, Relation::Ge] {
+            let mut p = Problem::new(Sense::Minimize);
+            let x = p.add_var("x");
+            let y = p.add_var("y");
+            p.set_objective(x, 2.0);
+            p.set_objective(y, 3.0);
+            p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 10.0);
+            let mut ws = Workspace::new();
+            solve_with(&p, &[], &mut ws).unwrap(); // optimum x=10, y=0
+            match relation {
+                Relation::Le => p.add_constraint(&[(x, 1.0)], Relation::Le, 3.0),
+                _ => p.add_constraint(&[(y, 1.0)], Relation::Ge, 5.0),
+            };
+            assert!(ws.append_rows(&p));
+            let warm = solve_with(&p, &[], &mut ws).unwrap();
+            assert!(warm.stats.warm_start, "{relation:?} re-solve should stay warm");
+            let cold = super::solve_relaxation(&p, &[]).unwrap();
+            approx(warm.objective, cold.objective);
+            let wd = warm.duals.as_ref().unwrap();
+            let cd = cold.duals.as_ref().unwrap();
+            for (i, (a, b)) in wd.iter().zip(cd).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-6,
+                    "{relation:?} dual {i}: warm {a} vs cold {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn append_satisfied_row_skips_phase1() {
         let mut p = demo_problem();
         let (x, y) = (crate::VarId(0), crate::VarId(1));
@@ -1945,6 +2424,81 @@ mod workspace_tests {
         approx(sol.objective, want);
         // Adding the deepest cut first converges in one round.
         assert_eq!(rounds, 1);
+    }
+
+    #[test]
+    fn append_cols_prices_new_column_into_basis() {
+        // Solve, append a cheaper column into the binding row, re-solve
+        // warm; must match a cold solve of the widened problem.
+        let mut p = demo_problem();
+        let mut ws = Workspace::new();
+        let first = solve_with(&p, &[], &mut ws).unwrap();
+        let w = p.add_var("w");
+        p.set_objective(w, 0.5);
+        p.extend_constraint(0, &[(w, 1.0)]);
+        assert!(ws.append_cols(&p));
+        let warm = solve_with(&p, &[], &mut ws).unwrap();
+        assert!(warm.stats.warm_start, "column append should stay warm");
+        let cold = super::solve_relaxation(&p, &[]).unwrap();
+        approx(warm.objective, cold.objective);
+        assert!(warm.objective < first.objective - 1e-6);
+        assert!(p.is_feasible(&warm.values, 1e-6));
+    }
+
+    #[test]
+    fn append_cols_then_rows_combined() {
+        // The incremental-scheduler sync order: widen existing rows with
+        // new columns, then append rows referencing them.
+        let mut p = demo_problem();
+        let mut ws = Workspace::new();
+        solve_with(&p, &[], &mut ws).unwrap();
+        let w = p.add_bounded_var("w", 5.0);
+        p.set_objective(w, 0.25);
+        p.extend_constraint(0, &[(w, 1.0)]);
+        p.add_constraint(&[(w, 1.0), (crate::VarId(0), 1.0)], Relation::Ge, 2.0);
+        assert!(ws.append_cols(&p));
+        assert!(ws.append_rows(&p));
+        assert!(ws.sync_rhs(&p));
+        let warm = solve_with(&p, &[], &mut ws).unwrap();
+        let cold = super::solve_relaxation(&p, &[]).unwrap();
+        approx(warm.objective, cold.objective);
+        for (a, b) in warm.values.iter().zip(&cold.values) {
+            approx(*a, *b);
+        }
+    }
+
+    #[test]
+    fn append_cols_rejects_out_of_contract_shapes() {
+        let p = demo_problem();
+        let mut ws = Workspace::new();
+        // Nothing prepared yet.
+        assert!(!ws.append_cols(&p));
+        solve_with(&p, &[], &mut ws).unwrap();
+        // No new columns is a no-op success.
+        assert!(ws.append_cols(&p));
+        // Fewer variables than prepared: not an extension.
+        let mut narrow = Problem::new(Sense::Minimize);
+        narrow.add_var("q");
+        assert!(!ws.append_cols(&narrow));
+        // Still solves the original problem correctly afterwards.
+        let again = solve_with(&p, &[], &mut ws).unwrap();
+        approx(again.objective, super::solve_relaxation(&p, &[]).unwrap().objective);
+    }
+
+    #[test]
+    fn sync_rhs_propagates_in_place_edits() {
+        let mut p = demo_problem();
+        let mut ws = Workspace::new();
+        solve_with(&p, &[], &mut ws).unwrap();
+        p.set_rhs(0, 12.0);
+        assert!(ws.sync_rhs(&p));
+        let warm = solve_with(&p, &[], &mut ws).unwrap();
+        let cold = super::solve_relaxation(&p, &[]).unwrap();
+        approx(warm.objective, cold.objective);
+        // A mismatched problem refuses the sync.
+        let mut other = Problem::new(Sense::Minimize);
+        other.add_var("q");
+        assert!(!ws.sync_rhs(&other));
     }
 
     #[test]
@@ -2070,5 +2624,282 @@ mod dual_tests {
         let eps = 1e-4;
         let fd = (base(-1.0 + eps) - base(-1.0)) / eps;
         assert!((duals[0] - fd).abs() < 1e-3, "{} vs {fd}", duals[0]);
+    }
+}
+
+#[cfg(test)]
+mod dual_repair_tests {
+    use super::{solve_relaxation, solve_with, Workspace};
+    use crate::{Problem, Relation, Sense, VarId};
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    /// Shrinking a bound below the warm optimum forces the basic variable
+    /// out of its box; the repair must be dual pivots, not a cold restart.
+    #[test]
+    fn shrunk_upper_bound_repairs_dually() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_bounded_var("x", 20.0);
+        let y = p.add_var("y");
+        p.set_objective(x, 1.0);
+        p.set_objective(y, 3.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 10.0);
+        let mut ws = Workspace::new();
+        let first = solve_with(&p, &[], &mut ws).unwrap();
+        approx(first.values[0], 10.0); // cheap x carries everything
+        p.set_var_upper(x, 4.0);
+        let warm = solve_with(&p, &[], &mut ws).unwrap();
+        assert!(warm.stats.warm_start, "bound edit should stay warm");
+        assert!(warm.stats.dual_pivots > 0, "expected dual repair pivots");
+        assert_eq!(warm.stats.phase2_iterations, 0, "repair should land optimal");
+        let cold = solve_relaxation(&p, &[]).unwrap();
+        approx(warm.objective, cold.objective);
+        approx(warm.values[0], 4.0);
+        approx(warm.values[1], 6.0);
+    }
+
+    /// Degenerate dual pivot: the entering column has a zero reduced cost
+    /// (alternative optima), so the repair pivot moves the basis without
+    /// changing the objective — the classic degenerate case the ratio
+    /// test must handle without stalling.
+    #[test]
+    fn degenerate_dual_pivot_terminates() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_bounded_var("x", 20.0);
+        let y = p.add_var("y");
+        p.set_objective(x, 1.0);
+        p.set_objective(y, 1.0); // equal costs: z_y = 0 at the optimum
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 10.0);
+        let mut ws = Workspace::new();
+        let first = solve_with(&p, &[], &mut ws).unwrap();
+        approx(first.objective, 10.0);
+        let x_at = first.values[0];
+        assert!(x_at > 1.0, "optimum should use x");
+        p.set_var_upper(x, x_at / 2.0);
+        let warm = solve_with(&p, &[], &mut ws).unwrap();
+        assert!(warm.stats.warm_start);
+        assert!(warm.stats.dual_pivots > 0);
+        // Objective unchanged: the repair pivot was degenerate in cost.
+        approx(warm.objective, 10.0);
+        approx(warm.values[0] + warm.values[1], 10.0);
+        assert!(warm.values[0] <= x_at / 2.0 + 1e-9);
+    }
+
+    /// rhs tightening through sync_rhs repairs dually and matches cold.
+    #[test]
+    fn rhs_tightening_repairs_dually() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        p.set_objective(x, 2.0);
+        p.set_objective(y, 3.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 10.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 6.0);
+        let mut ws = Workspace::new();
+        solve_with(&p, &[], &mut ws).unwrap();
+        // Tighten the cap below the warm point (x = 6).
+        p.set_rhs(1, 2.0);
+        assert!(ws.sync_rhs(&p));
+        let warm = solve_with(&p, &[], &mut ws).unwrap();
+        assert!(warm.stats.warm_start);
+        let cold = solve_relaxation(&p, &[]).unwrap();
+        approx(warm.objective, cold.objective);
+        approx(warm.values[0], 2.0);
+        approx(warm.values[1], 8.0);
+    }
+
+    /// Retiring a variable in place (upper bound to zero) must evict it
+    /// from the basis and re-route — the demand-removal idiom.
+    #[test]
+    fn retire_variable_via_zero_bound() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_bounded_var("x", 20.0);
+        let y = p.add_bounded_var("y", 20.0);
+        let z = p.add_var("z");
+        p.set_objective(x, 1.0);
+        p.set_objective(y, 2.0);
+        p.set_objective(z, 5.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0), (z, 1.0)], Relation::Ge, 8.0);
+        let mut ws = Workspace::new();
+        let first = solve_with(&p, &[], &mut ws).unwrap();
+        approx(first.values[0], 8.0);
+        p.set_var_upper(x, 0.0);
+        let warm = solve_with(&p, &[], &mut ws).unwrap();
+        let cold = solve_relaxation(&p, &[]).unwrap();
+        approx(warm.objective, cold.objective);
+        approx(warm.values[0], 0.0);
+        approx(warm.values[1], 8.0);
+    }
+
+    /// A bound edit that makes the problem infeasible must be reported as
+    /// such (the dual repair finds no entering column, or the cold retry
+    /// confirms), and the workspace must stay usable.
+    #[test]
+    fn infeasible_after_bound_edit_is_detected() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_bounded_var("x", 10.0);
+        let y = p.add_bounded_var("y", 10.0);
+        p.set_objective(x, 1.0);
+        p.set_objective(y, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 12.0);
+        let mut ws = Workspace::new();
+        solve_with(&p, &[], &mut ws).unwrap();
+        p.set_var_upper(x, 1.0);
+        p.set_var_upper(y, 1.0);
+        assert!(solve_with(&p, &[], &mut ws).is_err());
+        // Relax again: the workspace recovers.
+        p.set_var_upper(x, 10.0);
+        p.set_var_upper(y, 10.0);
+        let again = solve_with(&p, &[], &mut ws).unwrap();
+        approx(again.objective, 12.0);
+    }
+
+    /// Random-ish battery: repeated bound/rhs edits re-solved warm must
+    /// track cold solves exactly (objective and point, via feasibility).
+    #[test]
+    fn repair_battery_matches_cold_across_edits() {
+        let mut p = Problem::new(Sense::Minimize);
+        let vars: Vec<VarId> = (0..6).map(|i| p.add_bounded_var(&format!("v{i}"), 10.0)).collect();
+        for (i, &v) in vars.iter().enumerate() {
+            p.set_objective(v, 1.0 + i as f64 * 0.37);
+        }
+        p.add_constraint(
+            &vars.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(),
+            Relation::Ge,
+            20.0,
+        );
+        p.add_constraint(&[(vars[0], 1.0), (vars[1], 1.0)], Relation::Le, 9.0);
+        p.add_constraint(&[(vars[2], 1.0), (vars[3], 1.0)], Relation::Ge, 3.0);
+        let mut ws = Workspace::new();
+        solve_with(&p, &[], &mut ws).unwrap();
+        // A deterministic edit schedule mixing shrinks, relaxes, and rhs.
+        let edits: &[(usize, f64)] = &[(0, 2.0), (1, 5.0), (0, 10.0), (4, 1.5), (2, 0.0), (2, 7.0)];
+        for (step, &(vi, ub)) in edits.iter().enumerate() {
+            p.set_var_upper(vars[vi], ub);
+            p.set_rhs(0, 20.0 - step as f64 * 0.5);
+            assert!(ws.sync_rhs(&p));
+            let warm = solve_with(&p, &[], &mut ws).unwrap();
+            let cold = solve_relaxation(&p, &[]).unwrap();
+            approx(warm.objective, cold.objective);
+            assert!(p.is_feasible(&warm.values, 1e-6), "step {step}");
+        }
+    }
+
+    /// A repair whose cheapest entering column is too narrow to absorb the
+    /// violation must bound-flip it and continue, not overshoot its box.
+    /// max y + x/2 with x ∈ [0,1], x + y ≤ 5 optimizes to (0, 5); the
+    /// override y ≤ 2 forces a 3-unit repair whose best dual ratio is x
+    /// (width 1): one flip, then the slack absorbs the rest.
+    #[test]
+    fn dual_repair_flips_narrow_column() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_bounded_var("x", 1.0);
+        let y = p.add_var("y");
+        p.set_objective(x, 0.5);
+        p.set_objective(y, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 5.0);
+        let mut ws = Workspace::new();
+        let first = solve_with(&p, &[], &mut ws).unwrap();
+        approx(first.values[0], 0.0);
+        approx(first.values[1], 5.0);
+        let warm = solve_with(&p, &[(1, 0.0, 2.0)], &mut ws).unwrap();
+        assert!(warm.stats.warm_start, "override edit should stay warm");
+        assert!(warm.stats.bound_flips > 0, "expected a dual bound flip");
+        assert!(warm.stats.dual_pivots > 0, "expected a dual repair pivot");
+        let cold = solve_relaxation(&p, &[(1, 0.0, 2.0)]).unwrap();
+        approx(warm.objective, cold.objective);
+        approx(warm.objective, 2.5);
+        approx(warm.values[0], 1.0);
+        approx(warm.values[1], 2.0);
+    }
+
+    /// Randomized branch-and-bound-shaped chains: stack tightening
+    /// overrides (often pinning a variable, the binary-branching case)
+    /// while warm solving through one workspace, and compare every level
+    /// against a cold solve. This is the access pattern that exposed the
+    /// unclamped dual-repair overshoot: a diverging repair leaves the
+    /// tableau numerically inconsistent and the "optimum" off by whole
+    /// units, which any level's comparison here catches.
+    #[test]
+    fn chained_override_warm_matches_cold() {
+        // splitmix64: deterministic, dependency-free.
+        fn next(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        fn unit(state: &mut u64) -> f64 {
+            (next(state) >> 11) as f64 / (1u64 << 53) as f64
+        }
+        for seed in 0..400u64 {
+            let mut s = seed.wrapping_mul(0x5851_f42d_4c95_7f2d) + 1;
+            let n = 3 + (next(&mut s) % 6) as usize;
+            let m = 2 + (next(&mut s) % 5) as usize;
+            let sense = if seed % 2 == 0 { Sense::Minimize } else { Sense::Maximize };
+            let mut p = Problem::new(sense);
+            let vars: Vec<VarId> = (0..n)
+                .map(|_| {
+                    let ub = if unit(&mut s) < 0.3 { f64::INFINITY } else { 0.5 + 3.0 * unit(&mut s) };
+                    p.add_bounded_var("v", ub)
+                })
+                .collect();
+            for &v in &vars {
+                p.set_objective(v, 2.0 * unit(&mut s) - 1.0);
+            }
+            for _ in 0..m {
+                let rel = match next(&mut s) % 3 {
+                    0 => Relation::Le,
+                    1 => Relation::Ge,
+                    _ => Relation::Eq,
+                };
+                let mut terms: Vec<(VarId, f64)> = Vec::new();
+                for _ in 0..1 + (next(&mut s) % 4) as usize {
+                    let v = vars[(next(&mut s) % n as u64) as usize];
+                    if !terms.iter().any(|&(w, _)| w == v) {
+                        terms.push((v, (2.0 * unit(&mut s) - 1.0) * 2.0));
+                    }
+                }
+                let rhs = match rel {
+                    Relation::Ge => unit(&mut s) * 1.5,
+                    _ => 0.5 + unit(&mut s) * 3.0,
+                };
+                p.add_constraint(&terms, rel, rhs);
+            }
+            let mut ws = Workspace::new();
+            if solve_with(&p, &[], &mut ws).is_err() {
+                continue;
+            }
+            let mut overrides: Vec<super::BoundOverride> = Vec::new();
+            for _level in 0..8 {
+                let j = (next(&mut s) % n as u64) as usize;
+                overrides.push(match next(&mut s) % 4 {
+                    0 => (j, 0.0, 0.0),
+                    1 => (j, 1.0, f64::INFINITY),
+                    2 => (j, 0.0, unit(&mut s) * 2.0),
+                    _ => (j, unit(&mut s) * 1.5, f64::INFINITY),
+                });
+                let warm = solve_with(&p, &overrides, &mut ws);
+                let cold = solve_relaxation(&p, &overrides);
+                match (&warm, &cold) {
+                    (Ok(w), Ok(c)) => {
+                        let d = (w.objective - c.objective).abs() / (1.0 + c.objective.abs());
+                        assert!(d <= 1e-6, "seed {seed}: warm {} vs cold {}", w.objective, c.objective);
+                    }
+                    (Err(we), Err(ce)) => assert_eq!(we, ce, "seed {seed}"),
+                    (w, c) => panic!(
+                        "seed {seed}: verdict mismatch warm {:?} cold {:?}",
+                        w.as_ref().map(|r| r.objective),
+                        c.as_ref().map(|r| r.objective)
+                    ),
+                }
+                if warm.is_err() {
+                    break; // subtree dead, as in branch-and-bound
+                }
+            }
+        }
     }
 }

@@ -38,6 +38,9 @@ pub struct SolveStats {
     pub candidate_hits: u64,
     /// Whether a warm basis was installed and accepted as primal feasible.
     pub warm_start: bool,
+    /// Dual-simplex repair pivots (warm bases left primal-infeasible by a
+    /// rhs/bound edit are repaired row-first instead of re-solved cold).
+    pub dual_pivots: u64,
     /// Wall-clock seconds in phase 1 (informational; nondeterministic).
     pub phase1_secs: f64,
     /// Wall-clock seconds in phase 2 (informational; nondeterministic).

@@ -1,0 +1,325 @@
+//! Persistent warm-start state across solve rounds.
+//!
+//! The row-generation loops in `bate-core` rebuild their master LP from
+//! scratch every scheduling round, even when the demand set changed by a
+//! few percent. [`WarmState`] owns the master [`Problem`] and its
+//! [`Workspace`] *between* rounds: the caller mutates the problem
+//! incrementally (append variables/rows, extend rows with new columns,
+//! edit rhs values and variable bounds in place) and [`WarmState::solve`]
+//! re-syncs the prepared workspace — columns, then rows, then rhs — so the
+//! saved simplex basis survives the edit and the next solve is a basis
+//! repair instead of a cold two-phase run.
+//!
+//! ## Mutation contract
+//!
+//! Between solves the caller may only:
+//!
+//! * append variables and constraints ([`Problem::add_var`] /
+//!   [`Problem::add_constraint`]),
+//! * extend existing rows with terms over **newly appended** variables
+//!   ([`Problem::extend_constraint`]),
+//! * edit rhs values in place ([`Problem::set_rhs`]), and
+//! * edit variable upper bounds ([`Problem::set_var_upper`]).
+//!
+//! Editing an existing coefficient, relation, or objective entry in place
+//! is outside the contract (the workspace fingerprints structure, not
+//! content); callers needing that rebuild via [`WarmState::rebuild_cold`].
+//!
+//! [`quick_check`] is the float mirror of the exact KKT certificate in
+//! [`crate::exact`]: a microsecond-scale gate the incremental scheduler
+//! runs on every warm answer before trusting it, with the rational
+//! certificate reserved for offline verification (tests, fuzz campaign).
+
+use crate::error::SolveError;
+use crate::problem::{Problem, Relation, Sense};
+use crate::simplex::{self, Workspace};
+use crate::solution::Solution;
+
+/// Warm-start survival counters, exposed for metrics/benchmark reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmStats {
+    /// Solves where the saved basis was installed (feasible directly,
+    /// short phase 1, or dual repair).
+    pub warm_solves: u64,
+    /// Solves that ran cold (first solve, failed sync, rejected basis, or
+    /// an explicit [`WarmState::rebuild_cold`]).
+    pub cold_solves: u64,
+    /// Total dual-simplex repair pivots across all solves.
+    pub dual_pivots: u64,
+}
+
+/// A master problem plus the solver workspace that outlives each solve.
+#[derive(Debug)]
+pub struct WarmState {
+    problem: Problem,
+    ws: Workspace,
+    stats: WarmStats,
+}
+
+impl WarmState {
+    /// Wrap `problem`; the first [`WarmState::solve`] runs cold and arms
+    /// the basis for every following one.
+    pub fn new(problem: Problem) -> Self {
+        WarmState {
+            problem,
+            ws: Workspace::new(),
+            stats: WarmStats::default(),
+        }
+    }
+
+    /// The master problem (read-only).
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// Mutable access to the master problem, under the module-level
+    /// mutation contract (append-only structure; in-place rhs/bound edits).
+    pub fn problem_mut(&mut self) -> &mut Problem {
+        &mut self.problem
+    }
+
+    /// Counters accumulated since construction.
+    pub fn stats(&self) -> WarmStats {
+        self.stats
+    }
+
+    /// Drop all cached solver state; the next solve runs cold. The safety
+    /// valve for certificate failures and out-of-contract mutations.
+    pub fn rebuild_cold(&mut self) {
+        self.ws = Workspace::new();
+    }
+
+    /// Re-sync the workspace to the problem's current shape and solve.
+    ///
+    /// Sync order is columns → rows → rhs: appended columns must widen the
+    /// prepared rows before appended rows (whose terms may reference the
+    /// new columns) are cloned, and the rhs copy-through requires the
+    /// final fingerprint. Any sync step refusing (out-of-contract shape)
+    /// falls back to a cold rebuild — correctness never depends on the
+    /// warm path being taken. `stats.warm_start` on the returned solution
+    /// says which path actually ran.
+    pub fn solve(&mut self) -> Result<Solution, SolveError> {
+        let synced = self.ws.append_cols(&self.problem)
+            && self.ws.append_rows(&self.problem)
+            && self.ws.sync_rhs(&self.problem);
+        if !synced {
+            self.ws = Workspace::new();
+        }
+        let sol = simplex::solve_with(&self.problem, &[], &mut self.ws)?;
+        if sol.stats.warm_start {
+            self.stats.warm_solves += 1;
+        } else {
+            self.stats.cold_solves += 1;
+        }
+        self.stats.dual_pivots += sol.stats.dual_pivots;
+        Ok(sol)
+    }
+}
+
+/// Float KKT gate for a warm solution: primal feasibility, dual sign
+/// feasibility, reduced-cost sign for box-free variables, and the duality
+/// gap, all in `f64` with the same scaling conventions as the exact
+/// certificate ([`crate::exact::verify_parts`]). `tol` plays the roles of
+/// `τ_feas`/`τ_dual`/`τ_gap` at once.
+///
+/// A `true` verdict is *not* a proof (that is the rational certificate's
+/// job); a `false` verdict is a cheap, reliable signal to retry cold.
+pub fn quick_check(problem: &Problem, sol: &Solution, tol: f64) -> bool {
+    quick_check_why(problem, sol, tol).is_none()
+}
+
+/// [`quick_check`] with a human-readable reason for the first failing
+/// condition (`None` when the check passes). Diagnostic aid for tests and
+/// fallback logging.
+#[doc(hidden)]
+pub fn quick_check_why(problem: &Problem, sol: &Solution, tol: f64) -> Option<String> {
+    let n = problem.num_vars();
+    let m = problem.num_constraints();
+    if sol.values.len() != n {
+        return Some(format!("value count {} != vars {n}", sol.values.len()));
+    }
+    let Some(duals) = sol.duals.as_ref() else {
+        return Some("no duals".into());
+    };
+    if duals.len() != m {
+        return Some(format!("dual count {} != rows {m}", duals.len()));
+    }
+    if !problem.is_feasible(&sol.values, tol) {
+        return Some("primal infeasible".into());
+    }
+
+    let sigma = match problem.sense {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    // Minimize-form duals; dual sign feasibility per relation.
+    let y: Vec<f64> = duals.iter().map(|&v| sigma * v).collect();
+    for (i, c) in problem.constraints.iter().enumerate() {
+        let eps = tol * (1.0 + y[i].abs());
+        let ok = match c.relation {
+            Relation::Le => y[i] <= eps,
+            Relation::Ge => y[i] >= -eps,
+            Relation::Eq => true,
+        };
+        if !ok {
+            return Some(format!("dual sign of row {i}: y = {}", y[i]));
+        }
+    }
+
+    // Reduced costs z_j = σc_j − Σ_i y_i a_ij with per-column magnitude
+    // scales, accumulated row-wise over the sparse constraint terms.
+    let mut z: Vec<f64> = (0..n).map(|j| sigma * problem.objective[j]).collect();
+    let mut scale: Vec<f64> = z.iter().map(|c| c.abs()).collect();
+    for (i, c) in problem.constraints.iter().enumerate() {
+        if y[i] == 0.0 {
+            continue;
+        }
+        for &(j, a) in &c.terms {
+            let prod = y[i] * a;
+            z[j] -= prod;
+            scale[j] += prod.abs();
+        }
+    }
+
+    // Box-free variables must price out non-negative; bounded ones may
+    // carry negative reduced costs, which enter the dual objective below.
+    let mut dual_obj: f64 = problem
+        .constraints
+        .iter()
+        .enumerate()
+        .map(|(i, c)| y[i] * c.rhs)
+        .sum();
+    for j in 0..n {
+        let upper = problem.vars[j].upper;
+        if upper.is_finite() {
+            if z[j] < 0.0 {
+                dual_obj += z[j] * upper;
+            }
+        } else if z[j] < -tol * (1.0 + scale[j]) {
+            return Some(format!("reduced cost of free var {j}: z = {}", z[j]));
+        }
+    }
+
+    let primal_obj = sigma * sol.objective;
+    if (primal_obj - dual_obj).abs() > tol * (1.0 + primal_obj.abs()) {
+        return Some(format!(
+            "duality gap: primal {primal_obj} vs dual {dual_obj}"
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Relation, Sense, VarId};
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    fn demo() -> Problem {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        let z = p.add_bounded_var("z", 2.0);
+        p.set_objective(x, 2.0);
+        p.set_objective(y, 3.0);
+        p.set_objective(z, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0), (z, 1.0)], Relation::Ge, 10.0);
+        p.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Le, 4.0);
+        p
+    }
+
+    #[test]
+    fn warm_state_round_trip_matches_cold() {
+        let mut warm = WarmState::new(demo());
+        let first = warm.solve().unwrap();
+        assert!(!first.stats.warm_start);
+        let second = warm.solve().unwrap();
+        assert!(second.stats.warm_start);
+        approx(first.objective, second.objective);
+        assert_eq!(warm.stats().warm_solves, 1);
+        assert_eq!(warm.stats().cold_solves, 1);
+    }
+
+    #[test]
+    fn rhs_edit_resolves_warm_and_matches_cold() {
+        let mut warm = WarmState::new(demo());
+        warm.solve().unwrap();
+        warm.problem_mut().set_rhs(0, 14.0);
+        let sol = warm.solve().unwrap();
+        assert!(sol.stats.warm_start);
+        let cold = warm.problem().clone().solve().unwrap();
+        approx(sol.objective, cold.objective);
+    }
+
+    #[test]
+    fn bound_edit_triggers_dual_repair() {
+        let mut warm = WarmState::new(demo());
+        let first = warm.solve().unwrap();
+        // The optimum uses x heavily; fencing x below its current value
+        // pushes the basic out of its box, which only dual repair fixes.
+        let x_at = first.values[0];
+        assert!(x_at > 1.0, "demo optimum should route through x");
+        warm.problem_mut().set_var_upper(VarId(0), x_at / 2.0);
+        let sol = warm.solve().unwrap();
+        assert!(sol.stats.warm_start);
+        assert!(sol.stats.dual_pivots > 0, "expected dual repair pivots");
+        let cold = warm.problem().clone().solve().unwrap();
+        approx(sol.objective, cold.objective);
+        assert!(warm.stats().dual_pivots > 0);
+    }
+
+    #[test]
+    fn column_append_prices_into_existing_basis() {
+        let mut warm = WarmState::new(demo());
+        let first = warm.solve().unwrap();
+        // A cheaper route: new variable entering row 0 with cost 0.5.
+        let w = warm.problem_mut().add_var("w");
+        warm.problem_mut().set_objective(w, 0.5);
+        warm.problem_mut().extend_constraint(0, &[(w, 1.0)]);
+        let sol = warm.solve().unwrap();
+        assert!(sol.stats.warm_start);
+        let cold = warm.problem().clone().solve().unwrap();
+        approx(sol.objective, cold.objective);
+        assert!(sol.objective < first.objective - 1.0);
+    }
+
+    #[test]
+    fn rebuild_cold_forces_cold_solve() {
+        let mut warm = WarmState::new(demo());
+        warm.solve().unwrap();
+        warm.rebuild_cold();
+        let sol = warm.solve().unwrap();
+        assert!(!sol.stats.warm_start);
+        assert_eq!(warm.stats().cold_solves, 2);
+    }
+
+    #[test]
+    fn quick_check_accepts_optimal_rejects_corrupted() {
+        let p = demo();
+        let sol = p.solve().unwrap();
+        assert!(quick_check(&p, &sol, 1e-6));
+        let mut bad = sol.clone();
+        bad.values[0] += 1.0; // breaks feasibility/gap
+        assert!(!quick_check(&p, &bad, 1e-6));
+        let mut no_duals = sol.clone();
+        no_duals.duals = None;
+        assert!(!quick_check(&p, &no_duals, 1e-6));
+    }
+
+    #[test]
+    fn quick_check_matches_exact_certificate_on_maximize() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        p.set_objective(x, 3.0);
+        p.set_objective(y, 2.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+        p.add_constraint(&[(x, 1.0), (y, 3.0)], Relation::Le, 6.0);
+        let sol = p.solve().unwrap();
+        assert!(quick_check(&p, &sol, 1e-6));
+        crate::exact::verify_certificate(&p, &sol).unwrap();
+    }
+}

@@ -27,8 +27,12 @@
 //!   rolling dice (used for Fig. 13/14/18).
 //! * [`montecarlo`] — raw-state sampling that cross-validates the analytic
 //!   availability calculus.
+//! * [`churn`] — seeded demand-churn workloads (1–5% add/remove/resize per
+//!   round) driving the incremental warm-start scheduler, with per-round
+//!   solve-latency CSV export (DESIGN.md §5e).
 
 pub mod analysis;
+pub mod churn;
 pub mod csv;
 pub mod dataplane;
 pub mod engine;

@@ -137,6 +137,10 @@ impl Controller {
         // rowgen counters) so `stats` renders them at zero before the
         // first solve instead of omitting them.
         bate_core::scheduling::register_metrics();
+        // Same for the incremental warm-start scheduler's `bate_warm_*`
+        // families (DESIGN.md §5e): controllers that never churn still
+        // export the counters at zero.
+        bate_core::incremental::register_metrics();
         let tunnels = TunnelSet::compute(&config.topo, config.routing);
         let scenarios = ScenarioSet::enumerate(&config.topo, config.max_failures);
         let failed = LinkSet::new(config.topo.num_groups());

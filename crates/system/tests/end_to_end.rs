@@ -216,6 +216,34 @@ fn stats_query_returns_prometheus_exposition() {
     );
 }
 
+/// Snapshot-golden check for the incremental warm-start family
+/// (DESIGN.md §5e): a freshly started controller pre-registers every
+/// `bate_warm_*` metric, so `batectl stats` — and the obscheck harness
+/// downstream of the same registry — always render the full family at
+/// zero, exactly these lines, even before any demand churn occurs.
+#[test]
+fn warm_start_families_render_at_zero() {
+    let controller = start_controller();
+    let mut client = Client::connect(controller.addr()).unwrap();
+    let text = client.stats().unwrap();
+    let golden = [
+        "# TYPE bate_warm_cert_fallbacks_total counter\nbate_warm_cert_fallbacks_total 0\n",
+        "# TYPE bate_warm_cold_rounds_total counter\nbate_warm_cold_rounds_total 0\n",
+        "# TYPE bate_warm_compactions_total counter\nbate_warm_compactions_total 0\n",
+        "# TYPE bate_warm_deltas_total counter\nbate_warm_deltas_total 0\n",
+        "# TYPE bate_warm_dual_pivots_total counter\nbate_warm_dual_pivots_total 0\n",
+        "# TYPE bate_warm_rounds_total counter\nbate_warm_rounds_total 0\n",
+        "# TYPE bate_warm_resolve_ms histogram\n",
+    ];
+    for snippet in golden {
+        assert!(
+            text.contains(snippet),
+            "stats exposition missing golden snippet {snippet:?} in:\n{text}"
+        );
+    }
+    assert!(text.contains("bate_warm_resolve_ms_count 0\n"));
+}
+
 #[test]
 fn ping_roundtrip() {
     let controller = start_controller();

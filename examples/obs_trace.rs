@@ -20,6 +20,7 @@
 use bate_net::{topologies, ScenarioSet};
 use bate_obs::{JsonlSubscriber, MetricKind, Registry, SimClock};
 use bate_routing::{RoutingScheme, TunnelSet};
+use bate_sim::churn;
 use bate_sim::workload::generate;
 use bate_sim::{AdmissionStrategy, RecoveryPolicy, SimConfig, Simulation, WorkloadConfig};
 use std::path::Path;
@@ -61,6 +62,20 @@ fn main() {
     }
     .run();
 
+    // Drive a seeded churn sequence through the incremental warm-start
+    // scheduler so the `bate_warm_*` counter families (DESIGN.md §5e)
+    // appear with nonzero, seed-deterministic values in the snapshot
+    // (the wall-clock resolve latency lands in a histogram, which the
+    // counter-only filter below excludes).
+    let churn_ctx = bate_core::TeContext::new(&topo, &tunnels, &scenarios);
+    let live_pairs: Vec<usize> = (0..tunnels.num_pairs())
+        .filter(|&p| !tunnels.tunnels(p).is_empty())
+        .take(4)
+        .collect();
+    let churn_cfg = churn::ChurnConfig::steady(live_pairs, 6, 4, seed);
+    let churn_report =
+        churn::run(&churn_ctx, &churn::generate(&churn_cfg)).expect("churn run");
+
     // Flush the trace before snapshotting (uninstall flushes the writer).
     bate_obs::trace::uninstall();
 
@@ -69,7 +84,11 @@ fn main() {
     std::fs::write(metrics_out, snapshot).expect("write metrics snapshot");
 
     println!(
-        "seed {seed}: {} arrived, {} admitted, {} rejected -> {trace_out} + {metrics_out}",
-        report.arrived, report.admitted, report.rejected
+        "seed {seed}: {} arrived, {} admitted, {} rejected; churn {} rounds ({} warm) -> {trace_out} + {metrics_out}",
+        report.arrived,
+        report.admitted,
+        report.rejected,
+        churn_report.rounds.len(),
+        churn_report.stats.warm_rounds
     );
 }

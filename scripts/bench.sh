@@ -30,6 +30,22 @@ cargo bench -q --offline -p bate-bench --bench lp -- --emit-json
 echo "== BENCH_lp.json =="
 cat BENCH_lp.json
 
+# The churn benchmark inside the lp bench already asserts the bar (the
+# bench aborts below 10x); re-check the emitted JSON here so a stale or
+# hand-edited BENCH_lp.json can't slip past the gate.
+echo "== churn warm-start gate (DESIGN.md §5e) =="
+CHURN_SPEEDUP=$(sed -n 's/.*"churn_warm".*"speedup": \([0-9.]*\).*/\1/p' BENCH_lp.json)
+if [[ -z "$CHURN_SPEEDUP" ]]; then
+    echo "FAILED: BENCH_lp.json has no churn_warm speedup"
+    exit 1
+fi
+if awk -v s="$CHURN_SPEEDUP" 'BEGIN { exit !(s >= 10.0) }'; then
+    echo "churn warm-start speedup ${CHURN_SPEEDUP}x >= 10x: OK"
+else
+    echo "FAILED: churn warm-start speedup ${CHURN_SPEEDUP}x below the 10x bar"
+    exit 1
+fi
+
 if [[ -n "$BASELINE" ]]; then
     echo "== diff vs $BASELINE =="
     diff -u "$BASELINE" BENCH_lp.json && echo "(no change)" || true
