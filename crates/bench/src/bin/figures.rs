@@ -5,12 +5,13 @@
 //! ```
 //!
 //! Artifacts: `fig2 table3 fig7a fig7b fig7cd fig8 fig9 fig10 fig11 fig12
-//! fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21`, or `all`
+//! fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21 storm`, or `all`
 //! (default). `quick` (default) uses shortened horizons/fewer seeds; `full`
 //! approaches the paper's sweep sizes and runs for tens of minutes.
 
 use bate_bench::experiments::{
     ablations, admission_exp, failures_exp, motivating, profit, pruning_exp, satisfaction,
+    storm_exp,
 };
 use bate_sim::metrics::ecdf;
 
@@ -96,7 +97,7 @@ fn main() {
     if artifacts.is_empty() || artifacts.iter().any(|a| a == "all") {
         artifacts = [
             "fig2", "table3", "fig7a", "fig7b", "fig7cd", "fig8", "fig10", "fig11", "fig12",
-            "fig13", "fig14", "fig15", "fig16", "fig18", "fig19", "fig20", "ablations",
+            "fig13", "fig14", "fig15", "fig16", "fig18", "fig19", "fig20", "storm", "ablations",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -308,6 +309,26 @@ fn main() {
                         r.bate * 100.0,
                         r.teavar * 100.0,
                         r.ffc * 100.0
+                    );
+                }
+            }
+            "storm" => {
+                header("Storm", "recovery-storm BA/profit/latency deltas (§6x)");
+                println!(
+                    "  {:>8} {:>6}  {:>11} {:>11}  {:>9} {:>9}  {:>9} {:>9}",
+                    "topo", "groups", "P(joint)", "P(indep)", "retained", "milp gap", "greedy ms", "milp ms"
+                );
+                for d in storm_exp::storm_deltas(&effort.seeds) {
+                    println!(
+                        "  {:>8} {:>6}  {:>11.3e} {:>11.3e}  {:>8.1}% {:>8.2}%  {:>9.3} {:>9.3}",
+                        d.topology,
+                        d.srlg_groups,
+                        d.scenario_probability,
+                        d.independent_probability,
+                        d.greedy_retention * 100.0,
+                        d.milp_gap * 100.0,
+                        d.greedy_ms,
+                        d.milp_ms
                     );
                 }
             }

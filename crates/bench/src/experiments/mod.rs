@@ -8,3 +8,4 @@ pub mod motivating;
 pub mod profit;
 pub mod pruning_exp;
 pub mod satisfaction;
+pub mod storm_exp;

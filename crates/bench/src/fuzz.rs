@@ -23,8 +23,17 @@
 //!   pricing step ties and bounded-variable bound flips are forced; the
 //!   float kernel's candidate-list pricing and the exact oracle's Bland
 //!   rule must still land on the same objective.
+//! * [`srlg_scheduling_lp`] — the correlated-failure family of this PR:
+//!   real Eq. 4 scheduling LPs built over toy4 with seeded fiber-cut
+//!   SRLGs, so the scenario probabilities are *joint* (group-level
+//!   Bernoulli events), not per-link independent. Instances straddle
+//!   feasible/infeasible as the conduit probability sweeps, exercising
+//!   the verdict-agreement path.
 //! * [`random_milp`] — knapsack-shaped MILPs with binaries plus an
 //!   occasional general-integer variable and side row.
+//! * [`srlg_admission_milp`] — oversubscribed Appendix-A admission MILPs
+//!   over the same correlated fixtures, forcing rejections whose
+//!   accept/reject split the exact oracle must reproduce.
 //! * [`stale_batch_mates_gadget`] — the PR-4 branch-and-cut regression
 //!   gadget (junk-gadget fan-out, z/r pin, hidden row), exposed here so
 //!   the campaign certifies it against the exact oracle.
@@ -42,16 +51,22 @@
 //! ([`fuzz_budget`]): tier-1 runs the small default, nightly runs set
 //! it high.
 
-use bate_core::BaDemand;
+use bate_core::{BaDemand, TeContext};
 use bate_lp::{Problem, Relation, Sense, VarId};
-use bate_net::{topologies, traffic, ScenarioSet, Topology};
+use bate_net::{topologies, traffic, GroupId, ScenarioSet, SrlgSet, Topology};
 use bate_routing::{RoutingScheme, TunnelSet};
 use rand::{Rng, SeedableRng, StdRng};
 
-/// `(family, seed)` pairs that exposed bugs in the past (none yet).
-/// Append the reported pair when a campaign fails, then fix the bug —
-/// the campaign replays every entry first, forever.
-pub const REGRESSION_SEEDS: &[(&str, u64)] = &[];
+/// `(family, seed)` pairs the campaign replays before any random sweep:
+/// seeds that exposed bugs in the past, plus one pinned representative
+/// of each correlated family (so the SRLG-shaped models stay covered
+/// even under tiny `FUZZ_BUDGET` settings). Append the reported pair
+/// when a campaign fails, then fix the bug — the corpus replays every
+/// entry first, forever.
+pub const REGRESSION_SEEDS: &[(&str, u64)] = &[
+    ("srlg_scheduling_lp", 3),
+    ("srlg_admission_milp", 1),
+];
 
 /// Per-family case budget: `FUZZ_BUDGET` when set, `default` otherwise.
 pub fn fuzz_budget(default: usize) -> usize {
@@ -82,12 +97,16 @@ pub fn lp_families() -> Vec<Family> {
         ("ill_conditioned_lp", ill_conditioned_lp),
         ("recovery_shaped_lp", recovery_shaped_lp),
         ("tie_fan_lp", tie_fan_lp),
+        ("srlg_scheduling_lp", srlg_scheduling_lp),
     ]
 }
 
 /// The MILP generator fleet.
 pub fn milp_families() -> Vec<Family> {
-    vec![("random_milp", random_milp)]
+    vec![
+        ("random_milp", random_milp),
+        ("srlg_admission_milp", srlg_admission_milp),
+    ]
 }
 
 fn coeff(rng: &mut StdRng) -> f64 {
@@ -343,6 +362,73 @@ pub fn random_milp(seed: u64) -> FuzzInstance {
     FuzzInstance {
         name: format!("random_milp:{seed}"),
         problem: p,
+    }
+}
+
+/// A seeded correlated fixture: toy4 plus 1–2 random fiber-cut SRLGs
+/// (each covering 2–3 fate groups, conduit probability log-uniform in
+/// ~1e-3..5e-2), enumerated at depth 2 over the *event* space — so the
+/// scenario probabilities are joint, not per-link independent. Kept to
+/// toy4 so the exact rational oracle can certify every instance.
+pub fn srlg_fixture(rng: &mut StdRng) -> NetFixture {
+    let topo = topologies::toy4();
+    let tunnels = TunnelSet::compute(&topo, RoutingScheme::Ksp(2));
+    let mut srlgs = SrlgSet::new(&topo);
+    let cuts = rng.gen_range(1usize..=2);
+    for c in 0..cuts {
+        let k = rng.gen_range(2usize..=3);
+        let mut groups: Vec<GroupId> = Vec::with_capacity(k);
+        while groups.len() < k {
+            let g = GroupId(rng.gen_range(0usize..topo.num_groups()));
+            if !groups.contains(&g) {
+                groups.push(g);
+            }
+        }
+        let q = 10f64.powf(rng.gen_range(-3.0..-1.3));
+        srlgs.add(&format!("cut{c}"), q, &groups);
+    }
+    let scenarios = srlgs.enumerate(&topo, 2);
+    NetFixture {
+        topo,
+        tunnels,
+        scenarios,
+    }
+}
+
+/// Real Eq. 4 scheduling LPs over seeded correlated fixtures. Depending
+/// on how hard the drawn conduits hit the drawn demands' β-targets, the
+/// instance is Optimal or Infeasible — both verdicts are differenced
+/// against the exact oracle.
+pub fn srlg_scheduling_lp(seed: u64) -> FuzzInstance {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_0007);
+    let fix = srlg_fixture(&mut rng);
+    let mean_total = rng.gen_range(8_000.0..16_000.0);
+    let demands = gravity_demands(&fix, 3, mean_total, seed + 300);
+    let ctx = TeContext::new(&fix.topo, &fix.tunnels, &fix.scenarios);
+    let caps: Vec<f64> = fix.topo.links().map(|(_, l)| l.capacity).collect();
+    let problem = bate_core::scheduling::scheduling_lp(&ctx, &demands, &caps)
+        .expect("scheduling LP build is infallible for non-empty demand sets");
+    FuzzInstance {
+        name: format!("srlg_scheduling_lp:{seed}"),
+        problem,
+    }
+}
+
+/// Oversubscribed Appendix-A admission MILPs over the same correlated
+/// fixtures: the traffic draw deliberately exceeds toy4's capacity, so
+/// the optimal accept/reject split is non-trivial and the float
+/// branch-and-bound must reproduce the exact oracle's count.
+pub fn srlg_admission_milp(seed: u64) -> FuzzInstance {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_0008);
+    let fix = srlg_fixture(&mut rng);
+    let mean_total = rng.gen_range(25_000.0..45_000.0);
+    let demands = gravity_demands(&fix, 3, mean_total, seed + 400);
+    let ctx = TeContext::new(&fix.topo, &fix.tunnels, &fix.scenarios);
+    let problem = bate_core::admission::optimal::admission_milp(&ctx, &demands, false)
+        .expect("admission MILP build is infallible for non-empty demand sets");
+    FuzzInstance {
+        name: format!("srlg_admission_milp:{seed}"),
+        problem,
     }
 }
 

@@ -23,8 +23,13 @@ use bate_core::admission::optimal::{
     admission_milp, maximize_admissions_mode, optimal_feasible_mode,
 };
 use bate_core::incremental::{DemandDelta, IncrementalScheduler};
+use bate_core::recovery::greedy::greedy_recovery;
+use bate_core::recovery::milp::{optimal_recovery, recovery_milp};
+use bate_core::recovery::RecoveryOutcome;
 use bate_core::scheduling::{self, SolveMode, ROWGEN_SEED_SINGLES};
 use bate_core::{BaDemand, TeContext};
+use bate_net::{topologies, GroupId, ScenarioSet, SrlgSet};
+use bate_routing::{RoutingScheme, TunnelSet};
 use bate_sim::churn;
 use bate_lp::exact::{
     solve_exact, solve_exact_milp, verify_certificate, verify_exact, verify_milp_certificate,
@@ -121,7 +126,7 @@ fn gen_for(family: &str) -> fn(u64) -> FuzzInstance {
 fn regression_corpus_replays_clean() {
     for &(family, seed) in fuzz::REGRESSION_SEEDS {
         let inst = gen_for(family)(seed);
-        if family == "random_milp" {
+        if milp_families().iter().any(|&(name, _)| name == family) {
             diff_milp(&inst);
         } else {
             diff_lp(&inst);
@@ -138,6 +143,9 @@ fn synthetic_lp_differential_campaign() {
         ("ill_conditioned_lp", 80),
         ("recovery_shaped_lp", 80),
         ("tie_fan_lp", 60),
+        // Real scheduling models over correlated fixtures: each instance
+        // runs the exact oracle on an Eq. 4 LP, so the budget is smaller.
+        ("srlg_scheduling_lp", 8),
     ];
     for (name, gen) in lp_families() {
         let default = budgets
@@ -153,8 +161,16 @@ fn synthetic_lp_differential_campaign() {
 
 #[test]
 fn synthetic_milp_differential_campaign() {
-    for (_, gen) in milp_families() {
-        for seed in 0..fuzz_budget(80) as u64 {
+    // Exact branch-and-bound on the Appendix-A admission models is far
+    // heavier per instance than on knapsacks, hence the smaller budget.
+    let budgets = [("random_milp", 80), ("srlg_admission_milp", 6)];
+    for (name, gen) in milp_families() {
+        let default = budgets
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map(|&(_, b)| b)
+            .unwrap_or(40);
+        for seed in 0..fuzz_budget(default) as u64 {
             diff_milp(&gen(seed));
         }
     }
@@ -379,6 +395,128 @@ fn churn_sequences_match_cold_and_certify() {
             sched.stats().warm_rounds > 0,
             "{tag}: churn rounds never warm-started: {:?}",
             sched.stats()
+        );
+    }
+}
+
+/// The acceptance-criterion divergence case, certified end to end: a
+/// demand the independent-marginal model admits (Optimal scheduling LP,
+/// float certificate AND exact rational certificate) that the correlated
+/// model rejects (Infeasible), with the exact oracle confirming the
+/// rejection is structural, not a float artifact.
+#[test]
+fn correlated_divergence_is_certified_by_the_exact_oracle() {
+    let topo = topologies::toy4();
+    let tunnels = TunnelSet::compute(&topo, RoutingScheme::Ksp(2));
+    let mut srlgs = SrlgSet::new(&topo);
+    // One conduit over e2 and e4: the only two disjoint DC1→DC4 paths
+    // share a 1% fiber cut their marginals don't reveal.
+    srlgs.add("fiber-cut", 0.01, &[GroupId(1), GroupId(3)]);
+    let n = |s: &str| topo.find_node(s).unwrap();
+    let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+    let probe = vec![BaDemand::single(1, pair, 1000.0, 0.999)];
+    let caps: Vec<f64> = topo.links().map(|(_, l)| l.capacity).collect();
+
+    // Correlation-blind observer: admits, and both certificates agree.
+    let marginal = srlgs.marginal_topology(&topo);
+    let indep = ScenarioSet::enumerate(&marginal, 2);
+    let ctx_indep = TeContext::new(&marginal, &tunnels, &indep);
+    let p_indep = scheduling::scheduling_lp(&ctx_indep, &probe, &caps).unwrap();
+    let sol = p_indep
+        .solve()
+        .expect("independent marginals must admit the 99.9% probe");
+    verify_certificate(&p_indep, &sol).expect("float certificate on the independent model");
+    let e = solve_exact(&p_indep).expect("exact oracle agrees the independent model is feasible");
+    assert!(
+        close(sol.objective, e.objective.to_f64()),
+        "independent model: float {} vs exact {}",
+        sol.objective,
+        e.objective.to_f64()
+    );
+    verify_exact(&p_indep, &e).expect("exact certificate on the independent model");
+
+    // Joint model: the same demand is structurally unservable.
+    let corr = srlgs.enumerate(&topo, 2);
+    let ctx_corr = TeContext::new(&topo, &tunnels, &corr);
+    let p_corr = scheduling::scheduling_lp(&ctx_corr, &probe, &caps).unwrap();
+    assert_eq!(
+        p_corr.solve().err(),
+        Some(SolveError::Infeasible),
+        "the correlated model must reject the probe"
+    );
+    assert_eq!(
+        solve_exact(&p_corr).err(),
+        Some(SolveError::Infeasible),
+        "exact oracle must confirm the correlated rejection"
+    );
+}
+
+/// Recovery-storm models certified against the exact oracle: for seeded
+/// churn pools hit by the toy4 fiber cut, Algorithm 2 must stay within
+/// the MILP optimum, the MILP optimum within the no-failure baseline,
+/// and the Eq. 8–12 model itself must pass the exact MILP differential
+/// (float branch-and-bound objective = exact rational objective, MILP
+/// certificate against the exact relaxation root).
+#[test]
+fn storm_recovery_milps_certify_against_the_exact_oracle() {
+    let topo = topologies::toy4();
+    let tunnels = TunnelSet::compute(&topo, RoutingScheme::Ksp(2));
+    let mut srlgs = SrlgSet::new(&topo);
+    srlgs.add("storm-region", 0.01, &[GroupId(1), GroupId(3)]);
+    let scenarios = srlgs.enumerate(&topo, 2);
+    let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+    let cut = srlgs.scenario(&topo, &[GroupId(1), GroupId(3)]);
+    let pairs: Vec<usize> = (0..tunnels.num_pairs())
+        .filter(|&p| !tunnels.tunnels(p).is_empty())
+        .take(4)
+        .collect();
+
+    for seed in 0..fuzz_budget(3) as u64 {
+        let mut cfg = churn::ChurnConfig::steady(pairs.clone(), 6, 0, 700 + seed);
+        cfg.refund_ratio = 0.25; // forfeits must cost profit
+        let pool = churn::generate(&cfg).initial;
+        let tag = format!("storm_recovery:{seed}");
+
+        let greedy = greedy_recovery(&ctx, &pool, &cut);
+        let optimal = optimal_recovery(&ctx, &pool, &cut)
+            .unwrap_or_else(|e| panic!("{tag}: recovery MILP failed: {e}"));
+        let baseline = RecoveryOutcome::baseline_profit(&pool);
+        assert!(
+            greedy.profit <= optimal.profit + OBJ_TOL * baseline,
+            "{tag}: greedy profit {} exceeds MILP optimum {}",
+            greedy.profit,
+            optimal.profit
+        );
+        assert!(
+            optimal.profit <= baseline + OBJ_TOL * baseline,
+            "{tag}: recovery profit {} exceeds baseline {}",
+            optimal.profit,
+            baseline
+        );
+
+        let p = recovery_milp(&ctx, &pool, &cut);
+        let sol = milp::solve(&p, milp::BnbConfig::default())
+            .unwrap_or_else(|e| panic!("{tag}: float MILP failed: {e}"));
+        let exact = solve_exact_milp(&p, 50_000)
+            .unwrap_or_else(|e| panic!("{tag}: exact MILP failed: {e}"));
+        assert!(
+            close(sol.objective, exact.objective.to_f64()),
+            "{tag}: float MILP objective {} vs exact {}",
+            sol.objective,
+            exact.objective.to_f64()
+        );
+        let root = solve_exact(&p).unwrap();
+        verify_milp_certificate(&p, &sol, Some(root.objective.to_f64()))
+            .unwrap_or_else(|err| panic!("{tag}: MILP certificate rejected: {err}"));
+
+        // The model objective is the refund saved (Σ g μ over satisfied
+        // demands): profit = baseline − Σ g μ + objective.
+        let refundable: f64 = pool.iter().map(|d| d.price * d.refund_ratio).sum();
+        assert!(
+            close(optimal.profit, baseline - refundable + exact.objective.to_f64()),
+            "{tag}: profit accounting {} vs certified {}",
+            optimal.profit,
+            baseline - refundable + exact.objective.to_f64()
         );
     }
 }

@@ -23,6 +23,21 @@ use bate_lp::{milp, Problem, Relation, Sense, SolveError, VarId};
 use bate_net::Scenario;
 use bate_routing::TunnelId;
 
+/// The built Eq. 8–12 model plus the variable handles needed to read a
+/// solution back out.
+struct RecoveryModel {
+    p: Problem,
+    y_vars: Vec<VarId>,
+    f_vars: Vec<Vec<Vec<Option<VarId>>>>,
+}
+
+/// Build the Eq. 8–12 recovery MILP for `scenario` without solving it.
+/// Exposed so the differential fuzzing campaign can certify storm-round
+/// recovery models against the exact rational oracle.
+pub fn recovery_milp(ctx: &TeContext, demands: &[BaDemand], scenario: &Scenario) -> Problem {
+    build_model(ctx, demands, scenario).p
+}
+
 /// Solve the recovery MILP exactly. This is the "optimal" line of Fig. 19
 /// and the slow side of the 50× speedup in Fig. 21.
 pub fn optimal_recovery(
@@ -30,6 +45,40 @@ pub fn optimal_recovery(
     demands: &[BaDemand],
     scenario: &Scenario,
 ) -> Result<RecoveryOutcome, SolveError> {
+    let RecoveryModel { p, y_vars, f_vars } = build_model(ctx, demands, scenario);
+
+    let cfg = milp::BnbConfig {
+        max_nodes: 100_000,
+        gap: 1e-6,
+    };
+    let sol = milp::solve(&p, cfg)?;
+
+    let mut allocation = Allocation::new();
+    let mut satisfied = Vec::new();
+    for (di, demand) in demands.iter().enumerate() {
+        if sol.int_value(y_vars[di]) == 1 {
+            satisfied.push(demand.id);
+        }
+        for (ki, &(pair, _)) in demand.bandwidth.iter().enumerate() {
+            for (ti, v) in f_vars[di][ki].iter().enumerate() {
+                if let Some(v) = v {
+                    let f = sol[*v];
+                    if f > 1e-9 {
+                        allocation.set(demand.id, TunnelId { pair, tunnel: ti }, f);
+                    }
+                }
+            }
+        }
+    }
+    let profit = RecoveryOutcome::compute_profit(demands, &satisfied);
+    Ok(RecoveryOutcome {
+        allocation,
+        satisfied,
+        profit,
+    })
+}
+
+fn build_model(ctx: &TeContext, demands: &[BaDemand], scenario: &Scenario) -> RecoveryModel {
     let mut p = Problem::new(Sense::Maximize);
 
     let mut f_vars: Vec<Vec<Vec<Option<VarId>>>> = Vec::with_capacity(demands.len());
@@ -94,35 +143,7 @@ pub fn optimal_recovery(
         }
     }
 
-    let cfg = milp::BnbConfig {
-        max_nodes: 100_000,
-        gap: 1e-6,
-    };
-    let sol = milp::solve(&p, cfg)?;
-
-    let mut allocation = Allocation::new();
-    let mut satisfied = Vec::new();
-    for (di, demand) in demands.iter().enumerate() {
-        if sol.int_value(y_vars[di]) == 1 {
-            satisfied.push(demand.id);
-        }
-        for (ki, &(pair, _)) in demand.bandwidth.iter().enumerate() {
-            for (ti, v) in f_vars[di][ki].iter().enumerate() {
-                if let Some(v) = v {
-                    let f = sol[*v];
-                    if f > 1e-9 {
-                        allocation.set(demand.id, TunnelId { pair, tunnel: ti }, f);
-                    }
-                }
-            }
-        }
-    }
-    let profit = RecoveryOutcome::compute_profit(demands, &satisfied);
-    Ok(RecoveryOutcome {
-        allocation,
-        satisfied,
-        profit,
-    })
+    RecoveryModel { p, y_vars, f_vars }
 }
 
 #[cfg(test)]

@@ -15,6 +15,50 @@ pub mod milp;
 use crate::allocation::Allocation;
 use crate::demand::{BaDemand, DemandId};
 
+/// Registry handles for the recovery-storm metric family (`bate_storm_*`).
+///
+/// Recorded by the storm workload driver in `bate-sim` (which layers an
+/// SRLG cut over concurrent demand churn); defined here so the controller
+/// can pre-register the family before any storm runs — exposition then
+/// renders every series at zero from the first scrape (the same contract
+/// as `bate_warm_*`). Counters only commute; the latency histogram is
+/// excluded from determinism-checked snapshots.
+pub struct StormMetrics {
+    /// SRLG cut events driven through the failure process.
+    pub events: std::sync::Arc<bate_obs::Counter>,
+    /// Recovery computations (greedy or MILP) triggered by storms.
+    pub recovery_runs: std::sync::Arc<bate_obs::Counter>,
+    /// Demands whose full bandwidth survived a storm-round recovery.
+    pub recovered: std::sync::Arc<bate_obs::Counter>,
+    /// Demands forfeited (refunded) in a storm-round recovery.
+    pub forfeited: std::sync::Arc<bate_obs::Counter>,
+    /// Churn deltas applied while a storm was active.
+    pub churn_deltas: std::sync::Arc<bate_obs::Counter>,
+    /// Wall-clock of each storm recovery computation.
+    pub recovery_ms: std::sync::Arc<bate_obs::Histogram>,
+}
+
+/// Global handles for the `bate_storm_*` family.
+pub fn storm_metrics() -> &'static StormMetrics {
+    static M: std::sync::OnceLock<StormMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        let r = bate_obs::Registry::global();
+        StormMetrics {
+            events: r.counter("bate_storm_events_total"),
+            recovery_runs: r.counter("bate_storm_recovery_runs_total"),
+            recovered: r.counter("bate_storm_demands_recovered_total"),
+            forfeited: r.counter("bate_storm_demands_forfeited_total"),
+            churn_deltas: r.counter("bate_storm_churn_deltas_total"),
+            recovery_ms: r.histogram("bate_storm_recovery_ms"),
+        }
+    })
+}
+
+/// Pre-register the `bate_storm_*` family (controller startup).
+pub fn register_storm_metrics() {
+    let _ = storm_metrics();
+}
+
 /// Result of a recovery computation for one failure scenario.
 #[derive(Debug, Clone)]
 pub struct RecoveryOutcome {

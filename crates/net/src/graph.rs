@@ -212,6 +212,17 @@ impl Topology {
             .find(|&l| self.links[l.0].dst == dst)
     }
 
+    /// Override a fate group's failure probability. Used to build the
+    /// independent-*marginal* baseline of a correlated model (see
+    /// [`crate::srlg::SrlgSet::marginal_topology`]).
+    pub fn set_group_failure_prob(&mut self, g: GroupId, p: f64) {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "failure probability must be in [0, 1)"
+        );
+        self.groups[g.0].failure_prob = p;
+    }
+
     /// Availability (`1 - x_i`) of a link's fate group.
     pub fn link_availability(&self, id: LinkId) -> f64 {
         1.0 - self.groups[self.links[id.0].group.0].failure_prob

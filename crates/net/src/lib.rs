@@ -14,6 +14,10 @@
 //!   link-failure probabilities as in Fig. 1(b), exponential demand
 //!   durations, Poisson arrivals) implemented from first principles so the
 //!   dependency set stays within the approved list.
+//! * [`srlg`] — shared-risk link groups: named fiber-cut events spanning
+//!   several fate groups, correlated scenario enumeration with exact joint
+//!   probabilities, and a seeded conduit-heuristic generator for the
+//!   synthetic topologies.
 //! * [`topologies`] — the six topologies of the paper: the 4-DC motivating
 //!   example (Fig. 2), the 6-DC testbed (Fig. 6), and B4 / IBM / ATT / FITI
 //!   (Table 4) with synthetic capacities and Weibull-sampled failure
@@ -29,10 +33,12 @@ pub mod graph;
 pub mod linkset;
 pub mod metrics;
 pub mod scenario;
+pub mod srlg;
 pub mod topologies;
 pub mod traffic;
 
 pub use graph::{GroupId, Link, LinkId, NodeId, Topology};
 pub use linkset::LinkSet;
 pub use scenario::{Scenario, ScenarioSet};
+pub use srlg::{Srlg, SrlgId, SrlgSet};
 pub use traffic::TrafficMatrix;

@@ -32,7 +32,10 @@ impl Scenario {
     }
 
     /// Scenario with exactly the given fate groups failed, probability
-    /// computed from the topology's per-group failure probabilities.
+    /// computed from the topology's per-group failure probabilities
+    /// **under independence**. When links share risk (fiber conduits), use
+    /// [`crate::srlg::SrlgSet::scenario`] instead — the independence
+    /// product can understate joint failures by orders of magnitude.
     pub fn with_failures(topo: &Topology, groups: &[GroupId]) -> Scenario {
         let mut failed = LinkSet::new(topo.num_groups());
         for g in groups {
@@ -61,7 +64,15 @@ impl Scenario {
     }
 }
 
-/// Exact probability of a scenario given which fate groups failed.
+/// Exact probability of a scenario given which fate groups failed,
+/// **assuming fate groups fail independently** (the paper's §3.1 model).
+///
+/// This is only correct when no shared-risk structure exists. With SRLGs
+/// the per-group probabilities are *marginals* of a correlated joint
+/// distribution and their product is wrong — see
+/// [`crate::srlg::SrlgSet::state_probability`] for the exact correlated
+/// form, and the `independent_marginals_overstate_two_path_availability`
+/// test below for how far off the product gets on a 2-link SRLG.
 pub fn scenario_probability(topo: &Topology, failed: &LinkSet) -> f64 {
     topo.groups()
         .map(|(g, def)| {
@@ -77,8 +88,8 @@ pub fn scenario_probability(topo: &Topology, failed: &LinkSet) -> f64 {
 /// The pruned scenario set of §3.3.
 #[derive(Debug, Clone)]
 pub struct ScenarioSet {
-    /// Enumerated scenarios, ordered by increasing failure count; index 0 is
-    /// always the all-up scenario.
+    /// Enumerated scenarios in DFS emission order ({}, {0}, {0,1}, …);
+    /// index 0 is always the all-up scenario.
     pub scenarios: Vec<Scenario>,
     /// Total probability of all pruned (deeper) scenarios, treated as
     /// unqualified.
@@ -316,6 +327,41 @@ mod tests {
         for w in all.windows(2) {
             assert!(set.scenarios[w[0]].probability >= set.scenarios[w[1]].probability);
         }
+    }
+
+    /// Negative test for the independence bake-in: on toy4 with e2 and e4
+    /// riding one 1% conduit, the independence product over the *marginal*
+    /// probabilities says "some path DC2→DC4-or-DC3→DC4 survives" with
+    /// 99.99%+ availability, while the correlated model says at most ~99%.
+    /// A BA guarantee of 99.9% priced from independent probabilities
+    /// accepts; the correlated model correctly rejects.
+    #[test]
+    fn independent_marginals_overstate_two_path_availability() {
+        use crate::srlg::SrlgSet;
+        let t = topologies::toy4();
+        let mut srlgs = SrlgSet::new(&t);
+        srlgs.add("conduit", 0.01, &[GroupId(1), GroupId(3)]);
+        let beta = 0.999;
+
+        // Availability of "e2 up or e4 up" = 1 - P(both down), exact under
+        // each model (full enumeration, no pruning residual).
+        let avail = |set: &ScenarioSet| -> f64 {
+            set.iter()
+                .filter(|s| !(s.failed.contains(1) && s.failed.contains(3)))
+                .map(|s| s.probability)
+                .sum()
+        };
+
+        let marginal = srlgs.marginal_topology(&t);
+        let indep = ScenarioSet::enumerate(&marginal, marginal.num_groups());
+        let corr = srlgs.enumerate(&t, t.num_groups() + srlgs.len());
+
+        let a_indep = avail(&indep);
+        let a_corr = avail(&corr);
+        assert!(a_indep >= beta, "independence accepts: {a_indep}");
+        assert!(a_corr < beta, "correlated rejects: {a_corr}");
+        // The gap is the conduit probability, not rounding noise.
+        assert!(a_indep - a_corr > 0.009, "gap {}", a_indep - a_corr);
     }
 
     #[test]

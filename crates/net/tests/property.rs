@@ -1,6 +1,6 @@
 //! Property-based validation of the scenario model and samplers.
 
-use bate_net::{scenario, LinkSet, Scenario, ScenarioSet, Topology};
+use bate_net::{scenario, GroupId, LinkSet, Scenario, ScenarioSet, SrlgSet, Topology};
 use proptest::prelude::*;
 
 /// Build a random connected topology from a ring plus extra chords, with
@@ -90,6 +90,102 @@ proptest! {
         let items: Vec<usize> = set.iter().collect();
         let expected: Vec<usize> = model.iter().copied().collect();
         prop_assert_eq!(items, expected);
+    }
+
+    /// Correlated enumeration conserves probability mass: the joint
+    /// probabilities sum to ≤ 1 (with the residual as exact complement)
+    /// and `covered_probability` is monotone in the event-depth bound.
+    #[test]
+    fn srlg_mass_conservation(topo in random_topology(), seed in any::<u64>(), y in 0usize..4) {
+        let srlgs = SrlgSet::generate(&topo, seed);
+        let set = srlgs.enumerate(&topo, y);
+        let total: f64 = set.scenarios.iter().map(|s| s.probability).sum();
+        prop_assert!(total <= 1.0 + 1e-9);
+        prop_assert!((total + set.residual_probability - 1.0).abs() < 1e-9);
+        if y > 0 {
+            let shallower = srlgs.enumerate(&topo, y - 1);
+            prop_assert!(set.covered_probability() >= shallower.covered_probability() - 1e-12);
+            prop_assert!(set.len() >= shallower.len());
+        }
+        // Each state's merged probability is the exact joint probability,
+        // whenever every event subset confined to the down-set fits within
+        // the enumeration depth (then nothing reaching this state was
+        // pruned).
+        let events = srlgs.events(&topo);
+        for s in set.scenarios.iter().take(64) {
+            let inside = events.iter().filter(|e| e.cover.is_subset(&s.failed)).count();
+            if inside <= y {
+                let p = srlgs.state_probability(&topo, &s.failed);
+                prop_assert!((p - s.probability).abs() < 1e-9,
+                    "merged {} vs exact {p}", s.probability);
+            }
+        }
+    }
+
+    /// The SRLG generator is deterministic per seed and well-formed.
+    #[test]
+    fn srlg_generator_deterministic(topo in random_topology(), seed in any::<u64>()) {
+        let a = SrlgSet::generate(&topo, seed);
+        let b = SrlgSet::generate(&topo, seed);
+        prop_assert_eq!(a.len(), b.len());
+        for ((ia, sa), (ib, sb)) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(ia, ib);
+            prop_assert_eq!(&sa.name, &sb.name);
+            prop_assert_eq!(sa.failure_prob, sb.failure_prob);
+            prop_assert_eq!(&sa.groups, &sb.groups);
+            prop_assert!(sa.groups.count() >= 2);
+            prop_assert!((1e-4..=1e-2).contains(&sa.failure_prob));
+        }
+        // Enumeration of equal sets is identical (bitwise).
+        let ea = a.enumerate(&topo, 2);
+        let eb = b.enumerate(&topo, 2);
+        prop_assert_eq!(ea.len(), eb.len());
+        for (x, z) in ea.iter().zip(eb.iter()) {
+            prop_assert_eq!(&x.failed, &z.failed);
+            prop_assert_eq!(x.probability, z.probability);
+        }
+    }
+
+    /// Link/group state consistency: in every enumerated correlated
+    /// scenario, a directed link is down iff its fate group is covered by
+    /// some *failed* event whose whole cover is down — i.e. every down-set
+    /// is a union of event covers, and fate-sharing holds inside it.
+    #[test]
+    fn srlg_link_state_consistent_with_groups(
+        topo in random_topology(),
+        seed in any::<u64>(),
+    ) {
+        let srlgs = SrlgSet::generate(&topo, seed);
+        let events = srlgs.events(&topo);
+        let set = srlgs.enumerate(&topo, 2);
+        for s in set.scenarios.iter().take(128) {
+            // Union of the covers contained in the down-set reconstructs it
+            // exactly: each failed group is explained by a failed event.
+            let mut covered = LinkSet::new(topo.num_groups());
+            for e in &events {
+                if e.cover.is_subset(&s.failed) {
+                    for g in e.cover.iter() {
+                        covered.insert(g);
+                    }
+                }
+            }
+            prop_assert_eq!(&covered, &s.failed);
+            // Directed-link view agrees with the group view.
+            for (l, link) in topo.links() {
+                prop_assert_eq!(
+                    s.link_up(&topo, l),
+                    !s.failed.contains(link.group.index())
+                );
+            }
+        }
+        // Firing one SRLG takes down exactly its covered groups.
+        for (id, srlg) in srlgs.iter() {
+            let fired = srlgs.down_groups(&topo, &[topo.num_groups() + id.index()]);
+            prop_assert_eq!(&fired, &srlg.groups);
+            for g in srlg.groups.iter() {
+                prop_assert!(srlgs.covering(GroupId(g)).contains(&id));
+            }
+        }
     }
 
     /// The distribution samplers stay in range and are deterministic per

@@ -36,6 +36,11 @@ pub struct ChurnConfig {
     pub bandwidth: (f64, f64),
     /// Availability targets to draw from, uniformly.
     pub availability_targets: Vec<f64>,
+    /// Refund ratio `μ` stamped on every generated demand (a fixed value,
+    /// not an RNG draw, so changing it never perturbs the delta stream).
+    /// Zero keeps recovery profit-neutral; storms set it positive so
+    /// forfeited demands actually cost money.
+    pub refund_ratio: f64,
     pub seed: u64,
 }
 
@@ -50,6 +55,7 @@ impl ChurnConfig {
             pairs_per_demand: 1,
             bandwidth: (10.0, 50.0),
             availability_targets: bate_core::AvailabilityClass::testbed_targets().to_vec(),
+            refund_ratio: 0.0,
             seed,
         }
     }
@@ -81,7 +87,7 @@ fn draw_demand(rng: &mut StdRng, config: &ChurnConfig, id: u64) -> BaDemand {
         bandwidth,
         beta,
         price,
-        refund_ratio: 0.0,
+        refund_ratio: config.refund_ratio,
     }
 }
 

@@ -30,6 +30,9 @@
 //! * [`churn`] — seeded demand-churn workloads (1–5% add/remove/resize per
 //!   round) driving the incremental warm-start scheduler, with per-round
 //!   solve-latency CSV export (DESIGN.md §5e).
+//! * [`storm`] — recovery storms: a region SRLG cut held across several
+//!   rounds of concurrent churn, with per-round Algorithm-2/exact-MILP
+//!   recovery deltas and latency (DESIGN.md §6x).
 
 pub mod analysis;
 pub mod churn;
@@ -40,6 +43,7 @@ pub mod events;
 pub mod failures;
 pub mod metrics;
 pub mod montecarlo;
+pub mod storm;
 pub mod workload;
 
 pub use engine::{AdmissionStrategy, RecoveryPolicy, SimConfig, Simulation, TimingMode};

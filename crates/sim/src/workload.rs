@@ -5,6 +5,13 @@
 //! traffic matrices with a scale-down factor (simulation); availability
 //! targets come from the Table-1-style pools; refund ratios are drawn from
 //! the Azure service schedules.
+//!
+//! The arrival *rate* can additionally be shaped ([`RateShape`]): a diurnal
+//! sinusoid plus seeded flash-crowd windows, mirroring the
+//! `network_listener` exp2 cross-traffic profile (stable background load
+//! with short bursts landing on average every 15 time units and lasting 2)
+//! scaled from seconds to minutes. [`RateShape::Constant`] reproduces the
+//! paper's settings bit-for-bit.
 
 use bate_core::pricing::SlaSchedule;
 use bate_core::{BaDemand, DemandId};
@@ -28,6 +35,47 @@ pub enum BandwidthModel {
     },
 }
 
+/// Time-of-day modulation of the arrival rate.
+#[derive(Debug, Clone)]
+pub enum RateShape {
+    /// Constant rate — the paper's §5.1/§5.2 settings.
+    Constant,
+    /// Diurnal sinusoid with seeded flash-crowd bursts layered on top.
+    ///
+    /// The per-minute rate is
+    /// `base · (1 + A·sin(2π·minute/period)) · (flash? m : 1)`,
+    /// with flash onsets arriving as an exponential stream (mean gap
+    /// `flash_every_min`) drawn from a dedicated RNG stream so the demand
+    /// draw sequence itself is untouched by the shape.
+    DiurnalFlash {
+        /// Peak-to-trough swing as a fraction of the mean rate (`A`, in
+        /// `[0, 1)`).
+        diurnal_amplitude: f64,
+        /// Diurnal period in minutes (1440 = one day).
+        period_min: f64,
+        /// Mean minutes between flash-crowd onsets.
+        flash_every_min: f64,
+        /// How long each flash lasts, minutes.
+        flash_duration_min: f64,
+        /// Arrival-rate multiplier while a flash is active (`m`).
+        flash_multiplier: f64,
+    },
+}
+
+impl RateShape {
+    /// The exp2 cross-traffic profile: bursts every ~15 minutes lasting 2,
+    /// six-fold rate inside a burst, on a half-amplitude daily sinusoid.
+    pub fn exp2() -> RateShape {
+        RateShape::DiurnalFlash {
+            diurnal_amplitude: 0.5,
+            period_min: 1440.0,
+            flash_every_min: 15.0,
+            flash_duration_min: 2.0,
+            flash_multiplier: 6.0,
+        }
+    }
+}
+
 /// Workload parameters.
 #[derive(Debug, Clone)]
 pub struct WorkloadConfig {
@@ -44,6 +92,8 @@ pub struct WorkloadConfig {
     pub refund_pool: Vec<SlaSchedule>,
     /// Price per Mbps (§5.1: "a unit price is charged for 1 Mbps").
     pub unit_price: f64,
+    /// Time-of-day shaping of `arrivals_per_min`.
+    pub shape: RateShape,
     pub seed: u64,
 }
 
@@ -58,8 +108,16 @@ impl WorkloadConfig {
             availability_targets: bate_core::AvailabilityClass::testbed_targets().to_vec(),
             refund_pool: bate_core::pricing::testbed_services(),
             unit_price: 1.0,
+            shape: RateShape::Constant,
             seed,
         }
+    }
+
+    /// The testbed workload under the exp2 diurnal + flash-crowd shape.
+    pub fn diurnal_flash(pairs: Vec<usize>, seed: u64) -> WorkloadConfig {
+        let mut cfg = WorkloadConfig::testbed(pairs, seed);
+        cfg.shape = RateShape::exp2();
+        cfg
     }
 
     /// The §5.2 simulation workload (arrival rate swept 1–6/min).
@@ -72,7 +130,46 @@ impl WorkloadConfig {
             availability_targets: bate_core::AvailabilityClass::simulation_targets().to_vec(),
             refund_pool: bate_core::pricing::azure_services(),
             unit_price: 1.0,
+            shape: RateShape::Constant,
             seed,
+        }
+    }
+}
+
+/// Per-minute rate multipliers over the horizon. A dedicated RNG stream
+/// (`seed ^ FLASH_STREAM`) drives the flash onsets so attaching a shape
+/// never perturbs the demand draws themselves.
+fn rate_factors(config: &WorkloadConfig, minutes: usize) -> Vec<f64> {
+    match &config.shape {
+        RateShape::Constant => vec![1.0; minutes],
+        RateShape::DiurnalFlash {
+            diurnal_amplitude,
+            period_min,
+            flash_every_min,
+            flash_duration_min,
+            flash_multiplier,
+        } => {
+            const FLASH_STREAM: u64 = 0xF1A5_u64;
+            let mut rng = StdRng::seed_from_u64(config.seed ^ FLASH_STREAM);
+            let mut flash = vec![false; minutes];
+            let mut t = exponential(&mut rng, *flash_every_min);
+            while (t as usize) < minutes {
+                let end = t + flash_duration_min;
+                let mut m = t as usize;
+                while (m as f64) < end && m < minutes {
+                    flash[m] = true;
+                    m += 1;
+                }
+                t += flash_duration_min + exponential(&mut rng, *flash_every_min);
+            }
+            (0..minutes)
+                .map(|m| {
+                    let phase = 2.0 * std::f64::consts::PI * m as f64 / period_min;
+                    let diurnal = 1.0 + diurnal_amplitude * phase.sin();
+                    let burst = if flash[m] { *flash_multiplier } else { 1.0 };
+                    (diurnal * burst).max(0.0)
+                })
+                .collect()
         }
     }
 }
@@ -97,8 +194,9 @@ pub fn generate(
     let mut out = Vec::new();
     let mut id = 0u64;
     let minutes = (horizon_secs / 60.0).ceil() as usize;
-    for minute in 0..minutes {
-        let n = poisson(&mut rng, config.arrivals_per_min);
+    let factors = rate_factors(config, minutes);
+    for (minute, factor) in factors.iter().enumerate() {
+        let n = poisson(&mut rng, config.arrivals_per_min * factor);
         for _ in 0..n {
             let arrival_time = minute as f64 * 60.0 + rng.gen_range(0.0..60.0);
             if arrival_time >= horizon_secs {
@@ -212,6 +310,45 @@ mod tests {
         for a in &arrivals {
             assert!(a.demand.bandwidth[0].1 >= 1.0);
         }
+    }
+
+    #[test]
+    fn diurnal_flash_raises_mean_rate_and_stays_deterministic() {
+        let (_topo, tunnels) = tunnels();
+        let horizon = 600.0 * 60.0;
+        let flat = generate(&WorkloadConfig::testbed(vec![0, 1], 7), &tunnels, horizon);
+        let cfg = WorkloadConfig::diurnal_flash(vec![0, 1], 7);
+        let shaped = generate(&cfg, &tunnels, horizon);
+        // Flash windows (~2/15 of the time at 6x) push the mean rate well
+        // above the flat profile; the sinusoid averages out.
+        assert!(
+            shaped.len() as f64 > flat.len() as f64 * 1.2,
+            "flat {} vs shaped {}",
+            flat.len(),
+            shaped.len()
+        );
+        let again = generate(&cfg, &tunnels, horizon);
+        assert_eq!(shaped.len(), again.len());
+        for (x, y) in shaped.iter().zip(&again) {
+            assert_eq!(x.arrival_time, y.arrival_time);
+            assert_eq!(x.demand.bandwidth, y.demand.bandwidth);
+            assert_eq!(x.demand.beta, y.demand.beta);
+        }
+    }
+
+    #[test]
+    fn flash_windows_cluster_arrivals() {
+        let (_topo, tunnels) = tunnels();
+        let cfg = WorkloadConfig::diurnal_flash(vec![0], 19);
+        let horizon = 300.0 * 60.0;
+        let arrivals = generate(&cfg, &tunnels, horizon);
+        // Busiest minute should far exceed the base 2/min rate.
+        let mut per_min = vec![0usize; 300];
+        for a in &arrivals {
+            per_min[(a.arrival_time / 60.0) as usize] += 1;
+        }
+        let max = per_min.iter().max().copied().unwrap();
+        assert!(max >= 6, "busiest minute only {max} arrivals");
     }
 
     #[test]

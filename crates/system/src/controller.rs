@@ -141,6 +141,10 @@ impl Controller {
         // families (DESIGN.md §5e): controllers that never churn still
         // export the counters at zero.
         bate_core::incremental::register_metrics();
+        // And the recovery-storm family (`bate_storm_*`, DESIGN.md §6x):
+        // storms are driven by the sim workload, but the controller owns
+        // the exposition surface, so the family must render at zero here.
+        bate_core::recovery::register_storm_metrics();
         let tunnels = TunnelSet::compute(&config.topo, config.routing);
         let scenarios = ScenarioSet::enumerate(&config.topo, config.max_failures);
         let failed = LinkSet::new(config.topo.num_groups());

@@ -244,6 +244,31 @@ fn warm_start_families_render_at_zero() {
     assert!(text.contains("bate_warm_resolve_ms_count 0\n"));
 }
 
+/// Same contract for the recovery-storm family (DESIGN.md §6x): the
+/// `bate_storm_*` counters and the recovery-latency histogram render at
+/// zero on a controller that has never seen a storm.
+#[test]
+fn storm_families_render_at_zero() {
+    let controller = start_controller();
+    let mut client = Client::connect(controller.addr()).unwrap();
+    let text = client.stats().unwrap();
+    let golden = [
+        "# TYPE bate_storm_events_total counter\nbate_storm_events_total 0\n",
+        "# TYPE bate_storm_recovery_runs_total counter\nbate_storm_recovery_runs_total 0\n",
+        "# TYPE bate_storm_demands_recovered_total counter\nbate_storm_demands_recovered_total 0\n",
+        "# TYPE bate_storm_demands_forfeited_total counter\nbate_storm_demands_forfeited_total 0\n",
+        "# TYPE bate_storm_churn_deltas_total counter\nbate_storm_churn_deltas_total 0\n",
+        "# TYPE bate_storm_recovery_ms histogram\n",
+    ];
+    for snippet in golden {
+        assert!(
+            text.contains(snippet),
+            "stats exposition missing golden snippet {snippet:?} in:\n{text}"
+        );
+    }
+    assert!(text.contains("bate_storm_recovery_ms_count 0\n"));
+}
+
 #[test]
 fn ping_roundtrip() {
     let controller = start_controller();

@@ -17,11 +17,11 @@
 //! * the metrics snapshot keeps counters only — histograms hold wall-clock
 //!   latencies, the one thing that legitimately differs between runs.
 
-use bate_net::{topologies, ScenarioSet};
+use bate_net::{topologies, GroupId, ScenarioSet};
 use bate_obs::{JsonlSubscriber, MetricKind, Registry, SimClock};
 use bate_routing::{RoutingScheme, TunnelSet};
-use bate_sim::churn;
 use bate_sim::workload::generate;
+use bate_sim::{churn, storm};
 use bate_sim::{AdmissionStrategy, RecoveryPolicy, SimConfig, Simulation, WorkloadConfig};
 use std::path::Path;
 
@@ -76,6 +76,27 @@ fn main() {
     let churn_report =
         churn::run(&churn_ctx, &churn::generate(&churn_cfg)).expect("churn run");
 
+    // Drive a seeded recovery storm (DESIGN.md §6x) so the `bate_storm_*`
+    // counter family also lands in the snapshot with seed-deterministic
+    // values. Same region cut the golden timeline pins: all three DC1
+    // uplinks severed together. Latencies stay pinned to zero
+    // (`measure_time = false`) — and land in a histogram the counter-only
+    // filter excludes anyway.
+    let storm_tunnels = TunnelSet::compute(&topo, RoutingScheme::Ksp(2));
+    let storm_scenarios = ScenarioSet::enumerate(&topo, 1);
+    let storm_ctx = bate_core::TeContext::new(&topo, &storm_tunnels, &storm_scenarios);
+    let storm_pairs: Vec<usize> = (0..storm_tunnels.num_pairs())
+        .filter(|&p| !storm_tunnels.tunnels(p).is_empty())
+        .take(4)
+        .collect();
+    let storm_cfg = storm::StormConfig::regional(
+        storm_pairs,
+        6,
+        vec![GroupId(0), GroupId(5), GroupId(7)],
+        seed,
+    );
+    let storm_report = storm::run(&storm_ctx, &storm_cfg).expect("storm run");
+
     // Flush the trace before snapshotting (uninstall flushes the writer).
     bate_obs::trace::uninstall();
 
@@ -84,11 +105,14 @@ fn main() {
     std::fs::write(metrics_out, snapshot).expect("write metrics snapshot");
 
     println!(
-        "seed {seed}: {} arrived, {} admitted, {} rejected; churn {} rounds ({} warm) -> {trace_out} + {metrics_out}",
+        "seed {seed}: {} arrived, {} admitted, {} rejected; churn {} rounds ({} warm); \
+         storm {} rounds (greedy retains {:.1}%) -> {trace_out} + {metrics_out}",
         report.arrived,
         report.admitted,
         report.rejected,
         churn_report.rounds.len(),
-        churn_report.stats.warm_rounds
+        churn_report.stats.warm_rounds,
+        storm_report.rounds.len(),
+        storm_report.greedy_profit_retention() * 100.0
     );
 }

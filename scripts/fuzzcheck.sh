@@ -35,10 +35,19 @@ if [[ -n "$BUDGET" ]]; then
     export FUZZ_BUDGET="$BUDGET"
 fi
 
-# The differential campaign: synthetic LP/MILP families, the
-# stale_batch_mates gadget, and scheduling/admission models across all
-# solve modes, each float-vs-exact differenced and certificate-checked.
+# The differential campaign: synthetic LP/MILP families (including the
+# SRLG-shaped correlated scheduling/admission models), the
+# stale_batch_mates gadget, scheduling/admission models across all solve
+# modes, the certified independent-vs-correlated divergence case, and
+# the recovery-storm MILP certification — each float-vs-exact
+# differenced and certificate-checked.
 run cargo test -q --offline -p bate-bench --test fuzz_campaign
+
+# Correlated-scenario properties (joint-mass conservation, generator
+# determinism, SRLG/link-state consistency) and the pinned storm/demand
+# golden traces (budget-independent, bitwise).
+run cargo test -q --offline -p bate-net --test property
+run cargo test -q --offline -p bate-sim --test golden_traces
 
 # LP text round-trip property + one-byte mutation fuzzing.
 run cargo test -q --offline -p bate-lp --test export_roundtrip

@@ -56,7 +56,7 @@ for name in admission.verdict sched.round sim.round; do
         STATUS=1
     fi
 done
-for family in bate_solver_ bate_admission_ bate_sched_ bate_warm_; do
+for family in bate_solver_ bate_admission_ bate_sched_ bate_warm_ bate_storm_; do
     if ! grep -q "\"metric\":\"$family" "$OUT_DIR/metrics1.jsonl"; then
         echo "FAILED: metrics snapshot missing family $family*"
         STATUS=1
