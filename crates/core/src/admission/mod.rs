@@ -89,6 +89,11 @@ pub fn admit(
     new: &BaDemand,
 ) -> AdmissionOutcome {
     let m = admission_metrics();
+    // Inside an active trace (a controller handling a submit), the whole
+    // pipeline gets a span so the LP solves under it parent correctly;
+    // untraced callers (sim loops) keep the legacy event-only shape.
+    let traced = bate_obs::context::current().is_some();
+    let _sp = traced.then(|| bate_obs::span!("admission.pipeline", demand = new.id.0));
     let t0 = std::time::Instant::now();
     let outcome = admit_inner(ctx, admitted, current, new);
     m.checks.inc();

@@ -93,6 +93,7 @@ struct WarmMetrics {
     deltas: Arc<Counter>,
     compactions: Arc<Counter>,
     resolve_ms: Arc<Histogram>,
+    cert_check_ns: Arc<Histogram>,
 }
 
 fn warm_metrics() -> &'static WarmMetrics {
@@ -107,6 +108,7 @@ fn warm_metrics() -> &'static WarmMetrics {
             deltas: r.counter("bate_warm_deltas_total"),
             compactions: r.counter("bate_warm_compactions_total"),
             resolve_ms: r.histogram("bate_warm_resolve_ms"),
+            cert_check_ns: r.histogram("bate_solve_phase_cert_check_ns"),
         }
     })
 }
@@ -508,11 +510,24 @@ impl IncrementalScheduler {
             return Ok(sol);
         }
         let forced = std::mem::take(&mut self.force_cert_failure);
-        if !forced && quick_check(self.warm.problem(), &sol, CERT_TOL) {
+        let t_cert = Instant::now();
+        let pass = !forced && quick_check(self.warm.problem(), &sol, CERT_TOL);
+        warm_metrics()
+            .cert_check_ns
+            .observe(t_cert.elapsed().as_nanos() as f64);
+        if pass {
             return Ok(sol);
         }
         self.stats.cert_fallbacks += 1;
         warm_metrics().cert_fallbacks.inc();
+        // A cert-gate cold fallback is a flight-recorder trigger: dump the
+        // causal slice of the trace whose solve tripped the gate (trace 0 —
+        // untraced callers — dumps the whole ring in canonical order).
+        let cur = bate_obs::context::current();
+        if cur.is_some() {
+            bate_obs::warn!("warm.cert_fallback", forced = forced);
+        }
+        bate_obs::flight::trigger("cert_cold_fallback", cur.trace_id);
         self.warm.rebuild_cold();
         self.warm.solve()
     }

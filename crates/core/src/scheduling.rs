@@ -135,6 +135,11 @@ struct SchedMetrics {
     rowgen_rounds: Arc<Counter>,
     rowgen_rows: Arc<Counter>,
     rowgen_separation_ns: Arc<Histogram>,
+    /// Phase-attribution alias of `rowgen_separation_ns` in the
+    /// `bate_solve_phase_*` family (registered by `bate-lp`, observed
+    /// here — separation is a solver phase that happens to live in the
+    /// scheduler).
+    solve_phase_separation_ns: Arc<Histogram>,
 }
 
 fn sched_metrics() -> &'static SchedMetrics {
@@ -153,6 +158,7 @@ fn sched_metrics() -> &'static SchedMetrics {
             rowgen_rounds: r.counter("bate_rowgen_rounds_total"),
             rowgen_rows: r.counter("bate_rowgen_rows_added_total"),
             rowgen_separation_ns: r.histogram("bate_rowgen_separation_ns"),
+            solve_phase_separation_ns: r.histogram("bate_solve_phase_separation_ns"),
         }
     })
 }
@@ -163,6 +169,8 @@ fn sched_metrics() -> &'static SchedMetrics {
 /// startup so `batectl stats` always shows the full family set.
 pub fn register_metrics() {
     let _ = sched_metrics();
+    // The rest of the phase-attribution family lives in the solver.
+    bate_lp::register_phase_metrics();
 }
 
 /// Schedule all demands on the full link capacities.
@@ -186,6 +194,10 @@ pub fn schedule_hardened(
     demands: &[BaDemand],
 ) -> Result<ScheduleResult, SolveError> {
     let m = sched_metrics();
+    // Traced rounds get a span so the master solve and the hardening
+    // sweep's fan-out solves all parent under one node.
+    let traced = bate_obs::context::current().is_some();
+    let _sp = traced.then(|| bate_obs::span!("sched.harden", demands = demands.len()));
     let t0 = std::time::Instant::now();
     let mut result = schedule(ctx, demands)?;
     let violations = harden(ctx, demands, &mut result);
@@ -308,13 +320,39 @@ pub fn harden(ctx: &TeContext, demands: &[BaDemand], result: &mut ScheduleResult
         .collect();
 
     // Speculative re-placement of every violating demand against the
-    // snapshot residual (lift the demand out, place it alone).
-    let speculative: Vec<Option<Allocation>> = bate_lp::par_map(&violating, |demand| {
+    // snapshot residual (lift the demand out, place it alone). Inside a
+    // trace, each worker slot carries an explicit context handoff —
+    // derived on this (parent) thread, so span identities are functions
+    // of the slot index, never of worker scheduling; outside a trace the
+    // handoffs are inert and the workers stay silent.
+    let handoffs = bate_obs::context::fan_out(violating.len(), "harden.place");
+    let spec_inputs: Vec<(&BaDemand, bate_obs::Handoff)> =
+        violating.iter().copied().zip(handoffs).collect();
+    let speculative: Vec<Option<Allocation>> = bate_lp::par_map(&spec_inputs, |(demand, h)| {
+        let _g = h.enter();
         let mut without = snapshot.clone();
         without.remove_demand(demand.id);
         let residual = without.residual_capacities(ctx);
         place_single_hard(ctx, demand, &residual)
     });
+    // Materialize each handoff span with one close-event, emitted *here*
+    // on the parent thread after the join — sequential slot order, so the
+    // trace stays deterministic while the tree stays connected (the
+    // workers' lp.solve spans parent on these).
+    for (slot, (demand, h)) in spec_inputs.iter().enumerate() {
+        if h.ctx().is_some() {
+            bate_obs::trace::emit_with_ctx(
+                bate_obs::trace::Level::Debug,
+                module_path!(),
+                "harden.place",
+                h.ctx(),
+                vec![
+                    ("slot", bate_obs::trace::Value::from(slot)),
+                    ("demand", bate_obs::trace::Value::from(demand.id.0)),
+                ],
+            );
+        }
+    }
 
     // Sequential fixed-order adoption with revalidation.
     let mut violations = 0;
@@ -745,6 +783,8 @@ pub fn schedule_with_capacities_mode(
     m.rowgen_rows.add(rg.rows_added);
     m.rowgen_separation_ns
         .observe_ns(std::time::Duration::from_nanos(rg.separation_ns));
+    m.solve_phase_separation_ns
+        .observe_ns(std::time::Duration::from_nanos(rg.separation_ns));
 
     Ok(extract_result(ctx, demands, &built, sol, Some(rg)))
 }
@@ -952,6 +992,68 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn harden_fan_out_produces_a_well_formed_span_tree() {
+        let (topo, tunnels, scenarios) = ctx_toy4(4);
+        let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+        let n = |s: &str| topo.find_node(s).unwrap();
+        let pair = tunnels.pair_index(n("DC1"), n("DC4")).unwrap();
+        // Same violating instance as the determinism test: hardening has
+        // real speculative fan-out work to do.
+        let demands = vec![
+            BaDemand::single(1, pair, 12_000.0, 0.99),
+            BaDemand::single(2, pair, 6_000.0, 0.95),
+        ];
+
+        let ring = bate_obs::trace::RingBufferSubscriber::new(4096);
+        bate_obs::trace::install(ring.clone(), bate_obs::SimClock::shared());
+        let root_trace;
+        {
+            let root = bate_obs::context::root("harden-test", 9);
+            root_trace = root.ctx.trace_id;
+            schedule_hardened(&ctx, &demands).unwrap();
+        }
+        // The thread-local span stack fully unwound with the guards.
+        assert!(!bate_obs::context::current().is_some());
+        bate_obs::trace::uninstall();
+
+        // Filter to this trace: concurrent tests' events are untraced
+        // (trace 0) and other traces never share this root id.
+        let events: Vec<bate_obs::Event> = ring
+            .events()
+            .into_iter()
+            .filter(|e| e.ctx.trace_id == root_trace)
+            .collect();
+        bate_obs::flight::validate_tree(&events).expect("span tree well-formed");
+
+        let harden_span = events
+            .iter()
+            .find(|e| e.name == "sched.harden")
+            .expect("sched.harden span closed");
+        let places: Vec<&bate_obs::Event> =
+            events.iter().filter(|e| e.name == "harden.place").collect();
+        assert!(!places.is_empty(), "fan-out must materialize handoff spans");
+        for p in &places {
+            assert_eq!(
+                p.ctx.parent_span_id, harden_span.ctx.span_id,
+                "every handoff span parents on sched.harden"
+            );
+        }
+        // Slot identities are distinct: no cross-thread leakage between
+        // worker slots.
+        let place_ids: std::collections::BTreeSet<u64> =
+            places.iter().map(|e| e.ctx.span_id).collect();
+        assert_eq!(place_ids.len(), places.len(), "handoff span ids collide");
+        // The workers' speculative solves parent on their own slot's
+        // handoff span (cross-thread propagation via Handoff::enter).
+        assert!(
+            events
+                .iter()
+                .any(|e| e.name == "lp.solve" && place_ids.contains(&e.ctx.parent_span_id)),
+            "speculative lp.solve spans must parent on handoff spans"
+        );
     }
 
     #[test]

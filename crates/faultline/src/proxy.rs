@@ -13,7 +13,7 @@
 
 use crate::plan::{Action, Direction, FaultPlan};
 use crate::trace::{Trace, TraceRecord};
-use bate_system::wire::{crc32, read_frame_bytes};
+use bate_system::wire::{encode_raw_frame, frame_crc, read_raw_frame, FrameCtx};
 use parking_lot::Mutex;
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -173,8 +173,8 @@ fn pump(
         dst.shutdown(Shutdown::Both).ok();
     };
     loop {
-        let payload = match read_frame_bytes(&mut src) {
-            Ok(p) => p,
+        let (ctx, payload) = match read_raw_frame(&mut src) {
+            Ok(f) => f,
             // Source closed (cleanly or not): propagate EOF downstream and
             // stop. The sibling pump keeps draining its own source.
             Err(_) => {
@@ -183,34 +183,35 @@ fn pump(
             }
         };
         let action = plan.decide(conn, dir, seq);
-        trace.record(conn, dir, seq, action, payload.len());
+        // Injected faults are stamped with the perturbed frame's trace id
+        // (clean forwards are not, keeping legacy traces byte-stable).
+        let fault_trace = (action != Action::Forward)
+            .then(|| ctx.map(|c| c.trace_id))
+            .flatten();
+        trace.record(conn, dir, seq, action, payload.len(), fault_trace);
         seq += 1;
 
         let result = match action {
-            Action::Forward if dst_alive => write_raw_frame(&mut dst, &payload, crc32(&payload)),
+            Action::Forward if dst_alive => forward_frame(&mut dst, ctx, &payload),
             Action::Drop => Ok(()),
             Action::Delay { ms } => {
                 std::thread::sleep(Duration::from_millis(ms));
                 if dst_alive {
-                    write_raw_frame(&mut dst, &payload, crc32(&payload))
+                    forward_frame(&mut dst, ctx, &payload)
                 } else {
                     Ok(())
                 }
             }
-            Action::Duplicate if dst_alive => write_raw_frame(&mut dst, &payload, crc32(&payload))
-                .and_then(|()| write_raw_frame(&mut dst, &payload, crc32(&payload))),
+            Action::Duplicate if dst_alive => forward_frame(&mut dst, ctx, &payload)
+                .and_then(|()| forward_frame(&mut dst, ctx, &payload)),
             Action::Truncate => {
-                // Full-length header, half the payload, then a hard cut:
-                // the receiver hits EOF inside the payload.
+                // Full-length header (+ any context), half the payload,
+                // then a hard cut: the receiver hits EOF inside the
+                // payload.
                 if dst_alive {
-                    let mut head = Vec::with_capacity(8);
-                    head.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-                    head.extend_from_slice(&crc32(&payload).to_be_bytes());
-                    let cut = payload.len() / 2;
-                    let _ = dst
-                        .write_all(&head)
-                        .and_then(|()| dst.write_all(&payload[..cut]))
-                        .and_then(|()| dst.flush());
+                    let frame = encode_raw_frame(ctx, &payload, frame_crc(ctx, &payload));
+                    let cut = frame.len() - payload.len() + payload.len() / 2;
+                    let _ = dst.write_all(&frame[..cut]).and_then(|()| dst.flush());
                 }
                 sever(&src, &dst);
                 return;
@@ -218,15 +219,15 @@ fn pump(
             Action::Corrupt if dst_alive => {
                 // Damage the payload but keep the stale CRC, so this is
                 // detected by the receiver's CRC check, not by parsing.
-                let stale_crc = crc32(&payload);
+                let stale_crc = frame_crc(ctx, &payload);
                 let mut bad = payload.to_vec();
                 if bad.is_empty() {
                     // Nothing to flip: corrupt the CRC itself instead.
-                    write_raw_frame(&mut dst, &bad, stale_crc ^ 1)
+                    write_raw(&mut dst, encode_raw_frame(ctx, &bad, stale_crc ^ 1))
                 } else {
                     let mid = bad.len() / 2;
                     bad[mid] ^= 0xFF;
-                    write_raw_frame(&mut dst, &bad, stale_crc)
+                    write_raw(&mut dst, encode_raw_frame(ctx, &bad, stale_crc))
                 }
             }
             Action::Sever => {
@@ -246,13 +247,13 @@ fn pump(
     }
 }
 
-/// Write one frame with an explicit CRC field (which [`Action::Corrupt`]
-/// deliberately leaves stale).
-fn write_raw_frame(dst: &mut TcpStream, payload: &[u8], crc: u32) -> io::Result<()> {
-    let mut frame = Vec::with_capacity(8 + payload.len());
-    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-    frame.extend_from_slice(&crc.to_be_bytes());
-    frame.extend_from_slice(payload);
+/// Re-frame and forward one observed frame, preserving its trace context
+/// so causality survives the proxy hop.
+fn forward_frame(dst: &mut TcpStream, ctx: Option<FrameCtx>, payload: &[u8]) -> io::Result<()> {
+    write_raw(dst, encode_raw_frame(ctx, payload, frame_crc(ctx, payload)))
+}
+
+fn write_raw(dst: &mut TcpStream, frame: Vec<u8>) -> io::Result<()> {
     dst.write_all(&frame)?;
     dst.flush()
 }
@@ -300,6 +301,53 @@ mod tests {
         // 3 frames each way, all forwarded.
         assert_eq!(records.len(), 6);
         assert!(records.iter().all(|r| r.action == "forward"));
+    }
+
+    #[test]
+    fn ctx_frames_survive_the_proxy_and_faults_stamp_the_trace_id() {
+        use bate_system::wire::{read_frame_ctx, write_frame_ctx};
+        let (addr, _server) = echo_server();
+        let proxy = FaultProxy::start(addr, FaultPlan::seeded(1)).unwrap();
+        let mut stream = TcpStream::connect(proxy.addr()).unwrap();
+        let ctx = FrameCtx {
+            trace_id: 0x1234,
+            span_id: 0x5678,
+        };
+        write_frame_ctx(&mut stream, &9u64, Some(ctx)).unwrap();
+        // The echo server reads via read_frame (ctx discarded) and replies
+        // context-free; the *request* hop is what must keep the context, so
+        // check it via the proxy's own re-framing on a loopback echo that
+        // preserves nothing — instead assert the reply decodes (CRC held)
+        // and that a faulted traced frame is stamped in the record.
+        assert_eq!(read_frame::<u64, _>(&mut stream).unwrap(), 9);
+        drop(stream);
+
+        // Everything dropped: the c2s record must carry the trace id.
+        let proxy2 = FaultProxy::start(addr, FaultPlan::seeded(1).drop(1.0)).unwrap();
+        let mut stream = TcpStream::connect(proxy2.addr()).unwrap();
+        write_frame_ctx(&mut stream, &9u64, Some(ctx)).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let records = proxy2.records();
+        assert!(!records.is_empty());
+        assert_eq!(records[0].action, "drop");
+        assert_eq!(records[0].trace, Some(0x1234));
+
+        // A direct pipe: proxy in front of a frame-level tee that echoes
+        // raw frames back verbatim is overkill here — instead verify the
+        // forwarded bytes parse as a ctx frame by dialing the proxy with a
+        // second proxy-free listener.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let sink_addr = listener.local_addr().unwrap();
+        let sink = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            read_frame_ctx::<u64, _>(&mut conn).unwrap()
+        });
+        let proxy3 = FaultProxy::start(sink_addr, FaultPlan::seeded(1)).unwrap();
+        let mut stream = TcpStream::connect(proxy3.addr()).unwrap();
+        write_frame_ctx(&mut stream, &11u64, Some(ctx)).unwrap();
+        let (rctx, v) = sink.join().unwrap();
+        assert_eq!(v, 11);
+        assert_eq!(rctx, Some(ctx), "proxy re-framing must keep the context");
     }
 
     #[test]

@@ -19,18 +19,29 @@ pub struct TraceRecord {
     pub action: String,
     /// Payload length of the observed frame.
     pub len: usize,
+    /// Trace id of the perturbed frame, when it carried a wire context
+    /// and the action was a fault (not a clean forward) — links an
+    /// injected fault to the end-to-end causal trace it landed on.
+    pub trace: Option<u64>,
 }
 
 impl TraceRecord {
     fn to_json(&self) -> String {
-        format!(
-            "{{\"conn\":{},\"dir\":\"{}\",\"seq\":{},\"action\":\"{}\",\"len\":{}}}",
+        let mut out = format!(
+            "{{\"conn\":{},\"dir\":\"{}\",\"seq\":{},\"action\":\"{}\",\"len\":{}",
             self.conn,
             self.dir.label(),
             self.seq,
             self.action,
             self.len
-        )
+        );
+        // Emitted only when present so legacy (context-free) traces stay
+        // byte-identical to the pre-tracing goldens.
+        if let Some(t) = self.trace {
+            out.push_str(&format!(",\"trace\":\"{t:016x}\""));
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -46,13 +57,22 @@ impl Trace {
         }
     }
 
-    pub fn record(&self, conn: u64, dir: Direction, seq: u64, action: Action, len: usize) {
+    pub fn record(
+        &self,
+        conn: u64,
+        dir: Direction,
+        seq: u64,
+        action: Action,
+        len: usize,
+        trace: Option<u64>,
+    ) {
         self.records.lock().push(TraceRecord {
             conn,
             dir,
             seq,
             action: action.label().to_string(),
             len,
+            trace,
         });
     }
 
@@ -102,14 +122,18 @@ mod tests {
         let plan = FaultPlan::seeded(42).drop(0.1).sever_after(3);
         let trace = Trace::new();
         // Record out of order, as racing pump threads would.
-        trace.record(1, Direction::S2C, 0, Action::Forward, 10);
-        trace.record(0, Direction::C2S, 1, Action::Drop, 20);
-        trace.record(0, Direction::C2S, 0, Action::Forward, 20);
+        trace.record(1, Direction::S2C, 0, Action::Forward, 10, None);
+        trace.record(0, Direction::C2S, 1, Action::Drop, 20, Some(0xAB));
+        trace.record(0, Direction::C2S, 0, Action::Forward, 20, None);
         let jsonl = trace.to_jsonl(&plan);
         let lines: Vec<&str> = jsonl.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines[1].contains("\"conn\":0") && lines[1].contains("\"seq\":0"));
         assert!(lines[2].contains("\"seq\":1") && lines[2].contains("\"action\":\"drop\""));
+        // Faulted frames that carried a wire context name their trace;
+        // context-free records omit the field entirely.
+        assert!(lines[2].contains("\"trace\":\"00000000000000ab\""));
+        assert!(!lines[1].contains("\"trace\""));
         assert!(lines[3].contains("\"conn\":1"));
         // The header recovers the plan for replay.
         assert_eq!(parse_plan_line(&jsonl).unwrap(), plan);

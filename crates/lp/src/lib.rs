@@ -54,7 +54,7 @@ pub use export::LpParseError;
 pub use par::{par_map, par_map_with, thread_count};
 pub use problem::{Problem, Relation, Sense, VarId, VarKind};
 pub use milp::{solve_lazy, solve_traced_lazy, LazyRow};
-pub use simplex::{Basis, Workspace};
+pub use simplex::{register_phase_metrics, Basis, Workspace};
 pub use solution::Solution;
 pub use stats::{IncumbentPoint, MilpStats, SolveStats};
 pub use warm::{quick_check, WarmState, WarmStats};

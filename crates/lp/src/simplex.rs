@@ -54,6 +54,77 @@ use crate::problem::{Problem, Relation, Sense};
 use crate::solution::Solution;
 use crate::stats::SolveStats;
 use crate::EPS;
+use std::sync::{Arc, OnceLock};
+
+/// Registry handles for the solver phase-attribution family
+/// (`bate_solve_phase_*`): where each solve's wall-clock went. The
+/// histograms are observed once per solve — negligible against even the
+/// smallest branch-and-bound node relaxation.
+struct PhaseMetrics {
+    phase1: Arc<bate_obs::Histogram>,
+    phase2: Arc<bate_obs::Histogram>,
+    pricing: Arc<bate_obs::Histogram>,
+    pivot: Arc<bate_obs::Histogram>,
+    dual_repair: Arc<bate_obs::Histogram>,
+    warm_fallbacks: Arc<bate_obs::Counter>,
+}
+
+fn phase_metrics() -> &'static PhaseMetrics {
+    static M: OnceLock<PhaseMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = bate_obs::Registry::global();
+        r.describe(
+            "bate_solve_phase_phase1_ns",
+            "Wall-clock ns per solve spent in simplex phase 1 (feasibility)",
+        );
+        r.describe(
+            "bate_solve_phase_phase2_ns",
+            "Wall-clock ns per solve spent in simplex phase 2 (optimization)",
+        );
+        r.describe(
+            "bate_solve_phase_pricing_ns",
+            "Wall-clock ns per solve spent pricing entering columns (sampled)",
+        );
+        r.describe(
+            "bate_solve_phase_pivot_ns",
+            "Wall-clock ns per solve spent in ratio tests and pivots (sampled)",
+        );
+        r.describe(
+            "bate_solve_phase_dual_repair_ns",
+            "Wall-clock ns per solve spent in dual-simplex warm-start repair",
+        );
+        r.describe(
+            "bate_solve_warm_fallbacks_total",
+            "Warm-started solves that fell back to a cold start (repair failure or residual backstop)",
+        );
+        PhaseMetrics {
+            phase1: r.histogram("bate_solve_phase_phase1_ns"),
+            phase2: r.histogram("bate_solve_phase_phase2_ns"),
+            pricing: r.histogram("bate_solve_phase_pricing_ns"),
+            pivot: r.histogram("bate_solve_phase_pivot_ns"),
+            dual_repair: r.histogram("bate_solve_phase_dual_repair_ns"),
+            warm_fallbacks: r.counter("bate_solve_warm_fallbacks_total"),
+        }
+    })
+}
+
+/// Pre-register the `bate_solve_phase_*` family (plus the two members
+/// observed from `bate-core`: separation and certificate checking) so
+/// exposition renders them at zero before the first solve.
+pub fn register_phase_metrics() {
+    let _ = phase_metrics();
+    let r = bate_obs::Registry::global();
+    r.describe(
+        "bate_solve_phase_separation_ns",
+        "Wall-clock ns per row-generation separation round (observed by the scheduler)",
+    );
+    r.describe(
+        "bate_solve_phase_cert_check_ns",
+        "Wall-clock ns per warm-solution certificate check (observed by the cert gate)",
+    );
+    let _ = r.histogram("bate_solve_phase_separation_ns");
+    let _ = r.histogram("bate_solve_phase_cert_check_ns");
+}
 
 /// Feasibility tolerance for phase-1 termination.
 const PHASE1_TOL: f64 = 1e-7;
@@ -71,6 +142,13 @@ const PARTIAL_PRICING_MIN_COLS: usize = 256;
 /// Tableaus with at most this many columns skip per-column row files
 /// (see [`Tableau::track_cols`]).
 const COL_FILE_MIN_COLS: usize = 256;
+
+/// Phase-attribution sampling stride: one pivot-loop iteration in this
+/// many is wall-clock timed (pricing vs pivot split) and the sampled
+/// totals are scaled back up. Keeps the two `Instant::now()` reads off
+/// the other iterations — tiny branch-and-bound node solves would
+/// otherwise pay a measurable tax for informational timings.
+const TIME_SAMPLE: usize = 8;
 
 /// Per-variable bound override used by branch-and-bound: `(var index,
 /// lower, upper)`.
@@ -523,6 +601,19 @@ pub fn solve_with(
         warm_start: install != Install::Reject,
         ..SolveStats::default()
     };
+    // Only solves running inside an active trace get a span: the
+    // parallel hardening sweep calls in here from `par_map` workers with
+    // no context, and emitting from those threads would interleave
+    // nondeterministically (see the determinism contract in `bate_obs`).
+    let traced = bate_obs::context::current().is_some();
+    let mut solve_span = traced.then(|| {
+        bate_obs::span!(
+            "lp.solve",
+            rows = ws.tab.rows as u64,
+            cols = ws.tab.cols as u64,
+            warm_start = install != Install::Reject,
+        )
+    });
     let run = (|| {
         match install {
             Install::Feasible => ws.tab.phase2(problem, false),
@@ -544,6 +635,11 @@ pub fn solve_with(
         // retries around row generation). Genuine infeasibility from the
         // cold path propagates as usual.
         if install == Install::NeedsDualRepair {
+            phase_metrics().warm_fallbacks.inc();
+            if traced {
+                // The event's ctx stamp carries the triggering trace id.
+                bate_obs::warn!("lp.warm_fallback", reason = "dual_repair_failed");
+            }
             ws.tab.build(prepared, &lo, &hi);
             ws.tab.stats = SolveStats {
                 rows: ws.tab.rows as u32,
@@ -584,6 +680,10 @@ pub fn solve_with(
     // otherwise surface as a silently wrong "optimum" — one cheap residual
     // scan converts that into a cold re-solve instead.
     if ws.tab.stats.warm_start && primal_violation(problem, &values) > 1e-6 {
+        phase_metrics().warm_fallbacks.inc();
+        if traced {
+            bate_obs::warn!("lp.warm_fallback", reason = "residual_backstop");
+        }
         ws.tab.build(prepared, &lo, &hi);
         let warm_stats = ws.tab.stats.clone();
         ws.tab.stats = SolveStats {
@@ -612,6 +712,25 @@ pub fn solve_with(
         rows: ws.tab.basis.clone(),
         at_upper: ws.tab.at_upper.clone(),
     });
+
+    // Phase attribution: one observation per completed solve.
+    {
+        let s = &ws.tab.stats;
+        let pm = phase_metrics();
+        pm.phase1.observe(s.phase1_secs * 1e9);
+        pm.phase2.observe(s.phase2_secs * 1e9);
+        pm.pricing.observe(s.pricing_secs * 1e9);
+        pm.pivot.observe(s.pivot_secs * 1e9);
+        if s.dual_repair_secs > 0.0 {
+            pm.dual_repair.observe(s.dual_repair_secs * 1e9);
+        }
+        if let Some(sp) = solve_span.as_mut() {
+            sp.record("iterations", s.iterations());
+            sp.record("pivots", s.pivots);
+            sp.record("dual_pivots", s.dual_pivots);
+        }
+    }
+    drop(solve_span);
 
     let tab = &ws.tab;
     let objective = problem.objective_value(&values);
@@ -1288,7 +1407,9 @@ impl Tableau {
         if dual_repair {
             let t0 = std::time::Instant::now();
             let run = self.dual_iterate();
-            self.stats.phase1_secs += t0.elapsed().as_secs_f64();
+            let secs = t0.elapsed().as_secs_f64();
+            self.stats.phase1_secs += secs;
+            self.stats.dual_repair_secs += secs;
             self.stats.phase1_iterations += run?;
         }
 
@@ -1457,8 +1578,23 @@ impl Tableau {
     }
 
     /// Main pivot loop. Returns the number of iterations performed (the
-    /// caller attributes them to its phase).
+    /// caller attributes them to its phase). Wraps [`Self::iterate_inner`]
+    /// to fold the sampled pricing/pivot timings into the stats exactly
+    /// once per call, whatever exit path the loop takes.
     fn iterate(&mut self) -> Result<u64, SolveError> {
+        let mut pricing_ns = 0u64;
+        let mut pivot_ns = 0u64;
+        let out = self.iterate_inner(&mut pricing_ns, &mut pivot_ns);
+        self.stats.pricing_secs += (pricing_ns * TIME_SAMPLE as u64) as f64 * 1e-9;
+        self.stats.pivot_secs += (pivot_ns * TIME_SAMPLE as u64) as f64 * 1e-9;
+        out
+    }
+
+    fn iterate_inner(
+        &mut self,
+        pricing_ns: &mut u64,
+        pivot_ns: &mut u64,
+    ) -> Result<u64, SolveError> {
         let max_iters = 400 * (self.rows + self.cols) + 20_000;
         let mut bland = false;
         let mut stall = 0usize;
@@ -1475,7 +1611,15 @@ impl Tableau {
             if it % 256 == 0 && std::time::Instant::now() > deadline {
                 return Err(SolveError::IterationLimit);
             }
-            let Some(e) = self.choose_entering(bland) else {
+            // Phase-attribution sampling: every TIME_SAMPLE-th iteration is
+            // timed (pricing vs pivot work) and the caller scales up.
+            let t_iter = (it % TIME_SAMPLE == 0).then(std::time::Instant::now);
+            let entering = self.choose_entering(bland);
+            let t_pivot = t_iter.map(|t| {
+                *pricing_ns += t.elapsed().as_nanos() as u64;
+                std::time::Instant::now()
+            });
+            let Some(e) = entering else {
                 return Ok(it as u64); // optimal (verified by a full pricing scan)
             };
             if bland {
@@ -1564,6 +1708,10 @@ impl Tableau {
                     self.set(r, self.cols, new_value.max(0.0));
                     self.stats.pivots += 1;
                 }
+            }
+
+            if let Some(t) = t_pivot {
+                *pivot_ns += t.elapsed().as_nanos() as u64;
             }
 
             if self.objval < last_obj - 1e-12 {
@@ -1949,6 +2097,40 @@ mod tests {
 
     fn approx(a: f64, b: f64) {
         assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn solve_emits_phase_span_only_inside_a_trace() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        p.set_objective(x, 3.0);
+        p.set_objective(y, 2.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+        p.add_constraint(&[(x, 1.0), (y, 3.0)], Relation::Le, 6.0);
+
+        let ring = bate_obs::trace::RingBufferSubscriber::new(64);
+        bate_obs::trace::install(ring.clone(), bate_obs::SimClock::shared());
+        // Untraced solve: no context on this thread, so the solver stays
+        // silent (the par_map determinism contract).
+        p.solve().unwrap();
+        assert!(ring.events().is_empty());
+        // Traced solve: one lp.solve close-event, parented on the root
+        // span and carrying the attribution counters.
+        {
+            let root = bate_obs::context::root("test", 7);
+            p.solve().unwrap();
+            let events = ring.events();
+            let solve: Vec<_> = events.iter().filter(|e| e.name == "lp.solve").collect();
+            assert_eq!(solve.len(), 1);
+            assert_eq!(solve[0].ctx.trace_id, root.ctx.trace_id);
+            assert_eq!(solve[0].ctx.parent_span_id, root.ctx.span_id);
+            let keys: Vec<&str> = solve[0].fields.iter().map(|(k, _)| *k).collect();
+            for key in ["rows", "cols", "warm_start", "iterations", "pivots", "dur_ns"] {
+                assert!(keys.contains(&key), "missing {key} in {keys:?}");
+            }
+        }
+        bate_obs::trace::uninstall();
     }
 
     #[test]

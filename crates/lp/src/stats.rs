@@ -45,6 +45,19 @@ pub struct SolveStats {
     pub phase1_secs: f64,
     /// Wall-clock seconds in phase 2 (informational; nondeterministic).
     pub phase2_secs: f64,
+    /// Wall-clock seconds spent pricing (entering-column selection),
+    /// across both phases. Estimated by deterministic 1-in-8 iteration
+    /// sampling and scaled up, so per-iteration timer reads stay off the
+    /// hot path (informational; nondeterministic).
+    pub pricing_secs: f64,
+    /// Wall-clock seconds spent in the ratio test + pivot/elimination
+    /// work, across both phases. Sampled like `pricing_secs`
+    /// (informational; nondeterministic).
+    pub pivot_secs: f64,
+    /// Wall-clock seconds in the dual-simplex warm-start repair loop
+    /// (also included in `phase1_secs`, which it historically fed;
+    /// informational; nondeterministic).
+    pub dual_repair_secs: f64,
 }
 
 impl SolveStats {

@@ -18,6 +18,17 @@
 //!   (replayable captures, faultline-style), and stderr (CLIs)
 //!   subscribers. Bitwise-deterministic under [`SimClock`] per the
 //!   contract in the module docs.
+//! * [`context`] — deterministic causal trace contexts
+//!   (`trace_id`/`span_id`/`parent_span_id`, derived from request ids —
+//!   never randomness), a thread-local span stack, explicit
+//!   [`Handoff`](context::Handoff) for scoped-thread fan-outs, and
+//!   remote adoption for contexts carried across the wire.
+//! * [`flight`] — a bounded flight-recorder ring of recent events that
+//!   dumps deterministic, causally-sliced JSONL artifacts on triggers
+//!   (election loss, cert-gate cold fallback, storm latency breach).
+//! * [`slo`] — declarative SLO specs (admission p99, warm-hit rate,
+//!   BA-guarantee rate) evaluated over registry snapshots with
+//!   multi-window burn-rate alerting.
 //!
 //! ## Quick use
 //!
@@ -38,11 +49,17 @@
 //! ```
 
 pub mod clock;
+pub mod context;
+pub mod flight;
 pub mod metrics;
+pub mod slo;
 pub mod trace;
 
 pub use clock::{Clock, SimClock, SystemClock};
+pub use context::{CtxGuard, Handoff, SpanCtx};
+pub use flight::FlightDump;
 pub use metrics::{Counter, Gauge, Histogram, MetricKind, Registry};
+pub use slo::{SloEngine, SloKind, SloSpec, SloStatus};
 pub use trace::{
     Event, JsonlSubscriber, Level, NoopSubscriber, RingBufferSubscriber, SpanGuard,
     StderrSubscriber, Subscriber, Value,

@@ -289,16 +289,23 @@ impl Histogram {
         self.quantile(0.99)
     }
 
-    /// Non-empty `(upper_bound, cumulative_count)` points for exposition.
-    fn cumulative_points(&self) -> Vec<(f64, u64)> {
-        let mut out = Vec::new();
-        let mut cum = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            let c = b.load(Ordering::Relaxed);
-            if c > 0 {
-                cum += c;
-                out.push((bucket_upper(i), cum));
+    /// Standard cumulative `(le, count)` series over a **fixed** grid:
+    /// one `le` per octave boundary (the underflow bound first), the
+    /// same 1 + [`OCTAVES`](self) points for every histogram regardless
+    /// of where samples landed — the shape Prometheus scrapers expect,
+    /// where only counts vary between states. Overflow samples appear
+    /// only in the `+Inf` bucket the renderer appends.
+    fn cumulative_octave_points(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::with_capacity(OCTAVES + 1);
+        // Underflow bucket: everything at or below 2^MIN_EXP.
+        let mut cum = self.buckets[0].load(Ordering::Relaxed);
+        out.push((bucket_upper(0), cum));
+        for o in 0..OCTAVES {
+            for s in 0..SUBS {
+                cum += self.buckets[1 + o * SUBS + s].load(Ordering::Relaxed);
             }
+            // Upper bound of the octave's last sub-bucket: 2^(MIN_EXP+o+1).
+            out.push((bucket_upper(o * SUBS + SUBS), cum));
         }
         out
     }
@@ -335,12 +342,15 @@ const SHARDS: usize = 16;
 /// shard mutexes are only held during registration/lookup and rendering.
 pub struct Registry {
     shards: [Mutex<HashMap<String, Metric>>; SHARDS],
+    /// name → `# HELP` text (see [`Registry::describe`]).
+    help: Mutex<HashMap<String, String>>,
 }
 
 impl Default for Registry {
     fn default() -> Self {
         Registry {
             shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            help: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -411,6 +421,25 @@ impl Registry {
         }
     }
 
+    /// Attach `# HELP` text to a metric name (idempotent; last write
+    /// wins). Undescribed metrics render with a generic pointer to
+    /// METRICS.md, the workspace's metric inventory.
+    pub fn describe(&self, name: &str, help: &str) {
+        self.help
+            .lock()
+            .unwrap()
+            .insert(name.to_string(), help.replace('\n', " "));
+    }
+
+    fn help_for(&self, name: &str) -> String {
+        self.help
+            .lock()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| "BATE workspace metric (see METRICS.md)".to_string())
+    }
+
     /// All metrics, sorted by name (the stable exposition order).
     fn sorted(&self) -> Vec<(String, Metric)> {
         let mut all: Vec<(String, Metric)> = Vec::new();
@@ -423,10 +452,15 @@ impl Registry {
     }
 
     /// Prometheus text-format exposition (sorted by metric name, so the
-    /// output is stable for a given registry state).
+    /// output is stable for a given registry state): standard
+    /// `# HELP`/`# TYPE` preamble per family, and histograms as the
+    /// standard cumulative `_bucket{le="…"}` series over a fixed octave
+    /// grid (identical bucket boundaries for every histogram and every
+    /// scrape — only the counts vary).
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, metric) in self.sorted() {
+            out.push_str(&format!("# HELP {name} {}\n", self.help_for(&name)));
             match metric {
                 Metric::Counter(c) => {
                     out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
@@ -439,13 +473,11 @@ impl Registry {
                 }
                 Metric::Histogram(h) => {
                     out.push_str(&format!("# TYPE {name} histogram\n"));
-                    for (ub, cum) in h.cumulative_points() {
-                        if ub.is_finite() {
-                            out.push_str(&format!(
-                                "{name}_bucket{{le=\"{}\"}} {cum}\n",
-                                fmt_f64(ub)
-                            ));
-                        }
+                    for (ub, cum) in h.cumulative_octave_points() {
+                        out.push_str(&format!(
+                            "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                            fmt_f64(ub)
+                        ));
                     }
                     out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
                     out.push_str(&format!("{name}_sum {}\n", fmt_f64(h.sum())));
@@ -580,25 +612,44 @@ mod tests {
     }
 
     #[test]
-    fn prometheus_rendering_has_type_lines_and_cumulative_buckets() {
+    fn prometheus_rendering_has_help_type_and_standard_cumulative_buckets() {
         let r = Registry::new();
         r.counter("a_total").add(3);
+        r.describe("a_total", "Things that\nhappened.");
         let h = r.histogram("lat_ms");
         h.observe(1.0);
         h.observe(2.0);
         h.observe(1000.0);
         let text = r.render_prometheus();
-        assert!(text.contains("# TYPE a_total counter\na_total 3\n"));
-        assert!(text.contains("# TYPE lat_ms histogram\n"));
+        // HELP precedes TYPE for every family; newlines are flattened.
+        assert!(text.contains("# HELP a_total Things that happened.\n# TYPE a_total counter\na_total 3\n"));
+        assert!(text.contains("# HELP lat_ms BATE workspace metric (see METRICS.md)\n# TYPE lat_ms histogram\n"));
         assert!(text.contains("lat_ms_bucket{le=\"+Inf\"} 3\n"));
         assert!(text.contains("lat_ms_count 3\n"));
-        // Cumulative: the last finite bucket line must count all 3 samples
-        // except those above it — the +Inf line is the total.
         let cum: Vec<u64> = text
             .lines()
             .filter(|l| l.starts_with("lat_ms_bucket") && !l.contains("+Inf"))
             .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
             .collect();
-        assert!(cum.windows(2).all(|w| w[0] < w[1]), "cumulative: {cum:?}");
+        // Standard shape: the full fixed grid is present (underflow bound
+        // plus one boundary per octave), counts are cumulative
+        // (non-decreasing), and the last finite bucket holds all samples.
+        assert_eq!(cum.len(), OCTAVES + 1, "fixed grid regardless of data");
+        assert!(cum.windows(2).all(|w| w[0] <= w[1]), "cumulative: {cum:?}");
+        assert_eq!(*cum.last().unwrap(), 3);
+        // An empty histogram renders the same grid with zero counts.
+        let r2 = Registry::new();
+        r2.histogram("lat_ms");
+        let grid = |text: &str| -> Vec<String> {
+            text.lines()
+                .filter(|l| l.starts_with("lat_ms_bucket") && !l.contains("+Inf"))
+                .map(|l| l.split(' ').next().unwrap().to_string())
+                .collect()
+        };
+        assert_eq!(
+            grid(&r2.render_prometheus()),
+            grid(&text),
+            "le grid must not depend on samples"
+        );
     }
 }

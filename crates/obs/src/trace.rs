@@ -118,7 +118,7 @@ impl From<String> for Value {
 
 impl Value {
     /// JSON rendering (non-finite floats become `null`).
-    fn to_json(&self) -> String {
+    pub(crate) fn to_json(&self) -> String {
         match self {
             Value::U64(v) => format!("{v}"),
             Value::I64(v) => format!("{v}"),
@@ -167,12 +167,20 @@ pub struct Event {
     /// Emitting module (`module_path!()` of the macro call site).
     pub target: &'static str,
     pub name: &'static str,
+    /// Causal identity stamped from the thread's current
+    /// [`SpanCtx`](crate::context::SpanCtx) ([`SpanCtx::NONE`] when the
+    /// event fired outside any traced scope).
+    ///
+    /// [`SpanCtx::NONE`]: crate::context::SpanCtx::NONE
+    pub ctx: crate::context::SpanCtx,
     pub fields: Vec<(&'static str, Value)>,
 }
 
 impl Event {
     /// One-line JSON with a fixed field order — the JSONL subscriber's
-    /// wire format (and the thing obscheck diffs).
+    /// wire format (and the thing obscheck diffs). Traced events carry
+    /// `trace`/`span`/`parent` hex ids between `name` and `fields`;
+    /// untraced events keep the exact pre-trace-context shape.
     pub fn to_json(&self) -> String {
         let mut out = format!(
             "{{\"seq\":{},\"t_ns\":{},\"level\":\"{}\",\"target\":\"{}\",\"name\":{}",
@@ -182,6 +190,14 @@ impl Event {
             self.target,
             json_string(self.name),
         );
+        if self.ctx.is_some() {
+            out.push_str(&format!(
+                ",\"trace\":\"{}\",\"span\":\"{}\",\"parent\":\"{}\"",
+                crate::context::hex(self.ctx.trace_id),
+                crate::context::hex(self.ctx.span_id),
+                crate::context::hex(self.ctx.parent_span_id),
+            ));
+        }
         out.push_str(",\"fields\":{");
         for (i, (k, v)) in self.fields.iter().enumerate() {
             if i > 0 {
@@ -239,8 +255,22 @@ pub fn enabled() -> bool {
 }
 
 /// Emit an event through the installed subscriber (no-op when none).
-/// Callers normally go through the `event!` / level macros.
+/// Callers normally go through the `event!` / level macros. The event is
+/// stamped with the thread's current span context and teed into the
+/// flight-recorder ring when one is enabled.
 pub fn emit(level: Level, target: &'static str, name: &'static str, fields: Vec<(&'static str, Value)>) {
+    emit_with_ctx(level, target, name, crate::context::current(), fields)
+}
+
+/// [`emit`] with an explicit context (used by span close-events, which
+/// must carry the span's own identity after it left the stack).
+pub fn emit_with_ctx(
+    level: Level,
+    target: &'static str,
+    name: &'static str,
+    ctx: crate::context::SpanCtx,
+    fields: Vec<(&'static str, Value)>,
+) {
     let slot = dispatch_slot().read().unwrap();
     if let Some(d) = slot.as_ref() {
         let event = Event {
@@ -249,8 +279,10 @@ pub fn emit(level: Level, target: &'static str, name: &'static str, fields: Vec<
             level,
             target,
             name,
+            ctx,
             fields,
         };
+        crate::flight::record(&event);
         d.subscriber.event(&event);
     }
 }
@@ -264,10 +296,17 @@ pub fn clock_now() -> Option<Duration> {
 /// A scoped region that emits one close-event with its duration (in the
 /// installed clock's time) when dropped. Built by the `span!` macro;
 /// inert when no subscriber is installed at entry.
+///
+/// Inside an active trace (see [`crate::context`]) the span derives a
+/// deterministic child context, holds it on the thread's stack for its
+/// scope — so nested spans and events parent on it — and stamps the
+/// close-event with its own identity.
 pub struct SpanGuard {
     name: &'static str,
     target: &'static str,
     start: Option<Duration>,
+    ctx: crate::context::SpanCtx,
+    entered: Option<crate::context::CtxGuard>,
     fields: Vec<(&'static str, Value)>,
 }
 
@@ -277,12 +316,29 @@ impl SpanGuard {
         target: &'static str,
         fields: Vec<(&'static str, Value)>,
     ) -> SpanGuard {
+        let active = enabled();
+        let ctx = if active {
+            crate::context::next_child(name).unwrap_or(crate::context::SpanCtx::NONE)
+        } else {
+            crate::context::SpanCtx::NONE
+        };
         SpanGuard {
             name,
             target,
-            start: if enabled() { clock_now() } else { None },
+            start: if active { clock_now() } else { None },
+            ctx,
+            entered: if ctx.is_some() {
+                Some(crate::context::enter(ctx))
+            } else {
+                None
+            },
             fields,
         }
+    }
+
+    /// The span's causal identity (NONE outside a trace).
+    pub fn ctx(&self) -> crate::context::SpanCtx {
+        self.ctx
     }
 
     /// Attach a field after entry (recorded on the close-event).
@@ -295,6 +351,9 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        // Leave the context stack before emitting so the close-event's
+        // explicit ctx is the span's own, not a self-parented child.
+        self.entered.take();
         if let (Some(start), true) = (self.start, enabled()) {
             let dur_ns = clock_now()
                 .unwrap_or(start)
@@ -303,7 +362,7 @@ impl Drop for SpanGuard {
                 .min(u64::MAX as u128) as u64;
             let mut fields = std::mem::take(&mut self.fields);
             fields.push(("dur_ns", Value::U64(dur_ns)));
-            emit(Level::Debug, self.target, self.name, fields);
+            emit_with_ctx(Level::Debug, self.target, self.name, self.ctx, fields);
         }
     }
 }
@@ -563,6 +622,7 @@ mod tests {
                 level: Level::Info,
                 target: "t",
                 name: "e",
+                ctx: crate::context::SpanCtx::NONE,
                 fields: vec![],
             });
         }
@@ -572,12 +632,13 @@ mod tests {
 
     #[test]
     fn jsonl_format_is_fixed_order_and_escaped() {
-        let e = Event {
+        let mut e = Event {
             seq: 7,
             t_ns: 1500,
             level: Level::Error,
             target: "bate_obs::trace::tests",
             name: "io.fail",
+            ctx: crate::context::SpanCtx::NONE,
             fields: vec![
                 ("msg", Value::Str("bad \"path\"\n".into())),
                 ("code", Value::I64(-2)),
@@ -585,10 +646,50 @@ mod tests {
                 ("nan", Value::F64(f64::NAN)),
             ],
         };
+        // Untraced events keep the exact pre-trace-context shape.
         assert_eq!(
             e.to_json(),
             "{\"seq\":7,\"t_ns\":1500,\"level\":\"error\",\"target\":\"bate_obs::trace::tests\",\"name\":\"io.fail\",\"fields\":{\"msg\":\"bad \\\"path\\\"\\n\",\"code\":-2,\"ratio\":0.5,\"nan\":null}}"
         );
+        // Traced events add trace/span/parent between name and fields.
+        e.ctx = crate::context::SpanCtx {
+            trace_id: 0xA,
+            span_id: 0xB,
+            parent_span_id: 0,
+        };
+        e.fields.clear();
+        assert_eq!(
+            e.to_json(),
+            "{\"seq\":7,\"t_ns\":1500,\"level\":\"error\",\"target\":\"bate_obs::trace::tests\",\"name\":\"io.fail\",\"trace\":\"000000000000000a\",\"span\":\"000000000000000b\",\"parent\":\"0000000000000000\",\"fields\":{}}"
+        );
+    }
+
+    #[test]
+    fn spans_and_events_carry_nested_contexts() {
+        let _guard = serial();
+        let ring = RingBufferSubscriber::new(16);
+        install(ring.clone(), SimClock::shared());
+        {
+            let root = crate::context::root("submit", 42);
+            let outer = crate::span!("ctrl.admit");
+            crate::info!("admission.verdict", admitted = true);
+            let outer_ctx = outer.ctx();
+            drop(outer);
+            assert!(outer_ctx.is_some());
+            assert_eq!(outer_ctx.parent_span_id, root.ctx.span_id);
+        }
+        crate::info!("untraced.after");
+        uninstall();
+        let events = ring.take();
+        assert_eq!(events.len(), 3);
+        let verdict = &events[0];
+        let close = &events[1];
+        assert_eq!(verdict.name, "admission.verdict");
+        assert_eq!(close.name, "ctrl.admit");
+        // The event carries the enclosing span's identity; the
+        // close-event IS the span, so the two stamps coincide.
+        assert_eq!(verdict.ctx, close.ctx);
+        assert!(!events[2].ctx.is_some());
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub struct StormConfig {
     /// Record wall-clock recovery/solve latencies. `false` pins every
     /// latency to zero so reports are bitwise deterministic.
     pub measure_time: bool,
+    /// Flight-recorder trigger: a storm round whose Algorithm-2 recovery
+    /// exceeds this bound (ms, measured even when `measure_time` is off)
+    /// dumps the ring via [`bate_obs::flight::trigger`]. `None` disables.
+    pub latency_bound_ms: Option<f64>,
 }
 
 impl StormConfig {
@@ -71,6 +75,7 @@ impl StormConfig {
             srlg_prob: 0.01,
             run_milp: true,
             measure_time: false,
+            latency_bound_ms: None,
         }
     }
 }
@@ -293,6 +298,24 @@ pub fn run(ctx: &TeContext, config: &StormConfig) -> Result<StormReport, bate_co
             record.greedy_satisfied = greedy.satisfied.len();
             record.greedy_profit = greedy.profit;
             record.greedy_ms = greedy_ms;
+            // A recovery round blowing its latency budget is a flight
+            // trigger — the measured elapsed time is used even when the
+            // *report* pins latencies to zero, so the deterministic CSV
+            // stays byte-stable while the breach still dumps.
+            if let Some(bound) = config.latency_bound_ms {
+                let measured_ms = t0.elapsed().as_secs_f64() * 1e3;
+                if measured_ms > bound {
+                    bate_obs::warn!(
+                        "storm.latency_breach",
+                        round = round,
+                        bound_ms = bound,
+                    );
+                    bate_obs::flight::trigger(
+                        "storm_latency_breach",
+                        bate_obs::context::current().trace_id,
+                    );
+                }
+            }
 
             if config.run_milp {
                 let t1 = Instant::now();

@@ -5,7 +5,9 @@
 //! batectl submit <addr> --id N --src DC1 --dst DC3 --mbps 400 --beta 0.999
 //! batectl withdraw <addr> --id N
 //! batectl ping <addr>
-//! batectl stats <addr>
+//! batectl stats <addr> [--json [--prefix NAME_PREFIX]]
+//! batectl trace <addr> <trace-id>
+//! batectl slo <addr>
 //! ```
 //!
 //! `<topology>` is a builtin name (`toy4`, `testbed6`, `b4`, `ibm`, `att`,
@@ -27,7 +29,9 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  batectl serve <topology> [--interval SECS] [--prune Y]\n  \
          batectl submit <addr> --id N --src A --dst B --mbps F --beta F [--price F] [--refund F]\n  \
-         batectl withdraw <addr> --id N\n  batectl ping <addr>\n  batectl stats <addr>"
+         batectl withdraw <addr> --id N\n  batectl ping <addr>\n  \
+         batectl stats <addr> [--json [--prefix P]]\n  \
+         batectl trace <addr> <trace-id>\n  batectl slo <addr>"
     );
     std::process::exit(2)
 }
@@ -108,6 +112,10 @@ fn main() {
             let interval = flags.num::<f64>("interval").unwrap_or(60.0);
             let prune = flags.num::<usize>("prune").unwrap_or(2);
             let topo = load_topology(spec);
+            // The flight ring backs `batectl trace <addr> <id>` and the
+            // standing dump triggers (election loss, cert fallback);
+            // without it TraceQuery always answers an empty ring.
+            bate_obs::flight::enable(65_536);
             println!("starting controller for {topo}");
             let controller = Controller::start(ControllerConfig {
                 topo,
@@ -168,8 +176,42 @@ fn main() {
         }
         "stats" => {
             let Some(addr) = args.get(1) else { usage() };
+            // `--json` is a bare flag (no value), so peel it off before the
+            // `--key value` parser sees the rest.
+            let rest: Vec<String> = args[2..].to_vec();
+            let json = rest.first().map(String::as_str) == Some("--json");
             let mut client = connect(addr);
-            match client.stats() {
+            let result = if json {
+                let flags = Flags::parse(&rest[1..]);
+                let prefix = flags.get("prefix").unwrap_or("").to_string();
+                client.stats_json(&prefix)
+            } else {
+                if !rest.is_empty() {
+                    usage();
+                }
+                client.stats()
+            };
+            match result {
+                Ok(text) => print!("{text}"),
+                Err(e) => fail(&e.to_string()),
+            }
+        }
+        "trace" => {
+            let Some(addr) = args.get(1) else { usage() };
+            let Some(id) = args.get(2) else { usage() };
+            let Some(trace_id) = bate_obs::context::parse_id(id) else {
+                fail(&format!("bad trace id {id} (hex or decimal)"))
+            };
+            let mut client = connect(addr);
+            match client.trace_tree(trace_id) {
+                Ok(text) => print!("{text}"),
+                Err(e) => fail(&e.to_string()),
+            }
+        }
+        "slo" => {
+            let Some(addr) = args.get(1) else { usage() };
+            let mut client = connect(addr);
+            match client.slo_report() {
                 Ok(text) => print!("{text}"),
                 Err(e) => fail(&e.to_string()),
             }

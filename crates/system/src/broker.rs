@@ -12,7 +12,7 @@
 use crate::client::Dialer;
 use crate::enforcer::Enforcer;
 use crate::proto::{FlowEntry, Message};
-use crate::wire::{read_frame, write_frame, Transport};
+use crate::wire::{read_frame_ctx, write_frame, FrameCtx, Transport};
 use bate_core::clock::{Clock, SystemClock};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -121,7 +121,8 @@ impl Broker {
             if sd.load(Ordering::Relaxed) {
                 return;
             }
-            let msg: Message = match read_frame(&mut *read_stream) {
+            let (rctx, msg): (Option<FrameCtx>, Message) = match read_frame_ctx(&mut *read_stream)
+            {
                 Ok(m) => m,
                 Err(_) if sd.load(Ordering::Relaxed) => return,
                 // Clean close or mid-frame severance: either way the
@@ -142,6 +143,17 @@ impl Broker {
             };
             match msg {
                 Message::InstallAllocation { demand, entries } => {
+                    // Adopt the push's context: the enforcement install
+                    // becomes the terminal span of the trace that started
+                    // at the client's submit.
+                    let _adopted =
+                        rctx.map(|c| bate_obs::context::adopt("broker.install", c.trace_id, c.span_id));
+                    // Span only when a context arrived: untraced installs
+                    // must stay silent (reader thread ⇒ nondeterministic
+                    // interleaving otherwise).
+                    let _sp = _adopted
+                        .is_some()
+                        .then(|| bate_obs::span!("broker.install", demand = demand, entries = entries.len()));
                     // Replace the demand's enforcement entries wholesale:
                     // the controller always sends the complete set.
                     e2.remove_demand(demand);
@@ -151,6 +163,11 @@ impl Broker {
                     i2.set(demand, entries);
                 }
                 Message::RemoveAllocation { demand } => {
+                    let _adopted =
+                        rctx.map(|c| bate_obs::context::adopt("broker.remove", c.trace_id, c.span_id));
+                    let _sp = _adopted
+                        .is_some()
+                        .then(|| bate_obs::span!("broker.remove", demand = demand));
                     e2.remove_demand(demand);
                     i2.remove(demand);
                 }

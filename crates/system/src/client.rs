@@ -10,7 +10,7 @@
 //! `WithdrawDemand` re-acks without side effects.
 
 use crate::proto::Message;
-use crate::wire::{read_frame, write_frame, Transport};
+use crate::wire::{read_frame, write_frame_ctx, FrameCtx, Transport};
 use bate_core::clock::{Clock, SystemClock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -222,7 +222,11 @@ impl Client {
         let timeout = self.policy.request_timeout;
         let stream = self.stream()?;
         stream.set_read_timeout(Some(timeout))?;
-        write_frame(&mut **stream, msg).map_err(|e| io::Error::other(e.to_string()))?;
+        // Outgoing frames carry the calling thread's span (submit and
+        // withdraw open one per operation) so the controller can adopt
+        // it; outside a trace this is a legacy frame.
+        write_frame_ctx(&mut **stream, msg, FrameCtx::current())
+            .map_err(|e| io::Error::other(e.to_string()))?;
         // Bounded skip of stale frames: replies to previous attempts that
         // arrived after we gave up on them.
         for _ in 0..16 {
@@ -241,6 +245,11 @@ impl Client {
     /// Submit a demand; returns whether it was admitted. Retries safely:
     /// the controller replays the original verdict for a repeated id.
     pub fn submit(&mut self, req: &DemandRequest) -> io::Result<bool> {
+        // Each submission is the root of a causal trace whose id is
+        // derived from the demand id — deterministic, so a seeded run
+        // produces byte-identical trace ids end to end.
+        let _root = bate_obs::context::root("submit", req.id);
+        let mut sp = bate_obs::span!("client.submit", demand = req.id);
         let msg = Message::SubmitDemand {
             id: req.id,
             src: req.src.clone(),
@@ -252,7 +261,10 @@ impl Client {
         };
         let id = req.id;
         match self.request(&msg, |m| matches!(m, Message::AdmissionReply { id: i, .. } if *i == id))? {
-            Message::AdmissionReply { admitted, .. } => Ok(admitted),
+            Message::AdmissionReply { admitted, .. } => {
+                sp.record("admitted", admitted);
+                Ok(admitted)
+            }
             other => Err(io::Error::other(format!("unexpected reply: {other:?}"))),
         }
     }
@@ -260,6 +272,8 @@ impl Client {
     /// Withdraw a demand. Acknowledged and idempotent: a lost ack is
     /// retried without tearing down someone else's reservation.
     pub fn withdraw(&mut self, id: u64) -> io::Result<()> {
+        let _root = bate_obs::context::root("withdraw", id);
+        let _sp = bate_obs::span!("client.withdraw", demand = id);
         let msg = Message::WithdrawDemand { id };
         self.request(&msg, |m| matches!(m, Message::WithdrawAck { id: i } if *i == id))?;
         Ok(())
@@ -269,6 +283,37 @@ impl Client {
     /// exposition (what `batectl stats` prints).
     pub fn stats(&mut self) -> io::Result<String> {
         match self.request(&Message::StatsQuery, |m| matches!(m, Message::StatsText { .. }))? {
+            Message::StatsText { text } => Ok(text),
+            other => Err(io::Error::other(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Fetch a deterministic JSONL snapshot of the controller's metrics
+    /// whose names start with `prefix` (empty = everything).
+    pub fn stats_json(&mut self, prefix: &str) -> io::Result<String> {
+        let msg = Message::StatsJsonQuery {
+            prefix: prefix.to_string(),
+        };
+        match self.request(&msg, |m| matches!(m, Message::StatsText { .. }))? {
+            Message::StatsText { text } => Ok(text),
+            other => Err(io::Error::other(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Fetch the rendered causal span tree for one trace id from the
+    /// controller's flight-recorder ring (what `batectl trace` prints).
+    pub fn trace_tree(&mut self, trace_id: u64) -> io::Result<String> {
+        let msg = Message::TraceQuery { trace_id };
+        match self.request(&msg, |m| matches!(m, Message::StatsText { .. }))? {
+            Message::StatsText { text } => Ok(text),
+            other => Err(io::Error::other(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Fetch the controller's SLO burn-rate report (what `batectl slo`
+    /// prints).
+    pub fn slo_report(&mut self) -> io::Result<String> {
+        match self.request(&Message::SloQuery, |m| matches!(m, Message::StatsText { .. }))? {
             Message::StatsText { text } => Ok(text),
             other => Err(io::Error::other(format!("unexpected reply: {other:?}"))),
         }

@@ -10,7 +10,7 @@
 //! connection is immediately re-synced with every live allocation.
 
 use crate::proto::{FlowEntry, Message};
-use crate::wire::{read_frame, write_frame, WireError};
+use crate::wire::{read_frame_ctx, write_frame, write_frame_ctx, FrameCtx, WireError};
 use bate_core::admission::{self, AdmissionOutcome};
 use bate_core::clock::{Clock, SystemClock};
 use bate_core::recovery::greedy::greedy_recovery;
@@ -294,6 +294,9 @@ fn schedule_round(shared: &Arc<Shared>) {
         state.allocation = res.allocation;
         push_all_allocations(&ctx, &mut state);
     }
+    // One SLO sample per scheduling round: burn rates evolve at round
+    // granularity, matching the paper's per-round BA-guarantee framing.
+    bate_obs::SloEngine::global().record_sample(bate_obs::Registry::global());
 }
 
 impl Drop for Controller {
@@ -333,7 +336,7 @@ fn connection_loop(shared: Arc<Shared>, mut stream: TcpStream) {
         if shared.shutdown.load(Ordering::Relaxed) {
             return;
         }
-        let msg: Message = match read_frame(&mut stream) {
+        let (rctx, msg): (Option<FrameCtx>, Message) = match read_frame_ctx(&mut stream) {
             Ok(m) => m,
             Err(WireError::Closed) => return,
             // Malformed, corrupt, or truncated frames leave the byte
@@ -351,6 +354,11 @@ fn connection_loop(shared: Arc<Shared>, mut stream: TcpStream) {
                 price,
                 refund_ratio,
             } => {
+                // Adopt the client's span so the admission pipeline (and
+                // the LP solve under it) parents on the submit that
+                // caused it — this is what links client → controller →
+                // solver phases under one trace_id.
+                let _adopted = rctx.map(|c| bate_obs::context::adopt("ctrl.submit", c.trace_id, c.span_id));
                 let admitted = handle_submit(
                     &shared,
                     id,
@@ -361,11 +369,13 @@ fn connection_loop(shared: Arc<Shared>, mut stream: TcpStream) {
                     price,
                     refund_ratio,
                 );
-                if write_frame(&mut stream, &Message::AdmissionReply { id, admitted }).is_err() {
+                let reply = Message::AdmissionReply { id, admitted };
+                if write_frame_ctx(&mut stream, &reply, FrameCtx::current()).is_err() {
                     return;
                 }
             }
             Message::WithdrawDemand { id } => {
+                let _adopted = rctx.map(|c| bate_obs::context::adopt("ctrl.withdraw", c.trace_id, c.span_id));
                 let ctx = shared.ctx();
                 {
                     ctrl_metrics().withdraws.inc();
@@ -389,7 +399,9 @@ fn connection_loop(shared: Arc<Shared>, mut stream: TcpStream) {
                     }
                 }
                 let _ = ctx;
-                if write_frame(&mut stream, &Message::WithdrawAck { id }).is_err() {
+                if write_frame_ctx(&mut stream, &Message::WithdrawAck { id }, FrameCtx::current())
+                    .is_err()
+                {
                     return;
                 }
             }
@@ -426,6 +438,29 @@ fn connection_loop(shared: Arc<Shared>, mut stream: TcpStream) {
             Message::StatsQuery => {
                 ctrl_metrics().stats_queries.inc();
                 let text = bate_obs::Registry::global().render_prometheus();
+                if write_frame(&mut stream, &Message::StatsText { text }).is_err() {
+                    return;
+                }
+            }
+            Message::StatsJsonQuery { prefix } => {
+                ctrl_metrics().stats_queries.inc();
+                let text = bate_obs::Registry::global()
+                    .snapshot_jsonl_filtered(|name, _| name.starts_with(prefix.as_str()));
+                if write_frame(&mut stream, &Message::StatsText { text }).is_err() {
+                    return;
+                }
+            }
+            Message::TraceQuery { trace_id } => {
+                ctrl_metrics().stats_queries.inc();
+                let events = bate_obs::flight::ring_events();
+                let text = bate_obs::flight::render_tree(&events, trace_id);
+                if write_frame(&mut stream, &Message::StatsText { text }).is_err() {
+                    return;
+                }
+            }
+            Message::SloQuery => {
+                ctrl_metrics().stats_queries.inc();
+                let text = bate_obs::SloEngine::global().render_report();
                 if write_frame(&mut stream, &Message::StatsText { text }).is_err() {
                     return;
                 }
@@ -591,10 +626,14 @@ fn push_all_allocations(ctx: &TeContext, state: &mut CtrlState) {
 }
 
 fn broadcast(state: &mut CtrlState, msg: &Message) {
+    // Broker pushes inherit the causing span (a submit, withdraw, or
+    // link report being handled on this thread), extending the trace
+    // through to enforcement. Outside any trace the frames are legacy.
+    let ctx = FrameCtx::current();
     let mut dead: Vec<String> = Vec::new();
     for (dc, stream) in &state.brokers {
         let mut s = stream.lock();
-        if write_frame(&mut *s, msg).is_err() {
+        if write_frame_ctx(&mut *s, msg, ctx).is_err() {
             dead.push(dc.clone());
         }
     }

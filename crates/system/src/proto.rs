@@ -98,6 +98,21 @@ pub enum Message {
     StatsText {
         text: String,
     },
+    /// client → controller: deterministic JSONL snapshot of metrics whose
+    /// names start with `prefix` (empty prefix = everything). Answered
+    /// with [`Message::StatsText`].
+    StatsJsonQuery {
+        prefix: String,
+    },
+    /// client → controller: render the causal span tree for one trace id
+    /// from the controller's flight-recorder ring. Answered with
+    /// [`Message::StatsText`].
+    TraceQuery {
+        trace_id: u64,
+    },
+    /// client → controller: render the controller's SLO burn-rate report.
+    /// Answered with [`Message::StatsText`].
+    SloQuery,
 }
 
 // Message tags.
@@ -114,6 +129,9 @@ const T_PONG: u8 = 10;
 const T_WITHDRAW_ACK: u8 = 11;
 const T_STATS_QUERY: u8 = 12;
 const T_STATS_TEXT: u8 = 13;
+const T_STATS_JSON_QUERY: u8 = 14;
+const T_TRACE_QUERY: u8 = 15;
+const T_SLO_QUERY: u8 = 16;
 
 impl Encode for Message {
     fn encode(&self, buf: &mut BytesMut) {
@@ -187,6 +205,17 @@ impl Encode for Message {
                 T_STATS_TEXT.encode(buf);
                 text.encode(buf);
             }
+            Message::StatsJsonQuery { prefix } => {
+                T_STATS_JSON_QUERY.encode(buf);
+                prefix.encode(buf);
+            }
+            Message::TraceQuery { trace_id } => {
+                T_TRACE_QUERY.encode(buf);
+                trace_id.encode(buf);
+            }
+            Message::SloQuery => {
+                T_SLO_QUERY.encode(buf);
+            }
         }
     }
 }
@@ -242,6 +271,13 @@ impl Decode for Message {
             T_STATS_TEXT => Message::StatsText {
                 text: String::decode(buf)?,
             },
+            T_STATS_JSON_QUERY => Message::StatsJsonQuery {
+                prefix: String::decode(buf)?,
+            },
+            T_TRACE_QUERY => Message::TraceQuery {
+                trace_id: u64::decode(buf)?,
+            },
+            T_SLO_QUERY => Message::SloQuery,
             other => return Err(WireError::Malformed(format!("unknown tag {other}"))),
         })
     }
@@ -309,6 +345,14 @@ mod tests {
             text: "# TYPE bate_solver_solves_total counter\nbate_solver_solves_total 3\n"
                 .into(),
         });
+        roundtrip(Message::StatsJsonQuery {
+            prefix: "bate_wire_".into(),
+        });
+        roundtrip(Message::StatsJsonQuery { prefix: "".into() });
+        roundtrip(Message::TraceQuery {
+            trace_id: 0xDEAD_BEEF_0BAD_F00D,
+        });
+        roundtrip(Message::SloQuery);
     }
 
     #[test]

@@ -471,6 +471,13 @@ impl Replica {
             candidate = candidate,
             no_quorum = (err == ElectError::NoQuorum),
         );
+        // Losing an election is a flight-recorder trigger: dump whatever
+        // the ring buffered leading up to the loss so the sequence of
+        // ballots/races that starved this replica is reconstructable.
+        bate_obs::flight::trigger(
+            "election_loss",
+            bate_obs::context::current().trace_id,
+        );
         Err(err)
     }
 

@@ -55,6 +55,57 @@ fn wire_metrics() -> &'static WireMetrics {
 /// Maximum accepted frame size; anything larger is a protocol violation.
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 
+/// Bit 31 of the length word flags an optional 16-byte trace context
+/// between the 8-byte header and the payload. Real payload lengths are
+/// bounded by [`MAX_FRAME`] (2²⁴), so the flag bit can never be part of
+/// a legitimate length — which is what makes the header extension
+/// backward-compatible: frames from pre-context senders never have it
+/// set, and new decoders accept both shapes.
+pub const CTX_FLAG: u32 = 0x8000_0000;
+
+/// Size of the optional trace-context header extension.
+pub const CTX_BYTES: usize = 16;
+
+/// The causal identity a frame carries: the sender's trace and span, so
+/// the receiver can parent its own spans on the sender's
+/// ([`bate_obs::context::adopt`]). `parent_span_id` never travels — it
+/// is derivable on the sender and meaningless to the receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameCtx {
+    pub trace_id: u64,
+    pub span_id: u64,
+}
+
+impl FrameCtx {
+    /// The calling thread's current span context, if inside a trace —
+    /// what senders stamp onto outgoing frames.
+    pub fn current() -> Option<FrameCtx> {
+        let ctx = bate_obs::context::current();
+        if ctx.is_some() {
+            Some(FrameCtx {
+                trace_id: ctx.trace_id,
+                span_id: ctx.span_id,
+            })
+        } else {
+            None
+        }
+    }
+
+    fn to_bytes(self) -> [u8; CTX_BYTES] {
+        let mut b = [0u8; CTX_BYTES];
+        b[..8].copy_from_slice(&self.trace_id.to_be_bytes());
+        b[8..].copy_from_slice(&self.span_id.to_be_bytes());
+        b
+    }
+
+    fn from_bytes(b: &[u8]) -> FrameCtx {
+        FrameCtx {
+            trace_id: u64::from_be_bytes(b[..8].try_into().unwrap()),
+            span_id: u64::from_be_bytes(b[8..CTX_BYTES].try_into().unwrap()),
+        }
+    }
+}
+
 /// Errors surfaced by the codec.
 #[derive(Debug)]
 pub enum WireError {
@@ -274,6 +325,16 @@ impl<T: Decode> Decode for Vec<T> {
 /// Shared by [`write_frame`] and the fault proxy, which needs to
 /// re-frame messages it parsed off the wire.
 pub fn encode_frame<T: Encode>(msg: &T) -> Result<Vec<u8>, WireError> {
+    encode_frame_ctx(msg, None)
+}
+
+/// [`encode_frame`] with an optional trace context carried in the
+/// header extension (see [`CTX_FLAG`]). The CRC covers the context
+/// bytes *and* the payload, so in-flight damage to either is detected.
+pub fn encode_frame_ctx<T: Encode>(
+    msg: &T,
+    ctx: Option<FrameCtx>,
+) -> Result<Vec<u8>, WireError> {
     let mut payload = BytesMut::new();
     msg.encode(&mut payload);
     if payload.len() > MAX_FRAME {
@@ -282,16 +343,56 @@ pub fn encode_frame<T: Encode>(msg: &T) -> Result<Vec<u8>, WireError> {
             payload.len()
         )));
     }
-    let mut out = Vec::with_capacity(8 + payload.len());
-    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-    out.extend_from_slice(&crc32(&payload).to_be_bytes());
-    out.extend_from_slice(&payload);
-    Ok(out)
+    Ok(match ctx {
+        None => encode_raw_frame(None, &payload, crc32(&payload)),
+        Some(c) => encode_raw_frame(Some(c), &payload, frame_crc(Some(c), &payload)),
+    })
+}
+
+/// The CRC a well-formed frame must carry: over the context bytes (when
+/// present) followed by the payload. What the fault proxy uses to
+/// re-frame forwarded traffic without stripping its trace context.
+pub fn frame_crc(ctx: Option<FrameCtx>, payload: &[u8]) -> u32 {
+    match ctx {
+        None => crc32(payload),
+        Some(c) => {
+            let mut input = Vec::with_capacity(CTX_BYTES + payload.len());
+            input.extend_from_slice(&c.to_bytes());
+            input.extend_from_slice(payload);
+            crc32(&input)
+        }
+    }
+}
+
+/// Assemble raw frame bytes from pre-computed parts (an explicit CRC so
+/// the fault proxy can forward deliberately damaged frames verbatim).
+pub fn encode_raw_frame(ctx: Option<FrameCtx>, payload: &[u8], crc: u32) -> Vec<u8> {
+    let ctx_len = if ctx.is_some() { CTX_BYTES } else { 0 };
+    let mut out = Vec::with_capacity(8 + ctx_len + payload.len());
+    let len_word = payload.len() as u32 | if ctx.is_some() { CTX_FLAG } else { 0 };
+    out.extend_from_slice(&len_word.to_be_bytes());
+    out.extend_from_slice(&crc.to_be_bytes());
+    if let Some(c) = ctx {
+        out.extend_from_slice(&c.to_bytes());
+    }
+    out.extend_from_slice(payload);
+    out
 }
 
 /// Write one frame (blocking).
 pub fn write_frame<T: Encode, S: Write + ?Sized>(stream: &mut S, msg: &T) -> Result<(), WireError> {
-    let frame = encode_frame(msg)?;
+    write_frame_ctx(stream, msg, None)
+}
+
+/// Write one frame stamped with a trace context (blocking). Passing
+/// `FrameCtx::current()` propagates the calling thread's span across
+/// the connection.
+pub fn write_frame_ctx<T: Encode, S: Write + ?Sized>(
+    stream: &mut S,
+    msg: &T,
+    ctx: Option<FrameCtx>,
+) -> Result<(), WireError> {
+    let frame = encode_frame_ctx(msg, ctx)?;
     stream.write_all(&frame)?;
     stream.flush()?;
     let m = wire_metrics();
@@ -300,17 +401,27 @@ pub fn write_frame<T: Encode, S: Write + ?Sized>(stream: &mut S, msg: &T) -> Res
     Ok(())
 }
 
-/// Read one raw frame payload (header-validated, CRC-checked).
-/// [`WireError::Closed`] on clean EOF at a frame boundary.
+/// Read one raw frame payload (header-validated, CRC-checked),
+/// discarding any trace context. [`WireError::Closed`] on clean EOF at
+/// a frame boundary.
 pub fn read_frame_bytes<S: Read + ?Sized>(stream: &mut S) -> Result<Bytes, WireError> {
+    read_raw_frame(stream).map(|(_, payload)| payload)
+}
+
+/// Read one raw frame, preserving its trace context (what the fault
+/// proxy uses so re-framed traffic keeps end-to-end causality).
+pub fn read_raw_frame<S: Read + ?Sized>(
+    stream: &mut S,
+) -> Result<(Option<FrameCtx>, Bytes), WireError> {
     let m = wire_metrics();
     match read_frame_bytes_inner(stream) {
-        Ok(payload) => {
+        Ok((ctx, payload)) => {
             m.frames_received.inc();
-            // 8 header bytes + payload, mirroring what the peer counted
-            // as sent.
-            m.bytes_received.add(8 + payload.len() as u64);
-            Ok(payload)
+            // Header + optional ctx + payload, mirroring what the peer
+            // counted as sent.
+            let ctx_len = if ctx.is_some() { CTX_BYTES as u64 } else { 0 };
+            m.bytes_received.add(8 + ctx_len + payload.len() as u64);
+            Ok((ctx, payload))
         }
         Err(e) => {
             match &e {
@@ -325,7 +436,9 @@ pub fn read_frame_bytes<S: Read + ?Sized>(stream: &mut S) -> Result<Bytes, WireE
     }
 }
 
-fn read_frame_bytes_inner<S: Read + ?Sized>(stream: &mut S) -> Result<Bytes, WireError> {
+fn read_frame_bytes_inner<S: Read + ?Sized>(
+    stream: &mut S,
+) -> Result<(Option<FrameCtx>, Bytes), WireError> {
     let mut head = [0u8; 8];
     let mut filled = 0usize;
     while filled < head.len() {
@@ -355,34 +468,55 @@ fn read_frame_bytes_inner<S: Read + ?Sized>(stream: &mut S) -> Result<Bytes, Wir
             Err(e) => return Err(e.into()),
         }
     }
-    let len = u32::from_be_bytes([head[0], head[1], head[2], head[3]]) as usize;
+    let len_word = u32::from_be_bytes([head[0], head[1], head[2], head[3]]);
     let expected_crc = u32::from_be_bytes([head[4], head[5], head[6], head[7]]);
+    let has_ctx = len_word & CTX_FLAG != 0;
+    let len = (len_word & !CTX_FLAG) as usize;
     if len > MAX_FRAME {
         return Err(WireError::Malformed(format!("frame of {len} bytes")));
     }
-    let mut payload = vec![0u8; len];
-    stream.read_exact(&mut payload).map_err(|e| {
+    // Read ctx (if flagged) and payload in one buffer so the CRC check
+    // covers exactly what the sender covered.
+    let ctx_len = if has_ctx { CTX_BYTES } else { 0 };
+    let mut body = vec![0u8; ctx_len + len];
+    stream.read_exact(&mut body).map_err(|e| {
         if e.kind() == io::ErrorKind::UnexpectedEof {
             WireError::Malformed(format!("eof inside {len}-byte payload"))
         } else {
             WireError::Io(e)
         }
     })?;
-    let got = crc32(&payload);
+    let got = crc32(&body);
     if got != expected_crc {
         return Err(WireError::Corrupt {
             expected: expected_crc,
             got,
         });
     }
-    Ok(Bytes::from(payload))
+    let mut body = Bytes::from(body);
+    let ctx = if has_ctx {
+        let cb = body.split_to(CTX_BYTES);
+        Some(FrameCtx::from_bytes(&cb))
+    } else {
+        None
+    };
+    Ok((ctx, body))
 }
 
 /// Read one frame (blocking) and decode it. [`WireError::Closed`] on clean
 /// EOF at a frame boundary; typed errors (never a panic or a silent
 /// mis-parse) on truncated, oversized, or corrupted frames.
 pub fn read_frame<T: Decode, S: Read + ?Sized>(stream: &mut S) -> Result<T, WireError> {
-    let mut bytes = read_frame_bytes(stream)?;
+    read_frame_ctx(stream).map(|(_, msg)| msg)
+}
+
+/// [`read_frame`] that also surfaces the sender's trace context (if the
+/// frame carried one), so receivers can adopt it and parent their spans
+/// on the sender's.
+pub fn read_frame_ctx<T: Decode, S: Read + ?Sized>(
+    stream: &mut S,
+) -> Result<(Option<FrameCtx>, T), WireError> {
+    let (ctx, mut bytes) = read_raw_frame(stream)?;
     let msg = T::decode(&mut bytes)?;
     if bytes.has_remaining() {
         return Err(WireError::Malformed(format!(
@@ -390,7 +524,7 @@ pub fn read_frame<T: Decode, S: Read + ?Sized>(stream: &mut S) -> Result<T, Wire
             bytes.remaining()
         )));
     }
-    Ok(msg)
+    Ok((ctx, msg))
 }
 
 #[cfg(test)]
@@ -490,6 +624,44 @@ mod tests {
         // A clean close at a boundary is Closed.
         let err = read_frame::<Vec<u64>, _>(&mut &frame[..0]).unwrap_err();
         assert!(matches!(err, WireError::Closed), "got {err}");
+    }
+
+    #[test]
+    fn ctx_frame_roundtrips_and_legacy_frames_read_as_none() {
+        let ctx = FrameCtx {
+            trace_id: 0x1122_3344_5566_7788,
+            span_id: 0x99AA_BBCC_DDEE_FF00,
+        };
+        let frame = encode_frame_ctx(&vec![7u64, 8, 9], Some(ctx)).unwrap();
+        // The flag bit is set in the length word, and the ctx bytes sit
+        // between the header and the payload.
+        assert_ne!(frame[0] & 0x80, 0);
+        let (got_ctx, msg): (_, Vec<u64>) = read_frame_ctx(&mut &frame[..]).unwrap();
+        assert_eq!(got_ctx, Some(ctx));
+        assert_eq!(msg, vec![7, 8, 9]);
+        // Ctx-blind readers still decode the same payload.
+        let msg: Vec<u64> = read_frame(&mut &frame[..]).unwrap();
+        assert_eq!(msg, vec![7, 8, 9]);
+        // Legacy frames (no flag) surface `None`.
+        let legacy = encode_frame(&vec![7u64, 8, 9]).unwrap();
+        assert_eq!(legacy[0] & 0x80, 0);
+        let (got_ctx, msg): (_, Vec<u64>) = read_frame_ctx(&mut &legacy[..]).unwrap();
+        assert!(got_ctx.is_none());
+        assert_eq!(msg, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn ctx_bytes_are_crc_protected() {
+        let ctx = FrameCtx {
+            trace_id: 42,
+            span_id: 43,
+        };
+        let frame = encode_frame_ctx(&1u64, Some(ctx)).unwrap();
+        // Flip a bit inside the ctx extension (bytes 8..24).
+        let mut bad = frame.clone();
+        bad[10] ^= 0x01;
+        let err = read_frame_ctx::<u64, _>(&mut &bad[..]).unwrap_err();
+        assert!(matches!(err, WireError::Corrupt { .. }), "got {err}");
     }
 
     #[test]

@@ -189,13 +189,28 @@ fn stats_query_returns_prometheus_exposition() {
         assert!(text.contains(family), "missing family {family} in:\n{text}");
     }
     // Parseable: every non-comment line is `name[{labels}] value` with a
-    // numeric value; TYPE comments name a known metric kind.
+    // numeric value; TYPE comments name a known metric kind and are
+    // immediately preceded by the family's HELP comment.
+    let mut last_help: Option<String> = None;
     for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap_or("");
+            assert!(!name.is_empty(), "HELP line without a metric name: {line}");
+            last_help = Some(name.to_string());
+            continue;
+        }
         if let Some(rest) = line.strip_prefix("# TYPE ") {
-            let kind = rest.split_whitespace().nth(1).unwrap_or("");
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
             assert!(
                 matches!(kind, "counter" | "gauge" | "histogram"),
                 "bad TYPE line: {line}"
+            );
+            assert_eq!(
+                last_help.as_deref(),
+                Some(name),
+                "TYPE line not preceded by its HELP line: {line}"
             );
             continue;
         }

@@ -29,24 +29,27 @@ run() {
 run cargo build --release --offline --example obs_trace || exit 1
 BIN=target/release/examples/obs_trace
 
-run "$BIN" "$OUT_DIR/trace1.jsonl" "$OUT_DIR/metrics1.jsonl" "$SEED" || exit 1
-run "$BIN" "$OUT_DIR/trace2.jsonl" "$OUT_DIR/metrics2.jsonl" "$SEED" || exit 1
+# The three extra outputs exercise the causal-tracing layer: the e2e
+# admission slice, the forced cert-fallback flight dump, and the SLO
+# burn-rate report. The binary itself validates tree well-formedness
+# (flight::validate_tree) and required span names, and exits nonzero on
+# violation — the diffs below add the cross-run determinism contract.
+run "$BIN" "$OUT_DIR/trace1.jsonl" "$OUT_DIR/metrics1.jsonl" "$SEED" \
+    "$OUT_DIR/e2e1.jsonl" "$OUT_DIR/flight1.jsonl" "$OUT_DIR/slo1.txt" || exit 1
+run "$BIN" "$OUT_DIR/trace2.jsonl" "$OUT_DIR/metrics2.jsonl" "$SEED" \
+    "$OUT_DIR/e2e2.jsonl" "$OUT_DIR/flight2.jsonl" "$OUT_DIR/slo2.txt" || exit 1
 
-if diff -q "$OUT_DIR/trace1.jsonl" "$OUT_DIR/trace2.jsonl" >/dev/null; then
-    echo "trace: byte-identical across runs (seed $SEED)"
-else
-    echo "FAILED: trace JSONL differs between same-seed runs"
-    diff "$OUT_DIR/trace1.jsonl" "$OUT_DIR/trace2.jsonl" | head -20
-    STATUS=1
-fi
-
-if diff -q "$OUT_DIR/metrics1.jsonl" "$OUT_DIR/metrics2.jsonl" >/dev/null; then
-    echo "metrics: byte-identical across runs (seed $SEED)"
-else
-    echo "FAILED: metrics snapshot differs between same-seed runs"
-    diff "$OUT_DIR/metrics1.jsonl" "$OUT_DIR/metrics2.jsonl" | head -20
-    STATUS=1
-fi
+for pair in trace:jsonl metrics:jsonl e2e:jsonl flight:jsonl slo:txt; do
+    name="${pair%%:*}"
+    ext="${pair##*:}"
+    if diff -q "$OUT_DIR/${name}1.$ext" "$OUT_DIR/${name}2.$ext" >/dev/null; then
+        echo "$name: byte-identical across runs (seed $SEED)"
+    else
+        echo "FAILED: $name differs between same-seed runs"
+        diff "$OUT_DIR/${name}1.$ext" "$OUT_DIR/${name}2.$ext" | head -20
+        STATUS=1
+    fi
+done
 
 # Content sanity: the trace must contain the core event names and the
 # snapshot must contain the solver/admission counter families.
@@ -62,6 +65,48 @@ for family in bate_solver_ bate_admission_ bate_sched_ bate_warm_ bate_storm_; d
         STATUS=1
     fi
 done
+
+# Causal artifacts: the e2e slice must link the whole flow under one
+# trace id, and the flight dump must be the cert-fallback slice.
+for name in client.submit admission.pipeline lp.solve broker.install; do
+    if ! grep -q "\"name\":\"$name\"" "$OUT_DIR/e2e1.jsonl"; then
+        echo "FAILED: e2e slice missing span $name"
+        STATUS=1
+    fi
+done
+E2E_TRACES=$(grep -o '"trace":"[0-9a-f]*"' "$OUT_DIR/e2e1.jsonl" | sort -u | wc -l)
+if [ "$E2E_TRACES" -ne 1 ]; then
+    echo "FAILED: e2e slice spans $E2E_TRACES trace ids (want exactly 1)"
+    STATUS=1
+fi
+if ! head -1 "$OUT_DIR/flight1.jsonl" | grep -q '"flight":"cert_cold_fallback"'; then
+    echo "FAILED: flight artifact is not the cert-fallback dump"
+    STATUS=1
+fi
+for slo in warm_hit_rate ba_guarantee_rate; do
+    if ! grep -q "slo $slo:" "$OUT_DIR/slo1.txt"; then
+        echo "FAILED: SLO report missing spec $slo"
+        STATUS=1
+    fi
+done
+
+# METRICS.md drift: every metric the deterministic harness exports must
+# be documented in the inventory.
+if [ -f METRICS.md ]; then
+    MISSING=0
+    for metric in $(grep -o '"metric":"[a-z_]*"' "$OUT_DIR/metrics1.jsonl" \
+                    | sed 's/"metric":"\([a-z_]*\)"/\1/' | sort -u); do
+        if ! grep -q "\`$metric\`" METRICS.md; then
+            echo "FAILED: $metric exported but not documented in METRICS.md"
+            MISSING=1
+        fi
+    done
+    [ $MISSING -eq 0 ] && echo "METRICS.md: inventory covers the exported snapshot"
+    STATUS=$((STATUS | MISSING))
+else
+    echo "FAILED: METRICS.md missing"
+    STATUS=1
+fi
 
 if [ $STATUS -eq 0 ]; then
     echo "obscheck: OK"
