@@ -117,6 +117,16 @@ impl BytesMut {
     pub fn extend_from_slice(&mut self, extend: &[u8]) {
         self.data.extend_from_slice(extend);
     }
+
+    /// Split off and return the first `n` bytes, keeping the rest
+    /// (the `bytes 1` frame-assembly idiom).
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.data.len(), "split_to out of range");
+        let rest = self.data.split_off(n);
+        BytesMut {
+            data: std::mem::replace(&mut self.data, rest),
+        }
+    }
 }
 
 impl Deref for BytesMut {

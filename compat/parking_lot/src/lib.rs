@@ -6,6 +6,7 @@
 //! purposes of this codebase).
 
 use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
 
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
@@ -33,6 +34,79 @@ impl<T: ?Sized> Mutex<T> {
             Ok(v) => v,
             Err(poisoned) => poisoned.into_inner(),
         }
+    }
+}
+
+/// Result of a timed condvar wait, mirroring parking_lot's.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// parking_lot-style condition variable over `std::sync::Condvar`: waits
+/// take the guard by `&mut` instead of by value. Implemented by moving
+/// the guard out of the slot for the duration of the wait; the closure
+/// passed to `with_guard` must not unwind (ours only forwards the
+/// poison-recovered guard, which cannot panic).
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+fn with_guard<'a, T: ?Sized>(
+    slot: &mut MutexGuard<'a, T>,
+    f: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
+) {
+    unsafe {
+        let guard = std::ptr::read(slot);
+        std::ptr::write(slot, f(guard));
+    }
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        with_guard(guard, |g| {
+            self.0.wait(g).unwrap_or_else(|p| p.into_inner())
+        });
+    }
+
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        with_guard(guard, |g| {
+            let (g, res) = self
+                .0
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(|p| p.into_inner());
+            timed_out = res.timed_out();
+            g
+        });
+        WaitTimeoutResult(timed_out)
+    }
+
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        self.wait_for(guard, deadline.saturating_duration_since(Instant::now()))
     }
 }
 

@@ -54,6 +54,48 @@ pub struct PipelineReport {
     pub violations: Vec<String>,
 }
 
+/// The standard seeded suite: 21 plans from clean through compound chaos.
+/// Each seed is distinct so schedules don't correlate across plans. This
+/// is the set the fault-suite tests run and whose traces are pinned as
+/// goldens under `goldens/` (see `trace_golden_path`).
+pub fn standard_suite() -> Vec<FaultPlan> {
+    vec![
+        FaultPlan::seeded(100),
+        FaultPlan::seeded(101).drop(0.05),
+        FaultPlan::seeded(102).drop(0.15),
+        FaultPlan::seeded(103).drop(0.3),
+        FaultPlan::seeded(104).delay(0.3, 10),
+        FaultPlan::seeded(105).delay(0.5, 20),
+        FaultPlan::seeded(106).duplicate(0.2),
+        FaultPlan::seeded(107).duplicate(0.5),
+        FaultPlan::seeded(108).truncate(0.1),
+        FaultPlan::seeded(109).corrupt(0.1),
+        FaultPlan::seeded(110).corrupt(0.3),
+        FaultPlan::seeded(111).sever_after(2),
+        FaultPlan::seeded(112).sever_after(5),
+        FaultPlan::seeded(113).drop_first(Some(crate::plan::Direction::S2C), 1),
+        FaultPlan::seeded(114).drop(0.1).delay(0.2, 10),
+        FaultPlan::seeded(115).drop(0.1).duplicate(0.2),
+        FaultPlan::seeded(116).drop(0.1).corrupt(0.1),
+        FaultPlan::seeded(117).truncate(0.05).delay(0.3, 5),
+        FaultPlan::seeded(118).drop(0.2).sever_after(6),
+        FaultPlan::seeded(119).corrupt(0.05).duplicate(0.1).drop(0.05),
+        FaultPlan::seeded(120).delay(0.2, 15).sever_after(8),
+    ]
+}
+
+/// Where a plan's pinned golden trace lives (checked in under the crate's
+/// `goldens/` directory, one JSONL file per plan seed). The goldens were
+/// captured from the pre-event-loop *threaded* controller plane; the
+/// event-driven plane must reproduce them byte-identically, which pins
+/// that the wire-visible behavior (frame counts, ordering per connection,
+/// verdicts, retries) survived the concurrency-model change.
+pub fn trace_golden_path(plan: &FaultPlan) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("goldens")
+        .join(format!("plan_{}.jsonl", plan.seed))
+}
+
 /// The standard workload: five admissible demands across three s-d pairs
 /// plus one oversized demand that must be rejected. Ids are fixed so
 /// traces are comparable across runs.

@@ -27,7 +27,7 @@ pub mod plan;
 pub mod proxy;
 pub mod trace;
 
-pub use harness::{run_pipeline, standard_demands, PipelineReport};
+pub use harness::{run_pipeline, standard_demands, standard_suite, trace_golden_path, PipelineReport};
 pub use plan::{Action, Direction, FaultPlan, FaultRule};
 pub use proxy::FaultProxy;
 pub use trace::{parse_plan_line, Trace, TraceRecord};

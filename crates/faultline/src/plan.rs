@@ -54,6 +54,11 @@ pub enum Action {
     Corrupt,
     /// Sever the connection without forwarding.
     Sever,
+    /// Forward the frame one byte at a time, sleeping `ms` between bytes
+    /// (a slow-loris peer: each byte is progress, so only an unrefreshed
+    /// frame-assembly deadline catches it). Head-of-line: later frames on
+    /// the connection wait behind the dribble.
+    Dribble { ms: u64 },
 }
 
 impl Action {
@@ -66,6 +71,7 @@ impl Action {
             Action::Truncate => "truncate",
             Action::Corrupt => "corrupt",
             Action::Sever => "sever",
+            Action::Dribble { .. } => "dribble",
         }
     }
 }
@@ -81,6 +87,8 @@ pub enum FaultRule {
     Duplicate { p: f64 },
     Truncate { p: f64 },
     Corrupt { p: f64 },
+    /// Byte-dribble the frame (`ms` per byte) with probability `p`.
+    Dribble { p: f64, ms: u64 },
     /// Sever the connection at the `msgs`-th frame of each direction.
     SeverAfter { msgs: u64 },
     /// Deterministically drop the first `n` frames in one direction
@@ -99,6 +107,7 @@ impl fmt::Display for FaultRule {
             FaultRule::Duplicate { p } => write!(f, "duplicate({p})"),
             FaultRule::Truncate { p } => write!(f, "truncate({p})"),
             FaultRule::Corrupt { p } => write!(f, "corrupt({p})"),
+            FaultRule::Dribble { p, ms } => write!(f, "dribble({p},{ms}ms)"),
             FaultRule::SeverAfter { msgs } => write!(f, "sever_after({msgs})"),
             FaultRule::DropFirst { dir: None, n } => write!(f, "drop_first({n})"),
             FaultRule::DropFirst { dir: Some(d), n } => {
@@ -156,6 +165,12 @@ impl FaultPlan {
         self.with(FaultRule::Corrupt { p })
     }
 
+    /// Forward each frame one byte at a time (`ms` per byte) with
+    /// probability `p` — the slow-loris fault.
+    pub fn dribble(self, p: f64, ms: u64) -> FaultPlan {
+        self.with(FaultRule::Dribble { p, ms })
+    }
+
     /// Sever every connection at its `msgs`-th frame per direction.
     pub fn sever_after(self, msgs: u64) -> FaultPlan {
         self.with(FaultRule::SeverAfter { msgs })
@@ -202,6 +217,11 @@ impl FaultPlan {
                 FaultRule::Corrupt { p } => {
                     if rng.gen_bool(p) {
                         return Action::Corrupt;
+                    }
+                }
+                FaultRule::Dribble { p, ms } => {
+                    if rng.gen_bool(p) {
+                        return Action::Dribble { ms };
                     }
                 }
                 FaultRule::SeverAfter { msgs } => {
@@ -264,6 +284,7 @@ impl FaultPlan {
                 "duplicate" => plan.duplicate(p(0)?),
                 "truncate" => plan.truncate(p(0)?),
                 "corrupt" => plan.corrupt(p(0)?),
+                "dribble" => plan.dribble(p(0)?, n(1)?),
                 "sever_after" => plan.sever_after(n(0)?),
                 "drop_first" => plan.drop_first(None, n(0)?),
                 "drop_first_c2s" => plan.drop_first(Some(Direction::C2S), n(0)?),
@@ -358,6 +379,7 @@ mod tests {
             FaultPlan::seeded(7).delay(0.25, 15).duplicate(0.5).corrupt(0.05),
             FaultPlan::seeded(9).truncate(0.2).drop_first(Some(Direction::S2C), 1),
             FaultPlan::seeded(11).drop_first(None, 2),
+            FaultPlan::seeded(13).dribble(0.5, 2).sever_after(9),
         ];
         for plan in plans {
             let s = plan.to_string();

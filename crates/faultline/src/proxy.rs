@@ -230,6 +230,22 @@ fn pump(
                     write_raw(&mut dst, encode_raw_frame(ctx, &bad, stale_crc))
                 }
             }
+            Action::Dribble { ms } if dst_alive => {
+                // Slow-loris the frame: one byte per `ms`, each flushed, so
+                // the receiver sees steady single-byte progress mid-frame.
+                // The frame does arrive intact — a dribble is slowness, not
+                // damage — which exercises resumable frame assembly (and,
+                // on the event plane, the unrefreshed assembly deadline).
+                let frame = encode_raw_frame(ctx, &payload, frame_crc(ctx, &payload));
+                frame
+                    .iter()
+                    .try_for_each(|b| {
+                        dst.write_all(std::slice::from_ref(b))?;
+                        dst.flush()?;
+                        std::thread::sleep(Duration::from_millis(ms));
+                        Ok(())
+                    })
+            }
             Action::Sever => {
                 sever(&src, &dst);
                 return;
@@ -403,5 +419,22 @@ mod tests {
         write_frame(&mut stream, &5u64).unwrap();
         assert_eq!(read_frame::<u64, _>(&mut stream).unwrap(), 5);
         assert_eq!(read_frame::<u64, _>(&mut stream).unwrap(), 5);
+    }
+
+    #[test]
+    fn dribble_delivers_the_frame_intact_one_byte_at_a_time() {
+        let (addr, _server) = echo_server();
+        // Dribble everything both ways at 1 ms/byte: slow, not lossy.
+        let plan = FaultPlan::seeded(1).dribble(1.0, 1);
+        let proxy = FaultProxy::start(addr, plan).unwrap();
+        let mut stream = TcpStream::connect(proxy.addr()).unwrap();
+        let t0 = std::time::Instant::now();
+        write_frame(&mut stream, &42u64).unwrap();
+        assert_eq!(read_frame::<u64, _>(&mut stream).unwrap(), 42);
+        // A u64 frame is ~16 bytes; dribbled both ways it cannot arrive
+        // instantly — the per-byte pacing really happened.
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        let records = proxy.records();
+        assert!(records.iter().all(|r| r.action == "dribble"));
     }
 }

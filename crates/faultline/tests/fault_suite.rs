@@ -4,8 +4,7 @@
 //! bounded-time recovery convergence — plus trace determinism (same seed
 //! ⇒ byte-identical JSONL) and trace replay from the header line.
 
-use faultline::harness::{run_pipeline, standard_demands};
-use faultline::plan::Direction;
+use faultline::harness::{run_pipeline, standard_demands, standard_suite, trace_golden_path};
 use faultline::trace::parse_plan_line;
 use faultline::FaultPlan;
 use std::sync::Mutex;
@@ -21,32 +20,31 @@ fn serialized() -> std::sync::MutexGuard<'static, ()> {
     PIPELINE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// The suite: 21 seeded plans from clean through compound chaos. Each
-/// seed is distinct so schedules don't correlate across plans.
+/// The suite: 21 seeded plans from clean through compound chaos (shared
+/// with the golden-trace pin below via the library).
 fn suite() -> Vec<FaultPlan> {
-    vec![
-        FaultPlan::seeded(100),
-        FaultPlan::seeded(101).drop(0.05),
-        FaultPlan::seeded(102).drop(0.15),
-        FaultPlan::seeded(103).drop(0.3),
-        FaultPlan::seeded(104).delay(0.3, 10),
-        FaultPlan::seeded(105).delay(0.5, 20),
-        FaultPlan::seeded(106).duplicate(0.2),
-        FaultPlan::seeded(107).duplicate(0.5),
-        FaultPlan::seeded(108).truncate(0.1),
-        FaultPlan::seeded(109).corrupt(0.1),
-        FaultPlan::seeded(110).corrupt(0.3),
-        FaultPlan::seeded(111).sever_after(2),
-        FaultPlan::seeded(112).sever_after(5),
-        FaultPlan::seeded(113).drop_first(Some(Direction::S2C), 1),
-        FaultPlan::seeded(114).drop(0.1).delay(0.2, 10),
-        FaultPlan::seeded(115).drop(0.1).duplicate(0.2),
-        FaultPlan::seeded(116).drop(0.1).corrupt(0.1),
-        FaultPlan::seeded(117).truncate(0.05).delay(0.3, 5),
-        FaultPlan::seeded(118).drop(0.2).sever_after(6),
-        FaultPlan::seeded(119).corrupt(0.05).duplicate(0.1).drop(0.05),
-        FaultPlan::seeded(120).delay(0.2, 15).sever_after(8),
-    ]
+    standard_suite()
+}
+
+/// Compare one plan's trace against its checked-in golden, or bless the
+/// golden when `FAULTLINE_BLESS=1` (used once per controller-plane
+/// generation to capture the reference traces).
+fn check_golden(plan: &FaultPlan, trace: &str) {
+    let path = trace_golden_path(plan);
+    if std::env::var("FAULTLINE_BLESS").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, trace).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e}); run with FAULTLINE_BLESS=1", path.display()));
+    assert_eq!(
+        trace,
+        golden,
+        "plan [{plan}]: trace diverged from the pinned threaded-plane golden \
+         ({})",
+        path.display()
+    );
 }
 
 #[test]
@@ -57,6 +55,7 @@ fn invariants_hold_under_every_seeded_plan() {
     assert!(plans.len() >= 20, "suite must cover at least 20 plans");
     for plan in &plans {
         let report = run_pipeline(plan, &demands);
+        check_golden(plan, &report.trace);
         assert!(
             report.violations.is_empty(),
             "plan [{plan}] violated invariants:\n  {}\ntrace:\n{}",
@@ -97,6 +96,43 @@ fn clean_plan_admits_all_admissible_demands() {
     }
     assert_eq!(report.admitted_at_controller, 5);
     assert_eq!(report.recovery_converged, Some(true));
+}
+
+/// Slow-loris plans: dribbled frames are slowness, not loss — every frame
+/// still arrives intact, one byte at a time, exercising the controller's
+/// resumable frame assembly under real sockets. Invariants must hold and
+/// admission correctness is not relaxed. (No golden pin: dribble-induced
+/// latency can legitimately trip client retry timers, so the frame
+/// sequence is not a pure function of the plan.)
+#[test]
+fn dribble_plans_preserve_invariants() {
+    let _guard = serialized();
+    let demands = standard_demands();
+    for plan in [
+        FaultPlan::seeded(400).dribble(0.25, 1),
+        FaultPlan::seeded(401).dribble(0.4, 1).drop(0.1),
+    ] {
+        let report = run_pipeline(&plan, &demands);
+        assert!(
+            report.violations.is_empty(),
+            "plan [{plan}] violated invariants:\n  {}\ntrace:\n{}",
+            report.violations.join("\n  "),
+            report.trace
+        );
+        assert_ne!(
+            report
+                .outcomes
+                .iter()
+                .find(|o| o.id == 6)
+                .and_then(|o| o.verdict),
+            Some(true),
+            "plan [{plan}]: oversized demand admitted"
+        );
+        assert!(
+            report.trace.contains("\"action\":\"dribble\""),
+            "plan [{plan}]: no dribble was recorded"
+        );
+    }
 }
 
 /// Same seed ⇒ byte-identical trace, for representative plans across the

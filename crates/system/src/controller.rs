@@ -1,35 +1,58 @@
 //! The central controller (§4): admission control, scheduling, failure
 //! recovery, and broker coordination behind a TCP listener.
 //!
+//! **Event-driven plane.** One poll loop ([`crate::poller`]) owns every
+//! connection as a [`crate::event::Conn`] state machine — no
+//! thread-per-connection, no accept polling. Within a poll wakeup, all
+//! pending `SubmitDemand` frames form an *admission batch*: verdicts are
+//! decided by the same first-come-first-served pipeline fold the threaded
+//! plane ran (identical verdicts by construction — see
+//! `bate_core::admission::admit_batch`), and then ONE warm
+//! [`IncrementalScheduler`] solve re-optimizes the whole pool, amortizing
+//! the scheduling LP across the batch instead of paying a round per
+//! arrival. Batches of one take the exact legacy path, which is what pins
+//! the fault-suite goldens byte-identical across the concurrency-model
+//! change.
+//!
 //! Hardened against lossy control channels: demand ids double as
-//! idempotency keys. A retried `SubmitDemand` (same id, same content)
-//! replays the original admission verdict and re-pushes the allocation —
-//! it is never double-counted, and never spuriously refused the way the
-//! pre-hardening duplicate check refused it. Withdraws are acknowledged
-//! and idempotent, and a broker that re-registers after a severed
-//! connection is immediately re-synced with every live allocation.
+//! idempotency keys — including *within* a batch, where a duplicated
+//! submit frame replays the verdict its sibling earned moments earlier. A
+//! retried `SubmitDemand` (same id, same content) replays the original
+//! admission verdict and re-pushes the allocation — it is never
+//! double-counted, and never spuriously refused the way the pre-hardening
+//! duplicate check refused it. Withdraws are acknowledged and idempotent,
+//! and a broker that re-registers after a severed connection is
+//! immediately re-synced with every live allocation.
+//!
+//! Slow peers cannot wedge the plane: a connection stuck mid-frame
+//! (stalled or dribbling bytes) is reaped once its frame-assembly
+//! deadline ([`ControllerConfig::idle_timeout`]) passes, while every
+//! other connection keeps admitting.
 
+use crate::event::Conn;
+use crate::poller::{Poller, Waker};
 use crate::proto::{FlowEntry, Message};
-use crate::wire::{read_frame_ctx, write_frame, write_frame_ctx, FrameCtx, WireError};
-use bate_core::admission::{self, AdmissionOutcome};
+use crate::wire::{encode_frame, encode_frame_ctx, FrameCtx};
+use bate_core::admission;
 use bate_core::clock::{Clock, SystemClock};
+use bate_core::incremental::{DemandDelta, IncrementalScheduler};
 use bate_core::recovery::greedy::greedy_recovery;
 use bate_core::scheduling::schedule_hardened as schedule;
 use bate_core::{Allocation, BaDemand, DemandId, TeContext};
 use bate_net::{GroupId, LinkSet, Scenario, ScenarioSet, Topology};
 use bate_routing::{RoutingScheme, TunnelSet};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Registry handles for the controller metric family. Connection handlers
-/// run on per-connection threads, so these are process-wide counters; the
-/// trace events below them carry the per-message detail.
+/// Registry handles for the controller metric family. These are
+/// process-wide counters; the trace events carry per-message detail.
 struct CtrlMetrics {
     submits: Arc<bate_obs::Counter>,
     replay_hits: Arc<bate_obs::Counter>,
@@ -37,6 +60,18 @@ struct CtrlMetrics {
     link_reports: Arc<bate_obs::Counter>,
     rounds: Arc<bate_obs::Counter>,
     stats_queries: Arc<bate_obs::Counter>,
+    /// Admission batches drained from the poll loop (size distribution in
+    /// `bate_admission_batch_size`; a size-1 batch is the legacy path).
+    batches: Arc<bate_obs::Counter>,
+    batch_size: Arc<bate_obs::Histogram>,
+    /// Controller-side admission latency per submit, µs: frame decode to
+    /// verdict (and any batch solve) queued for write. One observation
+    /// per demand, so quantiles are per-demand, not per-batch.
+    admit_latency: Arc<bate_obs::Histogram>,
+    /// Warm incremental solves amortized across multi-submit batches.
+    batch_solves: Arc<bate_obs::Counter>,
+    /// Connections reaped for stalling mid-frame past the idle deadline.
+    conns_reaped: Arc<bate_obs::Counter>,
 }
 
 fn ctrl_metrics() -> &'static CtrlMetrics {
@@ -50,6 +85,11 @@ fn ctrl_metrics() -> &'static CtrlMetrics {
             link_reports: r.counter("bate_ctrl_link_reports_total"),
             rounds: r.counter("bate_ctrl_schedule_rounds_total"),
             stats_queries: r.counter("bate_ctrl_stats_queries_total"),
+            batches: r.counter("bate_ctrl_batches_total"),
+            batch_size: r.histogram("bate_admission_batch_size"),
+            admit_latency: r.histogram("bate_admission_latency_us"),
+            batch_solves: r.counter("bate_ctrl_batch_warm_solves_total"),
+            conns_reaped: r.counter("bate_ctrl_conns_reaped_total"),
         }
     })
 }
@@ -72,6 +112,10 @@ pub struct ControllerConfig {
     /// ONLY so regression tests can demonstrate the retry bug this
     /// shipped with; leave `false`.
     pub legacy_duplicate_handling: bool,
+    /// How long a connection may sit *mid-frame* before it is reaped
+    /// (slow-loris defense). Idle connections between frames are never
+    /// reaped. `None` disables reaping.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl ControllerConfig {
@@ -85,6 +129,7 @@ impl ControllerConfig {
             schedule_interval: None,
             clock: SystemClock::shared(),
             legacy_duplicate_handling: false,
+            idle_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -99,20 +144,76 @@ struct SubmitRecord {
     withdrawn: bool,
 }
 
+/// Work requests delivered to the poll loop from other threads
+/// (public-API callers and the periodic scheduler thread), signaled
+/// through the waker.
+enum Cmd {
+    ScheduleRound(Arc<Gate>),
+}
+
+/// A one-shot completion latch for commands that callers wait on.
+struct Gate {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Arc<Gate> {
+        Arc::new(Gate {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn open(&self) {
+        *self.done.lock() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self, timeout: Duration) -> bool {
+        let mut done = self.done.lock();
+        let deadline = Instant::now() + timeout;
+        while !*done {
+            if self.cv.wait_until(&mut done, deadline).timed_out() {
+                return *done;
+            }
+        }
+        true
+    }
+}
+
+/// Per-connection progress snapshot, published by the poll loop after
+/// every wakeup (what the slow-loris tests assert against).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConnProgress {
+    pub bytes_in: u64,
+    pub frames_in: u64,
+    /// Whether the peer is currently mid-frame.
+    pub mid_frame: bool,
+}
+
 struct Shared {
     topo: Topology,
     tunnels: TunnelSet,
     scenarios: ScenarioSet,
     state: Mutex<CtrlState>,
+    /// Notified on broker (de)registration; pairs with `state`.
+    broker_cv: Condvar,
     shutdown: AtomicBool,
+    commands: Mutex<Vec<Cmd>>,
+    waker: Waker,
+    progress: Mutex<HashMap<u64, ConnProgress>>,
     legacy_duplicate_handling: bool,
+    idle_timeout: Option<Duration>,
 }
 
 struct CtrlState {
     demands: Vec<BaDemand>,
     allocation: Allocation,
     failed: LinkSet,
-    brokers: HashMap<String, Arc<Mutex<TcpStream>>>,
+    /// Registered brokers, by DC name, mapped to the poll-loop token of
+    /// their connection (writes go through that connection's buffer).
+    brokers: HashMap<String, u64>,
     outcomes: HashMap<u64, SubmitRecord>,
 }
 
@@ -120,13 +221,18 @@ impl Shared {
     fn ctx(&self) -> TeContext<'_> {
         TeContext::new(&self.topo, &self.tunnels, &self.scenarios)
     }
+
+    fn enqueue(&self, cmd: Cmd) {
+        self.commands.lock().push(cmd);
+        self.waker.wake();
+    }
 }
 
 /// A running controller. Shuts down when dropped.
 pub struct Controller {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept_thread: Option<JoinHandle<()>>,
+    loop_thread: Option<JoinHandle<()>>,
     scheduler_thread: Option<JoinHandle<()>>,
 }
 
@@ -159,35 +265,31 @@ impl Controller {
                 brokers: HashMap::new(),
                 outcomes: HashMap::new(),
             }),
+            broker_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            commands: Mutex::new(Vec::new()),
+            waker: Waker::new()?,
+            progress: Mutex::new(HashMap::new()),
             legacy_duplicate_handling: config.legacy_duplicate_handling,
+            idle_timeout: config.idle_timeout,
         });
 
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::spawn(move || {
-            while !accept_shared.shutdown.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        stream.set_nodelay(true).ok();
-                        let conn_shared = Arc::clone(&accept_shared);
-                        std::thread::spawn(move || {
-                            connection_loop(conn_shared, stream);
-                        });
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(_) => break,
-                }
-            }
+        let poller = Poller::new()?;
+        poller.add(listener.as_raw_fd(), TOK_LISTENER, true, false)?;
+        poller.add(shared.waker.fd(), TOK_WAKER, true, false)?;
+
+        let loop_shared = Arc::clone(&shared);
+        let loop_thread = std::thread::spawn(move || {
+            EventLoop::new(loop_shared, listener, poller).run();
         });
 
         // The Online Scheduler thread (§4): periodic rescheduling rounds,
-        // paced by the injected clock.
+        // paced by the injected clock, executed on the poll loop (which
+        // owns the broker connections the round pushes to).
         let scheduler_thread = config.schedule_interval.map(|interval| {
             let sched_shared = Arc::clone(&shared);
             let clock = Arc::clone(&config.clock);
@@ -201,7 +303,19 @@ impl Controller {
                     elapsed += tick;
                     if elapsed >= interval {
                         elapsed = Duration::ZERO;
-                        schedule_round(&sched_shared);
+                        let gate = Gate::new();
+                        sched_shared.enqueue(Cmd::ScheduleRound(Arc::clone(&gate)));
+                        // Wait so rounds can't pile up faster than the
+                        // loop executes them — but stay responsive to
+                        // shutdown (the loop may already be gone).
+                        let deadline = Instant::now() + Duration::from_secs(10);
+                        while !gate.wait(Duration::from_millis(20)) {
+                            if sched_shared.shutdown.load(Ordering::Relaxed)
+                                || Instant::now() >= deadline
+                            {
+                                break;
+                            }
+                        }
                     }
                 }
             })
@@ -210,7 +324,7 @@ impl Controller {
         Ok(Controller {
             addr,
             shared,
-            accept_thread: Some(accept_thread),
+            loop_thread: Some(loop_thread),
             scheduler_thread,
         })
     }
@@ -230,20 +344,23 @@ impl Controller {
         self.shared.state.lock().brokers.len()
     }
 
-    /// Block until at least `n` brokers are registered (replaces the blind
-    /// sleeps the tests used to need after `Broker::connect`). Returns
-    /// false on timeout.
+    /// Block until at least `n` brokers are registered. Condvar-notified
+    /// by the poll loop on registration — no polling loop, no blind
+    /// sleeps. Returns false on timeout.
     pub fn wait_for_brokers(&self, n: usize, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        loop {
-            if self.broker_count() >= n {
-                return true;
+        let mut state = self.shared.state.lock();
+        while state.brokers.len() < n {
+            if self
+                .shared
+                .broker_cv
+                .wait_until(&mut state, deadline)
+                .timed_out()
+            {
+                return state.brokers.len() >= n;
             }
-            if Instant::now() >= deadline {
-                return false;
-            }
-            std::thread::sleep(Duration::from_millis(2));
         }
+        true
     }
 
     /// Total rate currently allocated to a demand.
@@ -268,42 +385,50 @@ impl Controller {
     }
 
     /// Run a scheduling round now (the Online Scheduler also does this
-    /// periodically when `schedule_interval` is set).
+    /// periodically when `schedule_interval` is set). Executes on the
+    /// poll loop and blocks until the round (and its broker pushes) are
+    /// queued.
     pub fn run_schedule_round(&self) {
-        schedule_round(&self.shared);
+        let gate = Gate::new();
+        self.shared.enqueue(Cmd::ScheduleRound(Arc::clone(&gate)));
+        gate.wait(Duration::from_secs(10));
     }
-}
 
-/// One Online Scheduler round: re-optimize every admitted demand and push
-/// the fresh allocations to the brokers. Skipped while a failure is in
-/// effect (the recovery allocation stays authoritative until repair).
-fn schedule_round(shared: &Arc<Shared>) {
-    let ctx = shared.ctx();
-    let mut state = shared.state.lock();
-    if state.demands.is_empty() || !state.failed.is_empty() {
-        return;
+    /// Snapshot of per-connection progress `(token, progress)` as of the
+    /// last poll wakeup. Tokens are stable for a connection's lifetime;
+    /// entries disappear when the connection closes or is reaped.
+    pub fn connection_progress(&self) -> Vec<(u64, ConnProgress)> {
+        let mut v: Vec<(u64, ConnProgress)> = self
+            .shared
+            .progress
+            .lock()
+            .iter()
+            .map(|(&t, &p)| (t, p))
+            .collect();
+        v.sort_unstable_by_key(|&(t, _)| t);
+        v
     }
-    if let Ok(res) = schedule(&ctx, &state.demands) {
-        ctrl_metrics().rounds.inc();
-        bate_obs::info!(
-            "ctrl.schedule_round",
-            demands = state.demands.len(),
-            lp_iterations = res.solve_stats.iterations(),
-            lp_pivots = res.solve_stats.pivots,
-        );
-        state.allocation = res.allocation;
-        push_all_allocations(&ctx, &mut state);
+
+    /// Connections reaped for stalling mid-frame (process-wide counter).
+    pub fn reaped_total() -> u64 {
+        ctrl_metrics().conns_reaped.get()
     }
-    // One SLO sample per scheduling round: burn rates evolve at round
-    // granularity, matching the paper's per-round BA-guarantee framing.
-    bate_obs::SloEngine::global().record_sample(bate_obs::Registry::global());
 }
 
 impl Drop for Controller {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Relaxed);
-        if let Some(t) = self.accept_thread.take() {
+        self.shared.waker.wake();
+        if let Some(t) = self.loop_thread.take() {
             t.join().ok();
+        }
+        // A command enqueued after the loop's final drain (the scheduler
+        // thread racing shutdown) would leave its caller gated: open
+        // every leftover gate before joining.
+        for cmd in self.shared.commands.lock().drain(..) {
+            match cmd {
+                Cmd::ScheduleRound(gate) => gate.open(),
+            }
         }
         if let Some(t) = self.scheduler_thread.take() {
             t.join().ok();
@@ -331,52 +456,305 @@ fn submit_fingerprint(src: &str, dst: &str, bandwidth: f64, beta: f64, price: f6
     h
 }
 
-fn connection_loop(shared: Arc<Shared>, mut stream: TcpStream) {
-    loop {
-        if shared.shutdown.load(Ordering::Relaxed) {
-            return;
+const TOK_LISTENER: u64 = 0;
+const TOK_WAKER: u64 = 1;
+const TOK_FIRST_CONN: u64 = 2;
+
+/// A `SubmitDemand` frame drained from a connection, pending its batch.
+struct PendingSubmit {
+    token: u64,
+    rctx: Option<FrameCtx>,
+    id: u64,
+    src: String,
+    dst: String,
+    bandwidth: f64,
+    beta: f64,
+    price: f64,
+    refund_ratio: f64,
+}
+
+/// The live mirror of the demand pool inside the warm incremental
+/// scheduler. Deltas are queued lazily on every admit/withdraw and
+/// applied in one [`IncrementalScheduler::apply`] per multi-submit batch;
+/// a failed solve poisons the mirror, which is rebuilt from the live
+/// pool on the next batch (correctness never depends on the mirror — the
+/// FCFS fold already produced valid verdicts and allocations).
+struct Mirror {
+    sched: Option<IncrementalScheduler>,
+    pending: Vec<DemandDelta>,
+    /// Pool size at the last failed solve. While the live pool is at
+    /// least this big, rebuild attempts are skipped: a pool that just
+    /// blew the simplex iteration budget will blow it again, and
+    /// re-burning the full budget every batch is a death spiral. The
+    /// guard clears once withdrawals shrink the pool.
+    poisoned_at: Option<usize>,
+}
+
+impl Mirror {
+    fn solve(&mut self, ctx: &TeContext, live: &[BaDemand]) -> Option<bate_core::scheduling::ScheduleResult> {
+        if let Some(at) = self.poisoned_at {
+            if live.len() >= at {
+                return None;
+            }
+            self.poisoned_at = None;
         }
-        let (rctx, msg): (Option<FrameCtx>, Message) = match read_frame_ctx(&mut stream) {
-            Ok(m) => m,
-            Err(WireError::Closed) => return,
-            // Malformed, corrupt, or truncated frames leave the byte
-            // stream unsynchronized: drop the connection (typed error, no
-            // panic) and let the peer's retry policy redial.
-            Err(_) => return,
-        };
-        match msg {
-            Message::SubmitDemand {
-                id,
-                src,
-                dst,
-                bandwidth,
-                beta,
-                price,
-                refund_ratio,
-            } => {
-                // Adopt the client's span so the admission pipeline (and
-                // the LP solve under it) parents on the submit that
-                // caused it — this is what links client → controller →
-                // solver phases under one trace_id.
-                let _adopted = rctx.map(|c| bate_obs::context::adopt("ctrl.submit", c.trace_id, c.span_id));
-                let admitted = handle_submit(
-                    &shared,
+        if self.sched.is_none() {
+            self.pending = live.iter().map(|d| DemandDelta::Add(d.clone())).collect();
+            self.sched = Some(IncrementalScheduler::new(ctx));
+        }
+        let deltas = std::mem::take(&mut self.pending);
+        match self.sched.as_mut().unwrap().apply(ctx, &deltas) {
+            Ok(res) => Some(res),
+            Err(e) => {
+                bate_obs::warn!(
+                    "ctrl.batch_solve_poisoned",
+                    deltas = deltas.len(),
+                    pool = live.len(),
+                    error = format!("{e}"),
+                );
+                self.sched = None;
+                self.pending.clear();
+                self.poisoned_at = Some(live.len());
+                None
+            }
+        }
+    }
+}
+
+struct EventLoop {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    poller: Poller,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    mirror: Mirror,
+}
+
+impl EventLoop {
+    fn new(shared: Arc<Shared>, listener: TcpListener, poller: Poller) -> EventLoop {
+        EventLoop {
+            shared,
+            listener,
+            poller,
+            conns: HashMap::new(),
+            next_token: TOK_FIRST_CONN,
+            mirror: Mirror {
+                sched: None,
+                pending: Vec::new(),
+                poisoned_at: None,
+            },
+        }
+    }
+
+    fn run(mut self) {
+        let mut events = Vec::with_capacity(128);
+        let mut inbox: Vec<(u64, Option<FrameCtx>, Message)> = Vec::new();
+        while !self.shared.shutdown.load(Ordering::Relaxed) {
+            let timeout = self.next_timeout();
+            if self.poller.wait(&mut events, timeout).is_err() {
+                break;
+            }
+            inbox.clear();
+            for ev in &events {
+                match ev.token {
+                    TOK_LISTENER => self.accept_ready(),
+                    TOK_WAKER => self.shared.waker.drain(),
+                    token => {
+                        if let Some(conn) = self.conns.get_mut(&token) {
+                            if ev.readable || ev.hangup {
+                                let mut msgs = Vec::new();
+                                conn.read_ready(self.shared.idle_timeout, &mut msgs);
+                                inbox.extend(msgs.into_iter().map(|(c, m)| (token, c, m)));
+                            }
+                            if ev.writable {
+                                conn.flush();
+                            }
+                        }
+                    }
+                }
+            }
+            self.process_inbox(&mut inbox);
+            self.drain_commands(false);
+            self.reap_overdue();
+            self.flush_and_sweep();
+            self.publish_progress();
+        }
+        // Unblock any caller still waiting on a command.
+        self.drain_commands(true);
+    }
+
+    /// The poll timeout: short enough to honor the earliest mid-frame
+    /// reap deadline, long enough not to spin (commands and shutdown
+    /// arrive through the waker, not the timeout).
+    fn next_timeout(&self) -> Option<Duration> {
+        let now = Instant::now();
+        self.conns
+            .values()
+            .filter_map(|c| c.frame_deadline())
+            .min()
+            .map(|d| d.saturating_duration_since(now).max(Duration::from_millis(1)))
+            .or(Some(Duration::from_millis(200)))
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nodelay(true).ok();
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .add(stream.as_raw_fd(), token, true, false)
+                        .is_ok()
+                    {
+                        self.conns.insert(token, Conn::new(stream));
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Handle this wakeup's messages in arrival order. Maximal runs of
+    /// consecutive `SubmitDemand` frames form one admission batch; any
+    /// other message type is a batch boundary (so a submit→withdraw
+    /// pipeline from one client keeps its order).
+    fn process_inbox(&mut self, inbox: &mut Vec<(u64, Option<FrameCtx>, Message)>) {
+        let mut batch: Vec<PendingSubmit> = Vec::new();
+        for (token, rctx, msg) in inbox.drain(..) {
+            match msg {
+                Message::SubmitDemand {
                     id,
-                    &src,
-                    &dst,
+                    src,
+                    dst,
                     bandwidth,
                     beta,
                     price,
                     refund_ratio,
-                );
-                let reply = Message::AdmissionReply { id, admitted };
-                if write_frame_ctx(&mut stream, &reply, FrameCtx::current()).is_err() {
-                    return;
+                } => batch.push(PendingSubmit {
+                    token,
+                    rctx,
+                    id,
+                    src,
+                    dst,
+                    bandwidth,
+                    beta,
+                    price,
+                    refund_ratio,
+                }),
+                other => {
+                    self.flush_submit_batch(&mut batch);
+                    self.handle_message(token, rctx, other);
                 }
             }
+        }
+        self.flush_submit_batch(&mut batch);
+    }
+
+    /// Decide one admission batch: FCFS pipeline fold for the verdicts
+    /// (identical to sequential handling by construction), then — for
+    /// multi-submit batches — one warm incremental solve re-optimizing
+    /// the pool, and a single allocation push per live demand.
+    fn flush_submit_batch(&mut self, batch: &mut Vec<PendingSubmit>) {
+        if batch.is_empty() {
+            return;
+        }
+        let batch: Vec<PendingSubmit> = std::mem::take(batch);
+        let t0 = Instant::now();
+        let m = ctrl_metrics();
+        m.batches.inc();
+        m.batch_size.observe(batch.len() as f64);
+        let shared = Arc::clone(&self.shared);
+        let ctx = shared.ctx();
+        let conns = &mut self.conns;
+        let mirror = &mut self.mirror;
+        // A batch of one is the legacy path: verdict, per-demand push,
+        // reply, all inside the adopted span — byte-identical wire
+        // behavior to the threaded plane (the fault-suite goldens).
+        let defer_push = batch.len() > 1;
+        let mut state = shared.state.lock();
+        let mut push_ids: Vec<DemandId> = Vec::new();
+        let mut fresh_admits = 0usize;
+        for sub in &batch {
+            // Adopt the client's span so the admission pipeline (and the
+            // LP solve under it) parents on the submit that caused it —
+            // this is what links client → controller → solver phases
+            // under one trace_id.
+            let _adopted = sub
+                .rctx
+                .map(|c| bate_obs::context::adopt("ctrl.submit", c.trace_id, c.span_id));
+            let admitted = handle_submit_locked(
+                &shared,
+                &ctx,
+                &mut state,
+                conns,
+                sub,
+                defer_push,
+                &mut push_ids,
+                &mut mirror.pending,
+                &mut fresh_admits,
+            );
+            let reply = Message::AdmissionReply {
+                id: sub.id,
+                admitted,
+            };
+            if let Ok(frame) = encode_frame_ctx(&reply, FrameCtx::current()) {
+                if let Some(conn) = conns.get_mut(&sub.token) {
+                    conn.queue_frame(&frame);
+                }
+            }
+        }
+        if defer_push {
+            let mut pushed_all = false;
+            // One warm solve for the whole batch. Skipped while a failure
+            // is in effect (the recovery allocation stays authoritative
+            // until repair, same as scheduling rounds).
+            if fresh_admits > 0 && state.failed.is_empty() {
+                if let Some(res) = mirror.solve(&ctx, &state.demands) {
+                    m.batch_solves.inc();
+                    bate_obs::info!(
+                        "ctrl.batch_solve",
+                        batch = batch.len(),
+                        admitted = fresh_admits,
+                        pool = state.demands.len(),
+                    );
+                    state.allocation = res.allocation;
+                    push_all_allocations(&mut state, conns);
+                    pushed_all = true;
+                }
+            }
+            if !pushed_all {
+                // No solve (pure-replay batch, active failure, or a
+                // poisoned mirror): push the fold's per-demand
+                // allocations, once per distinct id.
+                push_ids.sort_unstable_by_key(|d| d.0);
+                push_ids.dedup();
+                for id in push_ids {
+                    push_demand_allocation(&mut state, conns, id);
+                }
+            }
+        }
+        // Every demand in the batch waited for the whole batch decision,
+        // so each inherits the batch's wall-clock latency.
+        let us = t0.elapsed().as_secs_f64() * 1e6;
+        for _ in 0..batch.len() {
+            m.admit_latency.observe(us);
+        }
+    }
+
+    fn handle_message(&mut self, token: u64, rctx: Option<FrameCtx>, msg: Message) {
+        let shared = Arc::clone(&self.shared);
+        let conns = &mut self.conns;
+        match msg {
             Message::WithdrawDemand { id } => {
-                let _adopted = rctx.map(|c| bate_obs::context::adopt("ctrl.withdraw", c.trace_id, c.span_id));
-                let ctx = shared.ctx();
+                let _adopted = rctx
+                    .map(|c| bate_obs::context::adopt("ctrl.withdraw", c.trace_id, c.span_id));
                 {
                     ctrl_metrics().withdraws.inc();
                     let mut state = shared.state.lock();
@@ -395,81 +773,65 @@ fn connection_loop(shared: Arc<Shared>, mut stream: TcpStream) {
                             withdrawn: true,
                         });
                     if was_present {
-                        broadcast(&mut state, &Message::RemoveAllocation { demand: id });
+                        self.mirror.pending.push(DemandDelta::Remove(DemandId(id)));
+                        broadcast(&mut state, conns, &Message::RemoveAllocation { demand: id });
                     }
                 }
-                let _ = ctx;
-                if write_frame_ctx(&mut stream, &Message::WithdrawAck { id }, FrameCtx::current())
-                    .is_err()
-                {
-                    return;
-                }
+                queue_to(conns, token, &Message::WithdrawAck { id }, FrameCtx::current());
             }
             Message::RegisterBroker { dc } => {
-                if let Ok(clone) = stream.try_clone() {
-                    let ctx = shared.ctx();
-                    let mut state = shared.state.lock();
-                    state.brokers.insert(dc.clone(), Arc::new(Mutex::new(clone)));
+                let mut state = shared.state.lock();
+                state.brokers.insert(dc.clone(), token);
+                if let Some(conn) = conns.get_mut(&token) {
+                    conn.broker_dc = Some(dc);
                     // Re-sync: a broker (re)connecting after a severed
                     // link must converge to the live allocation set.
                     let ids: Vec<DemandId> = state.demands.iter().map(|d| d.id).collect();
                     for id in ids {
                         let msg = install_message(&state, id);
-                        if let Some(stream) = state.brokers.get(&dc) {
-                            let mut s = stream.lock();
-                            if write_frame(&mut *s, &msg).is_err() {
-                                break;
-                            }
+                        if let Ok(frame) = encode_frame(&msg) {
+                            conn.queue_frame(&frame);
                         }
                     }
-                    let _ = ctx;
                 }
+                shared.broker_cv.notify_all();
             }
             Message::LinkReport { group, up } => {
                 ctrl_metrics().link_reports.inc();
                 bate_obs::warn!("ctrl.link_report", group = group, up = up);
-                handle_link_report(&shared, group as usize, up);
+                handle_link_report(&shared, conns, group as usize, up);
             }
-            Message::Ping { token } => {
-                if write_frame(&mut stream, &Message::Pong { token }).is_err() {
-                    return;
-                }
+            Message::Ping { token: t } => {
+                queue_to(conns, token, &Message::Pong { token: t }, None);
             }
             Message::StatsQuery => {
                 ctrl_metrics().stats_queries.inc();
                 let text = bate_obs::Registry::global().render_prometheus();
-                if write_frame(&mut stream, &Message::StatsText { text }).is_err() {
-                    return;
-                }
+                queue_to(conns, token, &Message::StatsText { text }, None);
             }
             Message::StatsJsonQuery { prefix } => {
                 ctrl_metrics().stats_queries.inc();
                 let text = bate_obs::Registry::global()
                     .snapshot_jsonl_filtered(|name, _| name.starts_with(prefix.as_str()));
-                if write_frame(&mut stream, &Message::StatsText { text }).is_err() {
-                    return;
-                }
+                queue_to(conns, token, &Message::StatsText { text }, None);
             }
             Message::TraceQuery { trace_id } => {
                 ctrl_metrics().stats_queries.inc();
                 let events = bate_obs::flight::ring_events();
                 let text = bate_obs::flight::render_tree(&events, trace_id);
-                if write_frame(&mut stream, &Message::StatsText { text }).is_err() {
-                    return;
-                }
+                queue_to(conns, token, &Message::StatsText { text }, None);
             }
             Message::SloQuery => {
                 ctrl_metrics().stats_queries.inc();
                 let text = bate_obs::SloEngine::global().render_report();
-                if write_frame(&mut stream, &Message::StatsText { text }).is_err() {
-                    return;
-                }
+                queue_to(conns, token, &Message::StatsText { text }, None);
             }
             // Stats are accepted and currently only acknowledged by
             // silence; a production controller would aggregate them.
             Message::StatsReport { .. } => {}
             // Messages a controller never receives.
-            Message::AdmissionReply { .. }
+            Message::SubmitDemand { .. }
+            | Message::AdmissionReply { .. }
             | Message::WithdrawAck { .. }
             | Message::InstallAllocation { .. }
             | Message::RemoveAllocation { .. }
@@ -477,50 +839,151 @@ fn connection_loop(shared: Arc<Shared>, mut stream: TcpStream) {
             | Message::Pong { .. } => {}
         }
     }
+
+    fn drain_commands(&mut self, shutting_down: bool) {
+        let cmds: Vec<Cmd> = std::mem::take(&mut *self.shared.commands.lock());
+        for cmd in cmds {
+            match cmd {
+                Cmd::ScheduleRound(gate) => {
+                    if !shutting_down {
+                        schedule_round(&self.shared, &mut self.conns);
+                    }
+                    gate.open();
+                }
+            }
+        }
+    }
+
+    fn reap_overdue(&mut self) {
+        if self.shared.idle_timeout.is_none() {
+            return;
+        }
+        let now = Instant::now();
+        let overdue: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.overdue(now))
+            .map(|(&t, _)| t)
+            .collect();
+        for token in overdue {
+            ctrl_metrics().conns_reaped.inc();
+            bate_obs::warn!("ctrl.conn_reaped", token = token);
+            self.close_conn(token);
+        }
+    }
+
+    /// Flush pending writes, retire dead/EOF connections, and reconcile
+    /// `EPOLLOUT` interest with actual buffered bytes.
+    fn flush_and_sweep(&mut self) {
+        let mut dead: Vec<u64> = Vec::new();
+        for (&token, conn) in self.conns.iter_mut() {
+            if !conn.dead && conn.wants_write() {
+                conn.flush();
+            }
+            // EOF peers: everything they sent was processed this wakeup
+            // and replies were flushed above; the socket is done.
+            if conn.dead || conn.eof {
+                dead.push(token);
+            }
+        }
+        for token in dead {
+            self.close_conn(token);
+        }
+        for (&token, conn) in self.conns.iter_mut() {
+            let want = conn.wants_write();
+            if want != conn.writable_interest {
+                conn.writable_interest = want;
+                self.poller
+                    .modify(conn.stream.as_raw_fd(), token, true, want)
+                    .ok();
+            }
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.poller.delete(conn.stream.as_raw_fd()).ok();
+            if let Some(dc) = &conn.broker_dc {
+                let mut state = self.shared.state.lock();
+                if state.brokers.get(dc) == Some(&token) {
+                    state.brokers.remove(dc);
+                    self.shared.broker_cv.notify_all();
+                }
+            }
+            self.shared.progress.lock().remove(&token);
+        }
+    }
+
+    fn publish_progress(&self) {
+        let mut progress = self.shared.progress.lock();
+        progress.clear();
+        for (&token, conn) in &self.conns {
+            progress.insert(
+                token,
+                ConnProgress {
+                    bytes_in: conn.bytes_in,
+                    frames_in: conn.frames_in,
+                    mid_frame: conn.mid_frame(),
+                },
+            );
+        }
+    }
 }
 
+/// The submit fold step, identical in decision logic to the threaded
+/// plane's `handle_submit`. With `defer_push` (multi-submit batches) the
+/// allocation pushes are collected into `push_ids` instead of being sent
+/// per demand, so the batch can push once after its warm solve.
 #[allow(clippy::too_many_arguments)]
-fn handle_submit(
-    shared: &Arc<Shared>,
-    id: u64,
-    src: &str,
-    dst: &str,
-    bandwidth: f64,
-    beta: f64,
-    price: f64,
-    refund_ratio: f64,
+fn handle_submit_locked(
+    shared: &Shared,
+    ctx: &TeContext,
+    state: &mut CtrlState,
+    conns: &mut HashMap<u64, Conn>,
+    sub: &PendingSubmit,
+    defer_push: bool,
+    push_ids: &mut Vec<DemandId>,
+    pending_deltas: &mut Vec<DemandDelta>,
+    fresh_admits: &mut usize,
 ) -> bool {
-    let fingerprint = submit_fingerprint(src, dst, bandwidth, beta, price, refund_ratio);
+    let fingerprint = submit_fingerprint(
+        &sub.src,
+        &sub.dst,
+        sub.bandwidth,
+        sub.beta,
+        sub.price,
+        sub.refund_ratio,
+    );
     ctrl_metrics().submits.inc();
 
-    let (Some(s), Some(d)) = (shared.topo.find_node(src), shared.topo.find_node(dst)) else {
+    let (Some(s), Some(d)) = (
+        shared.topo.find_node(&sub.src),
+        shared.topo.find_node(&sub.dst),
+    ) else {
         return false;
     };
     let Some(pair) = shared.tunnels.pair_index(s, d) else {
         return false;
     };
-    if bandwidth <= 0.0 || !(0.0..=1.0).contains(&beta) {
+    if sub.bandwidth <= 0.0 || !(0.0..=1.0).contains(&sub.beta) {
         return false;
     }
     let demand = BaDemand {
-        id: DemandId(id),
-        bandwidth: vec![(pair, bandwidth)],
-        beta,
-        price,
-        refund_ratio: refund_ratio.clamp(0.0, 1.0),
+        id: DemandId(sub.id),
+        bandwidth: vec![(pair, sub.bandwidth)],
+        beta: sub.beta,
+        price: sub.price,
+        refund_ratio: sub.refund_ratio.clamp(0.0, 1.0),
     };
-
-    let ctx = shared.ctx();
-    let mut state = shared.state.lock();
 
     if shared.legacy_duplicate_handling {
         // Pre-hardening path: any repeated id is refused — which means a
         // client whose AdmissionReply was lost retries and is told
         // `false` for a demand the controller is billing it for.
-        if state.demands.iter().any(|d| d.id.0 == id) {
+        if state.demands.iter().any(|d| d.id.0 == sub.id) {
             return false;
         }
-    } else if let Some(rec) = state.outcomes.get(&id).copied() {
+    } else if let Some(rec) = state.outcomes.get(&sub.id).copied() {
         if rec.withdrawn {
             return false; // stale resubmit of a withdrawn demand
         }
@@ -530,40 +993,81 @@ fn handle_submit(
         // Idempotent replay: same verdict, and re-push the allocation in
         // case the broker installs were lost alongside the reply.
         ctrl_metrics().replay_hits.inc();
-        bate_obs::info!("ctrl.submit_replay", demand = id, admitted = rec.admitted);
+        bate_obs::info!("ctrl.submit_replay", demand = sub.id, admitted = rec.admitted);
         if rec.admitted {
-            push_demand_allocation(&ctx, &mut state, DemandId(id));
+            if defer_push {
+                push_ids.push(DemandId(sub.id));
+            } else {
+                push_demand_allocation(state, conns, DemandId(sub.id));
+            }
         }
         return rec.admitted;
     }
 
-    match admission::admit(&ctx, &state.demands, &state.allocation, &demand) {
-        AdmissionOutcome::Admitted { allocation, .. } => {
-            for (t, f) in allocation.flows_of(demand.id) {
-                state.allocation.set(demand.id, t, f);
-            }
-            state.demands.push(demand.clone());
-            push_demand_allocation(&ctx, &mut state, demand.id);
-            if !shared.legacy_duplicate_handling {
-                state.outcomes.insert(
-                    id,
-                    SubmitRecord {
-                        fingerprint,
-                        admitted: true,
-                        withdrawn: false,
-                    },
-                );
-            }
-            true
+    // Split-borrow the pool and allocation for the fold step.
+    let CtrlState {
+        demands,
+        allocation,
+        ..
+    } = state;
+    if admission::admit_and_apply(ctx, demands, allocation, &demand) {
+        pending_deltas.push(DemandDelta::Add(demand.clone()));
+        *fresh_admits += 1;
+        if defer_push {
+            push_ids.push(demand.id);
+        } else {
+            push_demand_allocation(state, conns, demand.id);
         }
+        if !shared.legacy_duplicate_handling {
+            state.outcomes.insert(
+                sub.id,
+                SubmitRecord {
+                    fingerprint,
+                    admitted: true,
+                    withdrawn: false,
+                },
+            );
+        }
+        true
+    } else {
         // Rejections are NOT recorded: admitting nothing has no side
         // effect to protect, and the same id may legitimately be retried
         // later once capacity frees up.
-        AdmissionOutcome::Rejected => false,
+        false
     }
 }
 
-fn handle_link_report(shared: &Arc<Shared>, group: usize, up: bool) {
+/// One Online Scheduler round: re-optimize every admitted demand and push
+/// the fresh allocations to the brokers. Skipped while a failure is in
+/// effect (the recovery allocation stays authoritative until repair).
+fn schedule_round(shared: &Arc<Shared>, conns: &mut HashMap<u64, Conn>) {
+    let ctx = shared.ctx();
+    let mut state = shared.state.lock();
+    if state.demands.is_empty() || !state.failed.is_empty() {
+        return;
+    }
+    if let Ok(res) = schedule(&ctx, &state.demands) {
+        ctrl_metrics().rounds.inc();
+        bate_obs::info!(
+            "ctrl.schedule_round",
+            demands = state.demands.len(),
+            lp_iterations = res.solve_stats.iterations(),
+            lp_pivots = res.solve_stats.pivots,
+        );
+        state.allocation = res.allocation;
+        push_all_allocations(&mut state, conns);
+    }
+    // One SLO sample per scheduling round: burn rates evolve at round
+    // granularity, matching the paper's per-round BA-guarantee framing.
+    bate_obs::SloEngine::global().record_sample(bate_obs::Registry::global());
+}
+
+fn handle_link_report(
+    shared: &Arc<Shared>,
+    conns: &mut HashMap<u64, Conn>,
+    group: usize,
+    up: bool,
+) {
     let ctx = shared.ctx();
     let mut state = shared.state.lock();
     if group >= shared.topo.num_groups() {
@@ -591,7 +1095,7 @@ fn handle_link_report(shared: &Arc<Shared>, group: usize, up: bool) {
         let out = greedy_recovery(&ctx, &state.demands, &scenario);
         state.allocation = out.allocation;
     }
-    push_all_allocations(&ctx, &mut state);
+    push_all_allocations(&mut state, conns);
 }
 
 /// The InstallAllocation message carrying a demand's current entries.
@@ -612,33 +1116,44 @@ fn install_message(state: &CtrlState, id: DemandId) -> Message {
 }
 
 /// Send one demand's current allocation to every broker.
-fn push_demand_allocation(ctx: &TeContext, state: &mut CtrlState, id: DemandId) {
+fn push_demand_allocation(state: &mut CtrlState, conns: &mut HashMap<u64, Conn>, id: DemandId) {
     let msg = install_message(state, id);
-    let _ = ctx;
-    broadcast(state, &msg);
+    broadcast(state, conns, &msg);
 }
 
-fn push_all_allocations(ctx: &TeContext, state: &mut CtrlState) {
+fn push_all_allocations(state: &mut CtrlState, conns: &mut HashMap<u64, Conn>) {
     let ids: Vec<DemandId> = state.demands.iter().map(|d| d.id).collect();
     for id in ids {
-        push_demand_allocation(ctx, state, id);
+        push_demand_allocation(state, conns, id);
     }
 }
 
-fn broadcast(state: &mut CtrlState, msg: &Message) {
+fn broadcast(state: &mut CtrlState, conns: &mut HashMap<u64, Conn>, msg: &Message) {
     // Broker pushes inherit the causing span (a submit, withdraw, or
-    // link report being handled on this thread), extending the trace
+    // link report being handled on the loop), extending the trace
     // through to enforcement. Outside any trace the frames are legacy.
     let ctx = FrameCtx::current();
-    let mut dead: Vec<String> = Vec::new();
-    for (dc, stream) in &state.brokers {
-        let mut s = stream.lock();
-        if write_frame_ctx(&mut *s, msg, ctx).is_err() {
-            dead.push(dc.clone());
+    let Ok(frame) = encode_frame_ctx(msg, ctx) else {
+        return;
+    };
+    // A broker whose connection died is dropped here; write failures on
+    // a live fd surface at flush time and retire it through the sweep.
+    state.brokers.retain(|_, token| match conns.get_mut(token) {
+        Some(conn) if !conn.dead => {
+            conn.queue_frame(&frame);
+            true
         }
-    }
-    for dc in dead {
-        state.brokers.remove(&dc);
+        _ => false,
+    });
+}
+
+/// Queue an encoded reply frame on one connection (no-op if it died
+/// earlier in the wakeup).
+fn queue_to(conns: &mut HashMap<u64, Conn>, token: u64, msg: &Message, ctx: Option<FrameCtx>) {
+    if let Ok(frame) = encode_frame_ctx(msg, ctx) {
+        if let Some(conn) = conns.get_mut(&token) {
+            conn.queue_frame(&frame);
+        }
     }
 }
 

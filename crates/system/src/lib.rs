@@ -31,12 +31,14 @@ pub mod broker;
 pub mod client;
 pub mod controller;
 pub mod enforcer;
+pub(crate) mod event;
+pub mod poller;
 pub mod proto;
 pub mod replication;
 pub mod wire;
 
 pub use broker::Broker;
-pub use client::{Client, Dialer, RetryPolicy};
+pub use client::{Client, Dialer, PipelinedClient, RetryPolicy};
 pub use controller::{Controller, ControllerConfig};
 pub use replication::{ElectError, Replica, ReplicaConfig};
 pub use wire::{Transport, WireError};

@@ -1,0 +1,288 @@
+//! A thin, zero-dependency epoll wrapper: the readiness engine under the
+//! event-driven controller plane.
+//!
+//! The workspace rule is no new crates, so instead of `mio`/`libc` this
+//! declares the four syscall entry points it needs (`epoll_create1`,
+//! `epoll_ctl`, `epoll_wait`, `eventfd`) as `extern "C"` functions — std
+//! already links the platform libc, these symbols are always present on
+//! Linux, and `io::Error::last_os_error()` reads `errno` for us. The
+//! surface is deliberately small:
+//!
+//! * [`Poller`] — register file descriptors with a `u64` token and
+//!   read/write interest, then [`Poller::wait`] for readiness events.
+//!   Level-triggered (the default), so a handler that drains partially is
+//!   re-notified instead of hanging — the property the connection state
+//!   machines in [`crate::event`] rely on.
+//! * [`Waker`] — an `eventfd` that other threads write to make a blocked
+//!   [`Poller::wait`] return (command delivery and shutdown).
+//!
+//! Nothing here knows about frames or the controller; it is plain
+//! readiness plumbing, unit-tested on loopback sockets below.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// One epoll readiness record. On x86-64 the kernel ABI packs the struct
+/// (no padding between `events` and `data`); other architectures use
+/// natural alignment. Matching the ABI exactly is what makes the
+/// `extern "C"` declarations below sound.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLL_CLOEXEC: i32 = 0x80000;
+const EFD_NONBLOCK: i32 = 0x800;
+const EFD_CLOEXEC: i32 = 0x80000;
+
+mod sys {
+    use super::EpollEvent;
+    use std::ffi::{c_int, c_uint, c_void};
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    }
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// A decoded readiness event: which registration fired and how.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+    /// Error or hangup on the fd; treat as readable (the read path will
+    /// observe the EOF/error and retire the connection).
+    pub hangup: bool,
+}
+
+/// An epoll instance. Registrations are `(fd, token, interest)`; the
+/// token comes back verbatim in [`Event`]s so callers map events to
+/// their own connection table without fd reuse hazards.
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    pub fn new() -> io::Result<Poller> {
+        let epfd = cvt(unsafe { sys::epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interest_bits(read, write),
+            data: token,
+        };
+        cvt(unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Register `fd` under `token` with the given interest set.
+    pub fn add(&self, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, read, write)
+    }
+
+    /// Replace the interest set of an already registered fd.
+    pub fn modify(&self, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, read, write)
+    }
+
+    /// Deregister an fd (must happen before the fd is closed, or the
+    /// registration lingers until kernel cleanup).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        let mut ev = EpollEvent { events: 0, data: 0 };
+        cvt(unsafe { sys::epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Block until readiness or `timeout` (None = forever), filling
+    /// `out` with the decoded events. An interrupted wait (`EINTR`)
+    /// returns an empty set rather than an error, so callers' loops stay
+    /// signal-transparent.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        out.clear();
+        let timeout_ms: i32 = match timeout {
+            // Round up so a 100µs deadline doesn't busy-spin at 0ms.
+            Some(t) => t.as_millis().min(i32::MAX as u128) as i32 + i32::from(t.subsec_nanos() % 1_000_000 != 0),
+            None => -1,
+        };
+        let mut buf = [EpollEvent { events: 0, data: 0 }; 128];
+        let n = match cvt(unsafe {
+            sys::epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms)
+        }) {
+            Ok(n) => n as usize,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+            Err(e) => return Err(e),
+        };
+        for ev in &buf[..n] {
+            let ev = *ev; // copy out of the (possibly packed) buffer
+            out.push(Event {
+                token: ev.data,
+                readable: ev.events & (EPOLLIN | EPOLLRDHUP) != 0,
+                writable: ev.events & EPOLLOUT != 0,
+                hangup: ev.events & (EPOLLERR | EPOLLHUP) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+fn interest_bits(read: bool, write: bool) -> u32 {
+    let mut bits = EPOLLRDHUP; // always learn about peer half-close
+    if read {
+        bits |= EPOLLIN;
+    }
+    if write {
+        bits |= EPOLLOUT;
+    }
+    bits
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.epfd) };
+    }
+}
+
+/// Cross-thread wakeup for a [`Poller`]: an `eventfd` registered like any
+/// other fd. [`Waker::wake`] is async-signal-safe cheap (one 8-byte
+/// write); the poll loop calls [`Waker::drain`] when its token fires.
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    pub fn new() -> io::Result<Waker> {
+        let fd = cvt(unsafe { sys::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) })?;
+        Ok(Waker { fd })
+    }
+
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Make a blocked `wait` on the registered poller return. Saturation
+    /// (`EAGAIN` on a full counter) still means "signaled", so errors are
+    /// deliberately ignored.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        unsafe {
+            sys::write(self.fd, (&one as *const u64).cast(), 8);
+        }
+    }
+
+    /// Reset the counter so level-triggered polling stops reporting it.
+    pub fn drain(&self) {
+        let mut buf: u64 = 0;
+        unsafe {
+            sys::read(self.fd, (&mut buf as *mut u64).cast(), 8);
+        }
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.fd) };
+    }
+}
+
+// Safety: the waker is just an fd; `write(2)` on an eventfd is thread-safe.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn waker_unblocks_wait() {
+        let poller = Poller::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        poller.add(waker.fd(), 7, true, false).unwrap();
+
+        let w = std::sync::Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            w.wake();
+        });
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+        waker.drain();
+        t.join().unwrap();
+
+        // Drained: an immediate wait times out with no events.
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn socket_readability_and_interest_changes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(server.as_raw_fd(), 42, true, false).unwrap();
+
+        let mut events = Vec::new();
+        // Nothing sent yet: quiet.
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty());
+
+        client.write_all(b"hello").unwrap();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.readable));
+
+        // Level-triggered: unread bytes keep the fd readable.
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.readable));
+
+        // Write interest on an idle socket reports writable immediately.
+        poller.modify(server.as_raw_fd(), 42, true, true).unwrap();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.writable));
+
+        poller.delete(server.as_raw_fd()).unwrap();
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty());
+    }
+}

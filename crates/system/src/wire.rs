@@ -516,7 +516,14 @@ pub fn read_frame<T: Decode, S: Read + ?Sized>(stream: &mut S) -> Result<T, Wire
 pub fn read_frame_ctx<T: Decode, S: Read + ?Sized>(
     stream: &mut S,
 ) -> Result<(Option<FrameCtx>, T), WireError> {
-    let (ctx, mut bytes) = read_raw_frame(stream)?;
+    let (ctx, bytes) = read_raw_frame(stream)?;
+    Ok((ctx, decode_payload(bytes)?))
+}
+
+/// Decode a full frame payload into a message, rejecting trailing bytes
+/// (a decode that consumes less than the frame carried means the peer
+/// and we disagree about the schema — surface it, don't ignore it).
+pub fn decode_payload<T: Decode>(mut bytes: Bytes) -> Result<T, WireError> {
     let msg = T::decode(&mut bytes)?;
     if bytes.has_remaining() {
         return Err(WireError::Malformed(format!(
@@ -524,7 +531,92 @@ pub fn read_frame_ctx<T: Decode, S: Read + ?Sized>(
             bytes.remaining()
         )));
     }
-    Ok((ctx, msg))
+    Ok(msg)
+}
+
+/// Account an outgoing frame that bypassed [`write_frame_ctx`] (the
+/// event-driven plane queues pre-encoded frames into connection write
+/// buffers), keeping the `bate_wire_*` counters consistent across both
+/// planes.
+pub(crate) fn note_frame_sent(frame_len: usize) {
+    let m = wire_metrics();
+    m.frames_sent.inc();
+    m.bytes_sent.add(frame_len as u64);
+}
+
+/// Incremental frame assembly for nonblocking readers: feed raw byte
+/// chunks in with [`FrameAssembler::push`], pull complete frames out with
+/// [`FrameAssembler::next_frame`]. This is the same wire grammar as
+/// [`read_raw_frame`] — length word (with [`CTX_FLAG`]), CRC word,
+/// optional context extension, payload — restated as a resumable state
+/// machine, so a connection that delivers one byte per poll wakeup costs
+/// buffer space, never a blocked thread. Metric accounting mirrors the
+/// blocking reader: completed frames count as received, damaged ones as
+/// corrupt/malformed.
+#[derive(Default)]
+pub struct FrameAssembler {
+    buf: BytesMut,
+}
+
+impl FrameAssembler {
+    pub fn new() -> FrameAssembler {
+        FrameAssembler::default()
+    }
+
+    /// Append freshly read bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet assembled into a frame. Nonzero after
+    /// [`FrameAssembler::next_frame`] drains means the peer is mid-frame —
+    /// the signal the controller's slow-loris reaper keys on.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Extract the next complete frame, `Ok(None)` if more bytes are
+    /// needed. Errors (oversized header, CRC mismatch) leave the stream
+    /// unsynchronized, exactly like the blocking reader: the caller must
+    /// drop the connection.
+    pub fn next_frame(&mut self) -> Result<Option<(Option<FrameCtx>, Bytes)>, WireError> {
+        let m = wire_metrics();
+        if self.buf.len() < 8 {
+            return Ok(None);
+        }
+        let len_word = u32::from_be_bytes(self.buf[0..4].try_into().unwrap());
+        let expected_crc = u32::from_be_bytes(self.buf[4..8].try_into().unwrap());
+        let has_ctx = len_word & CTX_FLAG != 0;
+        let len = (len_word & !CTX_FLAG) as usize;
+        if len > MAX_FRAME {
+            m.malformed.inc();
+            return Err(WireError::Malformed(format!("frame of {len} bytes")));
+        }
+        let ctx_len = if has_ctx { CTX_BYTES } else { 0 };
+        let total = 8 + ctx_len + len;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let mut body = self.buf.split_to(total).freeze();
+        body.advance(8);
+        let got = crc32(&body);
+        if got != expected_crc {
+            m.corrupt.inc();
+            return Err(WireError::Corrupt {
+                expected: expected_crc,
+                got,
+            });
+        }
+        m.frames_received.inc();
+        m.bytes_received.add(total as u64);
+        let ctx = if has_ctx {
+            let cb = body.split_to(CTX_BYTES);
+            Some(FrameCtx::from_bytes(&cb))
+        } else {
+            None
+        };
+        Ok(Some((ctx, body)))
+    }
 }
 
 #[cfg(test)]
@@ -685,6 +777,68 @@ mod tests {
         assert_eq!(sum, 6);
         drop(stream);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn assembler_reassembles_byte_by_byte() {
+        // The slow-loris shape: frames arriving one byte at a time must
+        // assemble into exactly the frames the blocking reader would see.
+        let ctx = FrameCtx {
+            trace_id: 11,
+            span_id: 22,
+        };
+        let mut stream_bytes = encode_frame_ctx(&vec![1u64, 2, 3], Some(ctx)).unwrap();
+        stream_bytes.extend(encode_frame(&"second".to_string()).unwrap());
+
+        let mut asm = FrameAssembler::new();
+        let mut got: Vec<(Option<FrameCtx>, Bytes)> = Vec::new();
+        for b in stream_bytes {
+            asm.push(&[b]);
+            while let Some(frame) = asm.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, Some(ctx));
+        assert_eq!(
+            decode_payload::<Vec<u64>>(got[0].1.clone()).unwrap(),
+            vec![1, 2, 3]
+        );
+        assert!(got[1].0.is_none());
+        assert_eq!(
+            decode_payload::<String>(got[1].1.clone()).unwrap(),
+            "second"
+        );
+        assert_eq!(asm.buffered(), 0);
+    }
+
+    #[test]
+    fn assembler_reports_partial_frames_and_damage() {
+        let frame = encode_frame(&vec![9u64; 4]).unwrap();
+        let mut asm = FrameAssembler::new();
+        asm.push(&frame[..frame.len() - 1]);
+        assert!(asm.next_frame().unwrap().is_none(), "incomplete frame");
+        assert!(asm.buffered() > 0, "mid-frame bytes are visible");
+        asm.push(&frame[frame.len() - 1..]);
+        assert!(asm.next_frame().unwrap().is_some());
+        assert_eq!(asm.buffered(), 0);
+
+        // A corrupted payload surfaces as Corrupt, same as the blocking
+        // reader.
+        let mut bad = frame.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        let mut asm = FrameAssembler::new();
+        asm.push(&bad);
+        assert!(matches!(asm.next_frame(), Err(WireError::Corrupt { .. })));
+
+        // An oversized length header (64 MiB > MAX_FRAME, flag bit clear)
+        // is rejected before buffering it.
+        let mut asm = FrameAssembler::new();
+        let mut raw = (64u32 << 20).to_be_bytes().to_vec();
+        raw.extend_from_slice(&0u32.to_be_bytes());
+        asm.push(&raw);
+        assert!(matches!(asm.next_frame(), Err(WireError::Malformed(_))));
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Batched-admission equivalence: a pipelined batch of N submissions
+//! through the event-driven controller must produce *exactly* the same
+//! verdicts as submitting the same demands one at a time against a cold
+//! controller — and the post-batch allocation (the one warm solve
+//! amortized across the batch) must achieve the certified exact-LP
+//! objective for the admitted set.
+//!
+//! This is the system-level pin of `bate_core::admission::admit_batch`'s
+//! by-construction claim: batching changes *when* the pool is
+//! re-optimized, never *what* is admitted.
+
+use bate_core::scheduling::schedule;
+use bate_core::{BaDemand, TeContext};
+use bate_net::{topologies, ScenarioSet};
+use bate_routing::{RoutingScheme, TunnelSet};
+use bate_system::client::DemandRequest;
+use bate_system::{Client, Controller, ControllerConfig, PipelinedClient};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn start_controller() -> Controller {
+    Controller::start(ControllerConfig::manual(
+        topologies::testbed6(),
+        RoutingScheme::default_ksp4(),
+        2,
+    ))
+    .expect("controller start")
+}
+
+/// A seeded workload over testbed6: mixed pairs, sizes, and targets,
+/// with a few oversized entries that must reject, so the verdict vector
+/// is non-trivial in both directions.
+fn seeded_demands(seed: u64, n: usize, id_base: u64) -> Vec<DemandRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dcs = ["DC1", "DC2", "DC3", "DC4", "DC5", "DC6"];
+    (0..n)
+        .map(|i| {
+            let src = dcs[rng.gen_range(0..dcs.len())];
+            let mut dst = dcs[rng.gen_range(0..dcs.len())];
+            while dst == src {
+                dst = dcs[rng.gen_range(0..dcs.len())];
+            }
+            // Every 5th demand is far beyond any cut capacity: a
+            // guaranteed reject mixed into the batch.
+            let bandwidth = if i % 5 == 4 {
+                20_000.0
+            } else {
+                rng.gen_range(30.0..250.0)
+            };
+            let beta = [0.9, 0.95, 0.99][rng.gen_range(0..3usize)];
+            DemandRequest::new(id_base + i as u64, src, dst, bandwidth, beta)
+        })
+        .collect()
+}
+
+#[test]
+fn batched_equals_sequential_with_certified_objective() {
+    let n = 12;
+    // Distinct id ranges so the two controllers' trace roots (derived
+    // from demand ids) never collide in the shared flight ring.
+    let batch_reqs = seeded_demands(0xBA7E, n, 1000);
+    let seq_reqs: Vec<DemandRequest> = batch_reqs
+        .iter()
+        .map(|r| DemandRequest {
+            id: r.id + 1000,
+            ..r.clone()
+        })
+        .collect();
+
+    // Batched path: all N frames queued locally and flushed in one
+    // write, so they land in one controller wakeup → one admission
+    // batch → one warm solve.
+    let ctrl_batch = start_controller();
+    let mut pipelined = PipelinedClient::connect(ctrl_batch.addr()).unwrap();
+    for req in &batch_reqs {
+        pipelined.queue_submit(req).unwrap();
+    }
+    pipelined.flush().unwrap();
+    let mut batch_verdicts = Vec::with_capacity(n);
+    for req in &batch_reqs {
+        let (id, admitted) = pipelined.recv_verdict().unwrap();
+        assert_eq!(id, req.id, "replies must arrive in submission order");
+        batch_verdicts.push(admitted);
+    }
+
+    // Sequential path: a cold controller, one round-trip per demand.
+    let ctrl_seq = start_controller();
+    let mut client = Client::connect(ctrl_seq.addr()).unwrap();
+    let seq_verdicts: Vec<bool> = seq_reqs
+        .iter()
+        .map(|req| client.submit(req).unwrap())
+        .collect();
+
+    assert_eq!(
+        batch_verdicts, seq_verdicts,
+        "batched admission diverged from the sequential pipeline"
+    );
+    let admitted: Vec<&DemandRequest> = batch_reqs
+        .iter()
+        .zip(&batch_verdicts)
+        .filter(|(_, &a)| a)
+        .map(|(r, _)| r)
+        .collect();
+    assert!(
+        admitted.len() > 1 && admitted.len() < n,
+        "seeded workload must mix admits and rejects (got {}/{n})",
+        admitted.len()
+    );
+    assert_eq!(ctrl_batch.admitted_count(), admitted.len());
+    assert_eq!(ctrl_seq.admitted_count(), admitted.len());
+
+    // Exact oracle: the certified LP objective over the admitted set.
+    let topo = topologies::testbed6();
+    let tunnels = TunnelSet::compute(&topo, RoutingScheme::default_ksp4());
+    let scenarios = ScenarioSet::enumerate(&topo, 2);
+    let ctx = TeContext::new(&topo, &tunnels, &scenarios);
+    let pool: Vec<BaDemand> = admitted
+        .iter()
+        .map(|r| {
+            let s = topo.find_node(&r.src).unwrap();
+            let d = topo.find_node(&r.dst).unwrap();
+            let pair = tunnels.pair_index(s, d).unwrap();
+            BaDemand::single(r.id, pair, r.bandwidth, r.beta)
+        })
+        .collect();
+    let oracle = schedule(&ctx, &pool).expect("oracle solve");
+
+    // The batch controller's post-batch allocation is its warm solve's;
+    // its total must match the certified objective (the warm path is
+    // KKT-certified against the exact LP, falling back cold otherwise).
+    let batch_total: f64 = admitted.iter().map(|r| ctrl_batch.allocated_rate(r.id)).sum();
+    assert!(
+        (batch_total - oracle.total_bandwidth).abs() < 1e-6 * oracle.total_bandwidth.max(1.0),
+        "batched allocation total {batch_total} != certified oracle objective {}",
+        oracle.total_bandwidth
+    );
+
+    // After one scheduling round, the sequential controller lands on the
+    // same certified objective — batching and sequencing converge.
+    ctrl_seq.run_schedule_round();
+    let seq_total: f64 = admitted
+        .iter()
+        .map(|r| ctrl_seq.allocated_rate(r.id + 1000))
+        .sum();
+    assert!(
+        (seq_total - oracle.total_bandwidth).abs() < 1e-6 * oracle.total_bandwidth.max(1.0),
+        "sequential round total {seq_total} != certified oracle objective {}",
+        oracle.total_bandwidth
+    );
+
+    // The batch path really ran: the in-process batch-size histogram saw
+    // the multi-submit batch (sequential submits only ever record 1s).
+    let max_batch = bate_obs::Registry::global()
+        .histogram("bate_admission_batch_size")
+        .max();
+    assert!(
+        max_batch >= 2.0,
+        "expected a multi-submit batch to be recorded, max batch size {max_batch}"
+    );
+}
+
+/// Duplicated frames *inside* one batch replay the verdict their sibling
+/// earned moments earlier — idempotency holds within a wakeup, not just
+/// across round-trips.
+#[test]
+fn duplicate_submit_within_a_batch_replays_the_verdict() {
+    let ctrl = start_controller();
+    let mut pipelined = PipelinedClient::connect(ctrl.addr()).unwrap();
+    let req = DemandRequest::new(7, "DC1", "DC3", 150.0, 0.95);
+    pipelined.queue_submit(&req).unwrap();
+    pipelined.queue_submit(&req).unwrap(); // the duplicate
+    pipelined.queue_submit(&DemandRequest::new(8, "DC2", "DC6", 80.0, 0.9)).unwrap();
+    pipelined.flush().unwrap();
+
+    let verdicts: Vec<(u64, bool)> = (0..3).map(|_| pipelined.recv_verdict().unwrap()).collect();
+    assert_eq!(verdicts, vec![(7, true), (7, true), (8, true)]);
+    assert_eq!(ctrl.admitted_count(), 2, "the duplicate is not double-counted");
+}

@@ -24,6 +24,7 @@ fn main() {
         schedule_interval: Some(Duration::from_secs(2)),
         clock: SystemClock::shared(),
         legacy_duplicate_handling: false,
+        idle_timeout: Some(Duration::from_secs(30)),
     })
     .expect("controller start");
     println!("controller listening on {}", controller.addr());

@@ -165,6 +165,7 @@ fn causal_artifacts(
             schedule_interval: None,
             clock: bate_core::clock::SystemClock::shared(),
             legacy_duplicate_handling: false,
+            idle_timeout: Some(Duration::from_secs(30)),
         })
         .expect("controller start");
         let broker = Broker::connect(controller.addr(), "DC1").expect("broker connect");

@@ -29,6 +29,16 @@ STATUS=0
 
 run cargo test -q --offline -p faultline || STATUS=$?
 
+# Flake detector: the e2e suite is condvar/poll-until driven (no blind
+# sleeps), so three serialized back-to-back runs must all pass. A test
+# that only passes when the scheduler cooperates fails here long before
+# it starts flaking in CI.
+for i in 1 2 3; do
+    echo "== e2e flake detector: run $i/3 (--test-threads=1) =="
+    run cargo test -q --offline -p bate-system --test end_to_end -- --test-threads=1 \
+        || { STATUS=$?; break; }
+done
+
 if [[ "${1:-}" != "--fast" ]]; then
     run cargo test -q --offline --workspace || STATUS=$?
 fi
